@@ -1,0 +1,161 @@
+package spmv_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmv"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestClassicFormatsAgree(t *testing.T) {
+	c := matgen.Stencil2D(9)
+	x := testmat.RandVec(rand.New(rand.NewSource(1)), c.Cols())
+	ref, _ := spmv.NewCSR(c)
+	want := make([]float64, c.Rows())
+	ref.SpMV(want, x)
+
+	formats := []spmv.Format{}
+	add := func(f spmv.Format, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		formats = append(formats, f)
+	}
+	add(spmv.NewELL(c))
+	add(spmv.NewJDS(c))
+	add(spmv.NewCDS(c))
+	add(spmv.NewSymCSR(c, 1e-12))
+	for _, f := range formats {
+		got := make([]float64, c.Rows())
+		f.SpMV(got, x)
+		testmat.AssertClose(t, f.Name(), got, want, 1e-10)
+	}
+	// CDS beats everything on a pure stencil (no index data at all).
+	cdsF := formats[2]
+	if cdsF.SizeBytes() >= ref.SizeBytes() {
+		t.Errorf("cds %d >= csr %d on stencil", cdsF.SizeBytes(), ref.SizeBytes())
+	}
+}
+
+func TestAnalyzeAndRecommendPublic(t *testing.T) {
+	c := matgen.Stencil2D(20)
+	a := spmv.Analyze(c)
+	if a.TTU <= 5 || !a.Symmetric || a.Diagonals != 5 {
+		t.Fatalf("analysis: %+v", a)
+	}
+	recs := a.Recommend()
+	if len(recs) < 4 {
+		t.Fatalf("recommendations: %v", recs)
+	}
+	if recs[0].Ratio >= 1 {
+		t.Errorf("top recommendation does not compress: %+v", recs[0])
+	}
+}
+
+func TestRCMPublicFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := matgen.Symmetrize(matgen.Banded(rng, 200, 5, 4, matgen.Values{}))
+	// Shuffle, then recover with RCM.
+	perm := make([]int32, 200)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+	mess, err := spmv.PermuteMatrix(c, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcm, err := spmv.RCM(mess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidy, _ := spmv.PermuteMatrix(mess, rcm)
+	if spmv.Bandwidth(tidy) >= spmv.Bandwidth(mess) {
+		t.Errorf("bandwidth %d -> %d", spmv.Bandwidth(mess), spmv.Bandwidth(tidy))
+	}
+	// Vector round trip.
+	x := testmat.RandVec(rng, 200)
+	back := spmv.UnpermuteVec(spmv.PermuteVec(x, rcm), rcm)
+	testmat.AssertClose(t, "perm roundtrip", back, x, 0)
+}
+
+func TestMixedPrecisionPublicFlow(t *testing.T) {
+	c := matgen.Stencil2D(10)
+	full, _ := spmv.NewCSR(c)
+	low, err := spmv.NewCSR32(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.SizeBytes() >= full.SizeBytes() {
+		t.Error("csr32 not smaller than csr")
+	}
+	opF, _ := spmv.NewOperator(full)
+	opL, _ := spmv.NewOperator(low)
+	b := make([]float64, opF.N)
+	b[0] = 1
+	x := make([]float64, opF.N)
+	res, err := spmv.Refine(opF, opL, b, x, 1e-11, 50, 1000)
+	if err != nil || !res.Converged {
+		t.Fatalf("refine: %v %+v", err, res)
+	}
+}
+
+func TestBiCGSTABPublic(t *testing.T) {
+	c := matgen.Stencil2D(8)
+	ns := spmv.NewCOO(c.Rows(), c.Cols())
+	for k := 0; k < c.Len(); k++ {
+		i, j, v := c.At(k)
+		if j == i+1 {
+			v += 0.3
+		}
+		ns.Add(i, j, v)
+	}
+	f, _ := spmv.NewCSR(ns)
+	op, _ := spmv.NewOperator(f)
+	b := make([]float64, op.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, op.N)
+	res, err := spmv.BiCGSTAB(op, b, x, 1e-9, 5000)
+	if err != nil || !res.Converged {
+		t.Fatalf("bicgstab: %v %+v", err, res)
+	}
+}
+
+func TestValueCompressionPublic(t *testing.T) {
+	vals := []float64{1, 2, 3, 2, 1, 2, 3, 2, 1}
+	comp := spmv.CompressValues(vals)
+	back, err := spmv.DecompressValues(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatal("lossy")
+		}
+	}
+	if r := spmv.ValueCompressibility(vals); r <= 0 || math.IsNaN(r) {
+		t.Errorf("ratio = %v", r)
+	}
+}
+
+func TestMatfilePublic(t *testing.T) {
+	c := matgen.Stencil2D(8)
+	m, _ := spmv.NewCSRDU(c)
+	var buf bytes.Buffer
+	if err := spmv.WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spmv.ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() || back.Name() != "csr-du" {
+		t.Errorf("read back %s/%d", back.Name(), back.NNZ())
+	}
+}

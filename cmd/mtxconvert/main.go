@@ -1,0 +1,104 @@
+// Command mtxconvert converts between Matrix Market text files and the
+// library's binary container (encode once, load compressed), choosing
+// any supported storage format for the binary side.
+//
+// Usage:
+//
+//	mtxconvert -to csr-du matrix.mtx matrix.spmv     # text -> binary
+//	mtxconvert -from matrix.spmv matrix.mtx          # binary -> text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spmv"
+)
+
+func main() {
+	to := flag.String("to", "csr-du", "target format for binary output: csr|csr-du|csr-du-rle|csr-vi")
+	from := flag.Bool("from", false, "convert binary container back to Matrix Market")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mtxconvert [-to FORMAT] in.mtx out.spmv")
+		fmt.Fprintln(os.Stderr, "       mtxconvert -from in.spmv out.mtx")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	inPath, outPath := flag.Arg(0), flag.Arg(1)
+	if err := run(inPath, outPath, *to, *from); err != nil {
+		fmt.Fprintln(os.Stderr, "mtxconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, outPath, format string, fromBinary bool) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	if fromBinary {
+		f, err := spmv.ReadMatrix(in)
+		if err != nil {
+			return err
+		}
+		c, err := toCOO(f)
+		if err != nil {
+			return err
+		}
+		return spmv.WriteMatrixMarket(out, c)
+	}
+
+	c, err := spmv.ReadMatrixMarket(in)
+	if err != nil {
+		return err
+	}
+	var f spmv.Format
+	switch format {
+	case "csr":
+		f, err = spmv.NewCSR(c)
+	case "csr-du":
+		f, err = spmv.NewCSRDU(c)
+	case "csr-du-rle":
+		f, err = spmv.NewCSRDUOpts(c, spmv.DUOptions{RLE: true})
+	case "csr-vi":
+		f, err = spmv.NewCSRVI(c)
+	default:
+		return fmt.Errorf("unsupported container format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := spmv.WriteMatrix(out, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mtxconvert: %s: %d nnz as %s, %.1f%% of CSR\n",
+		outPath, f.NNZ(), f.Name(), 100*spmv.CompressionRatio(f))
+	return nil
+}
+
+// toCOO decodes a container format back to triplets via its ForEach.
+func toCOO(f spmv.Format) (*spmv.COO, error) {
+	type forEacher interface {
+		ForEach(func(i, j int, v float64))
+	}
+	fe, ok := f.(forEacher)
+	if !ok {
+		return nil, fmt.Errorf("format %s cannot be decoded to triplets", f.Name())
+	}
+	c := spmv.NewCOO(f.Rows(), f.Cols())
+	fe.ForEach(func(i, j int, v float64) { c.Add(i, j, v) })
+	c.Finalize()
+	return c, nil
+}

@@ -1,0 +1,103 @@
+// Command mtxinfo analyzes Matrix Market files through the lens of the
+// paper: working-set size and class (M_S/M_L), total-to-unique values
+// ratio and CSR-VI applicability, per-format sizes and compression
+// ratios, and the CSR-DU unit mix.
+//
+// Usage:
+//
+//	mtxinfo file.mtx [file2.mtx ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spmv"
+	"spmv/internal/bench"
+	"spmv/internal/csrdu"
+	"spmv/internal/matgen"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo file.mtx [file2.mtx ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		if err := report(path); err != nil {
+			fmt.Fprintf(os.Stderr, "mtxinfo: %s: %v\n", path, err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func report(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := spmv.ReadMatrixMarket(f)
+	if err != nil {
+		return err
+	}
+	ws := spmv.WorkingSet(c)
+	ttu := matgen.TTU(c)
+	fmt.Printf("%s\n", path)
+	fmt.Printf("  shape        %d x %d, %d non-zeros\n", c.Rows(), c.Cols(), c.Len())
+	fmt.Printf("  working set  %.2f MB  (class M_%s; paper admits ws >= 3MB)\n",
+		float64(ws)/(1<<20), bench.Classify(ws))
+	fmt.Printf("  ttu          %.2f  (CSR-VI applicable: %v, threshold > 5)\n", ttu, ttu > 5)
+
+	a := spmv.Analyze(c)
+	fmt.Printf("  structure    bandwidth %d, %d diagonals, symmetric %v, row nnz avg %.1f max %d\n",
+		a.Bandwidth, a.Diagonals, a.Symmetric, a.AvgRowNNZ, a.MaxRowNNZ)
+	fmt.Printf("  col deltas   u8 %.0f%%  u16 %.0f%%  u32 %.0f%%  (delta==1: %.0f%%)\n",
+		100*a.DeltaFrac[0], 100*a.DeltaFrac[1], 100*a.DeltaFrac[2], 100*a.DeltaEq1)
+	vals := make([]float64, c.Len())
+	for k := range vals {
+		_, _, vals[k] = c.At(k)
+	}
+	fmt.Printf("  fpc ratio    %.2f  (lossless value-stream compressibility)\n",
+		spmv.ValueCompressibility(vals))
+
+	base, err := spmv.NewCSR(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %12s %9s\n", "format", "bytes", "vs CSR")
+	for _, name := range spmv.FormatNames() {
+		f, err := spmv.BuildFormat(name, c)
+		if err != nil {
+			fmt.Printf("  %-10s %12s (%v)\n", name, "-", err)
+			continue
+		}
+		fmt.Printf("  %-10s %12d %8.1f%%\n", name, f.SizeBytes(),
+			100*float64(f.SizeBytes())/float64(base.SizeBytes()))
+	}
+
+	du, err := spmv.NewCSRDU(c)
+	if err == nil {
+		st := du.Stats()
+		fmt.Printf("  csr-du units %d (avg size %.1f): u8=%d u16=%d u32=%d u64=%d\n",
+			st.Units, st.AvgSize,
+			st.PerClass[csrdu.ClassU8], st.PerClass[csrdu.ClassU16],
+			st.PerClass[csrdu.ClassU32], st.PerClass[csrdu.ClassU64])
+	}
+	fmt.Println("  recommended formats (predicted size vs CSR):")
+	for i, r := range a.Recommend() {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("    %d. %-9s %5.1f%%  %s\n", i+1, r.Format, 100*r.Ratio, r.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command spmvbench runs the paper's experiments with wall-clock
+// timing on the host machine: real goroutines, real caches. Shapes
+// depend on the host's memory system; for the deterministic
+// reproduction of the paper's platform use cmd/spmvsim.
+//
+// Usage:
+//
+//	spmvbench [-experiment all|table2|table3|table4|fig7|fig8]
+//	          [-scale 0.25] [-iters 10] [-threads 1,2,4,8] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spmv/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table2|table3|table4|fig7|fig8|all")
+	scale := flag.Float64("scale", 0.25, "matrix size multiplier (1.0 = paper scale)")
+	iters := flag.Int("iters", 10, "timed iterations per configuration")
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	verbose := flag.Bool("v", false, "print per-matrix progress")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Native = true
+	cfg.Scale = *scale
+	cfg.WarmIters = *iters
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+	cfg.Threads = nil
+	for _, t := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "spmvbench: bad thread count %q\n", t)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, n)
+	}
+
+	need := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		need[e] = true
+	}
+	if need["all"] {
+		for _, e := range []string{"table2", "table3", "table4", "fig7", "fig8"} {
+			need[e] = true
+		}
+	}
+
+	fmt.Printf("# spmvbench: native timing, scale=%.3g, %d iterations\n", cfg.Scale, cfg.WarmIters)
+	fmt.Printf("# note: the 2(2xL2) placement row requires cache control and exists only in spmvsim\n\n")
+	runs, err := bench.Collect(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(1)
+	}
+
+	if need["table2"] {
+		bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout)
+		fmt.Println()
+	}
+	if need["table3"] {
+		bench.BuildRelTable(runs, "csr-du", cfg.Threads, 0).Print(os.Stdout, "Table III")
+		fmt.Println()
+	}
+	if need["table4"] {
+		bench.BuildRelTable(runs, "csr-vi", cfg.Threads, 5).Print(os.Stdout, "Table IV")
+		fmt.Println()
+	}
+	if need["fig7"] {
+		bench.PrintFig(os.Stdout, "Fig 7: CSR-DU per-matrix",
+			bench.BuildFig(runs, "csr-du", cfg.Threads, 0), cfg.Threads)
+		fmt.Println()
+	}
+	if need["fig8"] {
+		bench.PrintFig(os.Stdout, "Fig 8: CSR-VI per-matrix (ttu > 5)",
+			bench.BuildFig(runs, "csr-vi", cfg.Threads, 5), cfg.Threads)
+		fmt.Println()
+	}
+}

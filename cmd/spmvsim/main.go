@@ -1,0 +1,140 @@
+// Command spmvsim reproduces the paper's evaluation (Tables II-IV,
+// Figs 7-8) on the simulated 2×Clovertown platform. It is the
+// deterministic counterpart of cmd/spmvbench: results do not depend on
+// the host machine.
+//
+// Usage:
+//
+//	spmvsim [-experiment all|table2|table3|table4|fig7|fig8]
+//	        [-scale 1.0] [-warm 2] [-v]
+//
+// At -scale 1.0 the matrix suite spans the paper's working-set range
+// (3-60MB) and a full run takes a few minutes; smaller scales trade
+// fidelity of the M_S/M_L split for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spmv/internal/bench"
+	"spmv/internal/memsim"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table2|table3|table4|fig7|fig8|sweep|freq|machines|all")
+	scale := flag.Float64("scale", 1.0, "matrix size multiplier (1.0 = paper scale)")
+	warm := flag.Int("warm", 2, "steady-state iterations measured per configuration")
+	formatList := flag.String("formats", "csr-du,csr-vi", "comma-separated compressed formats to measure")
+	verbose := flag.Bool("v", false, "print per-matrix progress")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.WarmIters = *warm
+	cfg.Formats = nil
+	for _, f := range strings.Split(*formatList, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			cfg.Formats = append(cfg.Formats, f)
+		}
+	}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+	need := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		need[e] = true
+	}
+	if need["all"] {
+		for _, e := range []string{"table2", "table3", "table4", "fig7", "fig8", "sweep", "freq"} {
+			need[e] = true
+		}
+	}
+
+	fmt.Printf("# spmvsim: simulated %s, scale=%.3g, %d warm iterations\n\n",
+		cfg.Machine.Name, cfg.Scale, cfg.WarmIters)
+
+	if need["sweep"] {
+		// Bandwidth-sweep ablation: independent of the per-table runs.
+		factors := []float64{0.25, 0.5, 1, 2, 4, 8}
+		points, err := bench.BandwidthSweep(cfg, "banded-l-q128", 8, factors)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvsim:", err)
+			os.Exit(1)
+		}
+		bench.PrintSweep(os.Stdout, points, cfg.Formats, "banded-l-q128", 8)
+		fmt.Println()
+		delete(need, "sweep")
+	}
+	if need["machines"] {
+		machines := []memsim.Machine{memsim.Clovertown(), memsim.Opteron8()}
+		points, err := bench.MachineStudy(cfg, "banded-l-q128", machines, cfg.Threads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvsim:", err)
+			os.Exit(1)
+		}
+		bench.PrintMachines(os.Stdout, points, cfg.Formats, "banded-l-q128", cfg.Threads)
+		fmt.Println()
+		delete(need, "machines")
+	}
+	if need["freq"] {
+		// §VI-D frequency sensitivity of the serial speedups.
+		freqs := []float64{1, 2, 3, 4}
+		points, err := bench.FrequencyStudy(cfg, "banded-l-q128", freqs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvsim:", err)
+			os.Exit(1)
+		}
+		bench.PrintFreq(os.Stdout, points, cfg.Formats, "banded-l-q128")
+		fmt.Println()
+		delete(need, "freq")
+	}
+	delete(need, "all")
+	if len(need) == 0 {
+		return
+	}
+
+	runs, err := bench.Collect(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvsim:", err)
+		os.Exit(1)
+	}
+
+	if need["table2"] {
+		bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout)
+		fmt.Println()
+	}
+	valueFormats := map[string]bool{"csr-vi": true, "csr-du-vi": true}
+	if need["table3"] {
+		// Index-side formats compare on the full set.
+		for _, f := range cfg.Formats {
+			if valueFormats[f] {
+				continue
+			}
+			bench.BuildRelTable(runs, f, cfg.Threads, 0).Print(os.Stdout, "Table III ("+f+")")
+			fmt.Println()
+		}
+	}
+	if need["table4"] {
+		// Value-side formats compare on the ttu>5 subset (§VI-E).
+		for _, f := range cfg.Formats {
+			if !valueFormats[f] {
+				continue
+			}
+			bench.BuildRelTable(runs, f, cfg.Threads, 5).Print(os.Stdout, "Table IV ("+f+")")
+			fmt.Println()
+		}
+	}
+	if need["fig7"] {
+		bench.PrintFig(os.Stdout, "Fig 7: CSR-DU per-matrix",
+			bench.BuildFig(runs, "csr-du", cfg.Threads, 0), cfg.Threads)
+		fmt.Println()
+	}
+	if need["fig8"] {
+		bench.PrintFig(os.Stdout, "Fig 8: CSR-VI per-matrix (ttu > 5)",
+			bench.BuildFig(runs, "csr-vi", cfg.Threads, 5), cfg.Threads)
+		fmt.Println()
+	}
+}

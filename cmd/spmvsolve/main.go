@@ -1,0 +1,160 @@
+// Command spmvsolve solves A x = b for a Matrix Market matrix: it
+// analyzes the matrix, picks (or takes) a storage format, optionally
+// builds an ILU(0) preconditioner, runs the requested Krylov method on
+// the requested number of threads, and reports convergence and timing.
+//
+// Usage:
+//
+//	spmvsolve -method cg -format auto -threads 4 matrix.mtx
+//	spmvsolve -method gmres -ilu matrix.mtx        # nonsymmetric + ILU(0)
+//
+// The right-hand side is all ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"spmv"
+)
+
+func main() {
+	method := flag.String("method", "cg", "cg|pcg|gmres|bicgstab")
+	format := flag.String("format", "auto", "storage format or 'auto' (advisor)")
+	threads := flag.Int("threads", 1, "worker goroutines for SpMV")
+	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
+	maxIter := flag.Int("maxiter", 100000, "matrix-vector product budget")
+	restart := flag.Int("restart", 30, "GMRES restart length")
+	ilu := flag.Bool("ilu", false, "precondition with ILU(0) (gmres/bicgstab via right preconditioning, cg via CGPrec)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spmvsolve [flags] matrix.mtx")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *method, *format, *threads, *tol, *maxIter, *restart, *ilu); err != nil {
+		fmt.Fprintln(os.Stderr, "spmvsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, method, format string, threads int, tol float64, maxIter, restart int, useILU bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := spmv.ReadMatrixMarket(f)
+	if err != nil {
+		return err
+	}
+	if c.Rows() != c.Cols() {
+		return fmt.Errorf("matrix must be square, got %dx%d", c.Rows(), c.Cols())
+	}
+	n := c.Rows()
+	fmt.Printf("matrix: %dx%d, %d nnz, ws %.1f MB\n", n, n, c.Len(),
+		float64(spmv.WorkingSet(c))/(1<<20))
+
+	if format == "auto" {
+		recs := spmv.Analyze(c).Recommend()
+		format = recs[0].Format
+		fmt.Printf("advisor: %s (%s)\n", format, recs[0].Reason)
+	}
+	m, err := spmv.BuildFormat(format, c)
+	if err != nil {
+		return fmt.Errorf("building %s: %w", format, err)
+	}
+	fmt.Printf("format: %s, %.1f%% of CSR\n", m.Name(), 100*spmv.CompressionRatio(m))
+
+	var op spmv.Operator
+	if threads > 1 {
+		e, err := spmv.NewExecutor(m, threads)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		op = spmv.NewParallelOperator(e, n)
+		fmt.Printf("threads: %d\n", e.Threads())
+	} else {
+		op, err = spmv.NewOperator(m)
+		if err != nil {
+			return err
+		}
+	}
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+
+	var pre spmv.Preconditioner
+	if useILU {
+		start := time.Now()
+		p, err := spmv.NewILU0(c)
+		if err != nil {
+			return fmt.Errorf("ILU(0): %w", err)
+		}
+		pre = p
+		fmt.Printf("ILU(0): factored in %v (%.1f MB)\n",
+			time.Since(start).Round(time.Millisecond), float64(p.FactorBytes())/(1<<20))
+	}
+
+	start := time.Now()
+	var res spmv.SolveResult
+	switch method {
+	case "cg":
+		if pre != nil {
+			res, err = spmv.CGPrec(op, pre, b, x, tol, maxIter)
+		} else {
+			res, err = spmv.CG(op, b, x, tol, maxIter)
+		}
+	case "pcg":
+		invD, derr := spmv.JacobiInvDiag(c)
+		if derr != nil {
+			return derr
+		}
+		res, err = spmv.PCG(op, invD, b, x, tol, maxIter)
+	case "gmres":
+		if pre != nil {
+			pop, finish := spmv.RightPreconditioned(op, pre)
+			u := make([]float64, n)
+			res, err = spmv.GMRES(pop, b, u, restart, tol, maxIter)
+			x = finish(u)
+		} else {
+			res, err = spmv.GMRES(op, b, x, restart, tol, maxIter)
+		}
+	case "bicgstab":
+		if pre != nil {
+			pop, finish := spmv.RightPreconditioned(op, pre)
+			u := make([]float64, n)
+			res, err = spmv.BiCGSTAB(pop, b, u, tol, maxIter)
+			x = finish(u)
+		} else {
+			res, err = spmv.BiCGSTAB(op, b, x, tol, maxIter)
+		}
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: converged=%v matvecs=%d residual=%.3e time=%v\n",
+		method, res.Converged, res.Iterations, res.Residual, elapsed.Round(time.Millisecond))
+	var norm float64
+	for _, v := range x {
+		norm += v * v
+	}
+	fmt.Printf("||x||_2 = %.6g\n", math.Sqrt(norm))
+	if !res.Converged {
+		return fmt.Errorf("did not converge within %d matrix-vector products", maxIter)
+	}
+	return nil
+}

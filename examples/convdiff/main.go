@@ -1,0 +1,111 @@
+// Convection-diffusion solve: the unstructured-CFD workload class the
+// paper's introduction cites (Anderson et al. [6]) — a nonsymmetric
+// system driven by GMRES/BiCGSTAB, here with an ILU(0) preconditioner
+// and a compressed matrix format. Demonstrates the full solver stack:
+// assemble → analyze → compress → precondition → solve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"spmv"
+	"spmv/internal/matgen"
+)
+
+func main() {
+	n := flag.Int("n", 128, "grid side (matrix is n^2 x n^2)")
+	cx := flag.Float64("cx", 0.6, "convection strength (x direction)")
+	tol := flag.Float64("tol", 1e-9, "relative residual tolerance")
+	flag.Parse()
+
+	// Discretized -Δu + c·∇u on an n×n grid: Poisson plus an upwind
+	// convection term that breaks symmetry.
+	diff := matgen.Stencil2D(*n)
+	c := spmv.NewCOO(diff.Rows(), diff.Cols())
+	for k := 0; k < diff.Len(); k++ {
+		i, j, v := diff.At(k)
+		switch j {
+		case i + 1:
+			v += *cx
+		case i - 1:
+			v -= *cx
+		}
+		c.Add(i, j, v)
+	}
+	rows := c.Rows()
+	fmt.Printf("convection-diffusion: %dx%d, %d nnz\n", rows, rows, c.Len())
+
+	// Compress: the stencil coefficients take few distinct values.
+	a := spmv.Analyze(c)
+	fmt.Printf("analysis: ttu %.0f, %.0f%% one-byte deltas -> advisor says %s\n",
+		a.TTU, 100*a.DeltaFrac[0], a.Recommend()[0].Format)
+	m, err := spmv.NewCSRDUVI(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("csr-du-vi: %.1f%% of CSR\n", 100*spmv.CompressionRatio(m))
+	op, err := spmv.NewOperator(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b := make([]float64, rows)
+	b[rows/2] = 1 // point source
+
+	// Plain GMRES.
+	x1 := make([]float64, rows)
+	start := time.Now()
+	plain, err := spmv.GMRES(op, b, x1, 40, *tol, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GMRES(40)        : %5d matvecs, residual %.2e, %v\n",
+		plain.Iterations, plain.Residual, time.Since(start).Round(time.Millisecond))
+
+	// ILU(0)-preconditioned GMRES (right preconditioning).
+	ilu, err := spmv.NewILU0(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, finish := spmv.RightPreconditioned(op, ilu)
+	u := make([]float64, rows)
+	start = time.Now()
+	pre, err := spmv.GMRES(pop, b, u, 40, *tol, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x2 := finish(u)
+	fmt.Printf("ILU(0)+GMRES(40) : %5d matvecs, residual %.2e, %v\n",
+		pre.Iterations, pre.Residual, time.Since(start).Round(time.Millisecond))
+
+	// BiCGSTAB for comparison.
+	x3 := make([]float64, rows)
+	start = time.Now()
+	bi, err := spmv.BiCGSTAB(op, b, x3, *tol, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BiCGSTAB         : %5d matvecs, residual %.2e, %v\n",
+		bi.Iterations, bi.Residual, time.Since(start).Round(time.Millisecond))
+
+	// All three must agree.
+	fmt.Printf("solution agreement: |x_gmres - x_ilu| = %.2e, |x_gmres - x_bicg| = %.2e\n",
+		maxDiff(x1, x2), maxDiff(x1, x3))
+}
+
+func maxDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

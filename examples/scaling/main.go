@@ -1,0 +1,90 @@
+// Thread-scaling study: the paper's headline claim, live on your
+// machine. Runs CSR, CSR-DU and CSR-VI at 1..GOMAXPROCS threads over a
+// memory-bound matrix and prints speedup curves: compression should
+// help more as threads contend for bandwidth, even if serial is not
+// faster (paper §VI-D/E).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"spmv"
+	"spmv/internal/matgen"
+)
+
+func main() {
+	n := flag.Int("n", 300000, "matrix rows")
+	iters := flag.Int("iters", 20, "timed SpMV iterations (paper used 128)")
+	unique := flag.Int("unique", 128, "unique value pool (makes CSR-VI applicable)")
+	flag.Parse()
+
+	c := matgen.Banded(rand.New(rand.NewSource(7)), *n, 60, 8, matgen.Values{Unique: *unique})
+	fmt.Printf("banded matrix: %d rows, %d nnz, ws %.1f MB, ttu %.0f\n",
+		c.Rows(), c.Len(), float64(spmv.WorkingSet(c))/(1<<20), matgen.TTU(c))
+
+	formats := []spmv.Format{}
+	for _, build := range []func() (spmv.Format, error){
+		func() (spmv.Format, error) { return spmv.NewCSR(c) },
+		func() (spmv.Format, error) { return spmv.NewCSRDU(c) },
+		func() (spmv.Format, error) { return spmv.NewCSRVI(c) },
+	} {
+		f, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		formats = append(formats, f)
+	}
+
+	maxThreads := runtime.GOMAXPROCS(0)
+	var threadCounts []int
+	for t := 1; t <= maxThreads; t *= 2 {
+		threadCounts = append(threadCounts, t)
+	}
+
+	x := make([]float64, c.Cols())
+	y := make([]float64, c.Rows())
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+
+	fmt.Printf("\n%-8s", "threads")
+	for _, f := range formats {
+		fmt.Printf("%14s", f.Name())
+	}
+	fmt.Println("   (seconds/SpMV; speedup vs serial CSR)")
+
+	serial := map[string]float64{}
+	for _, th := range threadCounts {
+		fmt.Printf("%-8d", th)
+		for _, f := range formats {
+			e, err := spmv.NewExecutor(f, th)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e.RunIters(3, y, x) // warm
+			start := time.Now()
+			e.RunIters(*iters, y, x)
+			sec := time.Since(start).Seconds() / float64(*iters)
+			e.Close()
+			if th == 1 {
+				serial[f.Name()] = sec
+			}
+			fmt.Printf("  %9.2gs %1.2fx", sec, serial["csr"]/sec)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncompression ratios:", ratios(formats))
+}
+
+func ratios(fs []spmv.Format) string {
+	out := ""
+	for _, f := range fs {
+		out += fmt.Sprintf(" %s=%.0f%%", f.Name(), 100*spmv.CompressionRatio(f))
+	}
+	return out
+}

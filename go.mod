@@ -1,0 +1,3 @@
+module spmv
+
+go 1.22

@@ -1,0 +1,68 @@
+package analyze
+
+import (
+	"fmt"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/formats"
+)
+
+// Timing is one measured candidate of an empirical selection.
+type Timing struct {
+	Format  string
+	PerSpMV time.Duration
+	Size    int64
+	Err     error // non-nil if the format refused the matrix
+}
+
+// PickFastest builds every candidate format, times iters serial SpMV
+// operations each, and returns the fastest along with all measurements
+// — the empirical counterpart of Recommend, in the style of
+// measurement-driven autotuners like OSKI. Formats that refuse the
+// matrix (e.g. ELLPACK on skewed rows) are reported with their error
+// and skipped. If candidates is nil the analytic recommendations are
+// used as the candidate list.
+func PickFastest(c *core.COO, candidates []string, iters int) (string, []Timing, error) {
+	c.Finalize()
+	if iters <= 0 {
+		iters = 5
+	}
+	if candidates == nil {
+		for _, r := range Analyze(c).Recommend() {
+			candidates = append(candidates, r.Format)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", nil, fmt.Errorf("analyze: no candidate formats")
+	}
+	x := make([]float64, c.Cols())
+	y := make([]float64, c.Rows())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	best := ""
+	var bestTime time.Duration
+	var out []Timing
+	for _, name := range candidates {
+		f, err := formats.Build(name, c)
+		if err != nil {
+			out = append(out, Timing{Format: name, Err: err})
+			continue
+		}
+		f.SpMV(y, x) // warm
+		start := time.Now()
+		for k := 0; k < iters; k++ {
+			f.SpMV(y, x)
+		}
+		per := time.Since(start) / time.Duration(iters)
+		out = append(out, Timing{Format: name, PerSpMV: per, Size: f.SizeBytes()})
+		if best == "" || per < bestTime {
+			best, bestTime = name, per
+		}
+	}
+	if best == "" {
+		return "", out, fmt.Errorf("analyze: every candidate format refused the matrix")
+	}
+	return best, out, nil
+}

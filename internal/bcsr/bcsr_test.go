@@ -1,0 +1,121 @@
+package bcsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestConformance2x2(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c, 2, 2) })
+}
+
+func TestConformance3x3(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c, 3, 3) })
+}
+
+func TestConformance4x1(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c, 4, 1) })
+}
+
+func TestConformance1x4(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c, 1, 4) })
+}
+
+func TestRejectsBadBlocks(t *testing.T) {
+	c := core.NewCOO(4, 4)
+	c.Add(0, 0, 1)
+	c.Finalize()
+	for _, rc := range [][2]int{{0, 2}, {2, 0}, {-1, 2}, {9, 9}} {
+		if _, err := FromCOO(c, rc[0], rc[1]); err == nil {
+			t.Errorf("FromCOO accepted block %dx%d", rc[0], rc[1])
+		}
+	}
+}
+
+func TestPerfectBlocksNoFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.BlockDiag(rng, 20, 4, matgen.Values{})
+	m, err := FromCOO(c, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fill() != 1.0 {
+		t.Errorf("Fill = %v on perfectly blocked matrix", m.Fill())
+	}
+	if m.Blocks() != 20 {
+		t.Errorf("Blocks = %d, want 20", m.Blocks())
+	}
+	// Index data: one 4-byte index per 16 values vs 4 bytes per value
+	// in CSR: BCSR must be smaller.
+	ref, _ := csr.FromCOO(c)
+	if m.SizeBytes() >= ref.SizeBytes() {
+		t.Errorf("bcsr %d >= csr %d on blocky matrix", m.SizeBytes(), ref.SizeBytes())
+	}
+}
+
+func TestFillExplodesOnScattered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := matgen.RandomUniform(rng, 500, 500, 4, matgen.Values{})
+	m, _ := FromCOO(c, 4, 4)
+	if m.Fill() < 2 {
+		t.Errorf("Fill = %v, expected heavy fill on scattered matrix", m.Fill())
+	}
+	ref, _ := csr.FromCOO(c)
+	if m.SizeBytes() <= ref.SizeBytes() {
+		t.Errorf("bcsr %d <= csr %d: fill should have inflated it", m.SizeBytes(), ref.SizeBytes())
+	}
+}
+
+func TestDimsNotMultipleOfBlock(t *testing.T) {
+	// 7x5 matrix with 2x2 blocks: ragged edges.
+	c := core.NewCOO(7, 5)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			if (i+j)%2 == 0 {
+				c.Add(i, j, float64(i*5+j+1))
+			}
+		}
+	}
+	c.Finalize()
+	m, err := FromCOO(c, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.DenseFromCOO(c)
+	x := testmat.RandVec(rand.New(rand.NewSource(3)), 5)
+	want := make([]float64, 7)
+	got := make([]float64, 7)
+	d.SpMV(want, x)
+	m.SpMV(got, x)
+	testmat.AssertClose(t, "ragged bcsr", got, want, 1e-12)
+}
+
+func TestFillEmptyMatrix(t *testing.T) {
+	c := core.NewCOO(3, 3)
+	c.Finalize()
+	m, _ := FromCOO(c, 2, 2)
+	if m.Fill() != 1 {
+		t.Errorf("Fill on empty = %v", m.Fill())
+	}
+}
+
+func BenchmarkSpMVBlockDiag(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	c := matgen.BlockDiag(rng, 5000, 4, matgen.Values{})
+	m, _ := FromCOO(c, 4, 4)
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(m.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SpMV(y, x)
+	}
+}

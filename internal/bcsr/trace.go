@@ -1,0 +1,61 @@
+package bcsr
+
+import "spmv/internal/core"
+
+// Compute-cost model: blocked kernels amortize index handling over the
+// whole block, so per-stored-value compute is lower than CSR's — but
+// stored values include fill.
+const (
+	bcsrCompPerVal   = 2
+	bcsrCompPerBlock = 4
+)
+
+// Place implements core.Placer.
+func (m *Matrix) Place(a *core.Arena) {
+	m.browBase = a.Alloc(int64(len(m.BRowPtr)) * 4)
+	m.bcolBase = a.Alloc(int64(len(m.BColInd)) * 4)
+	m.valBase = a.Alloc(int64(len(m.Values)) * 8)
+}
+
+var _ core.Tracer = (*chunk)(nil)
+
+// TraceSpMV implements core.Tracer. Each stored value (fill included)
+// costs a value load and an x access; x accesses within a block column
+// repeat across the block's rows and hit the cache, which is why BCSR
+// tolerates its fill on blocky matrices.
+func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
+	m := c.m
+	if m.browBase == 0 {
+		panic("bcsr: TraceSpMV before Place")
+	}
+	r, cw := m.R, m.C
+	bp := core.NewStreamCursor(m.browBase)
+	bc := core.NewStreamCursor(m.bcolBase)
+	vs := core.NewStreamCursor(m.valBase)
+	yw := core.NewStreamCursor(yBase)
+	for br := c.blo; br < c.bhi; br++ {
+		bp.Touch(emit, int64(br)*4, 8, false, 2)
+		i0 := br * r
+		rmax := r
+		if i0+rmax > m.rows {
+			rmax = m.rows - i0
+		}
+		for b := m.BRowPtr[br]; b < m.BRowPtr[br+1]; b++ {
+			bc.Touch(emit, int64(b)*4, 4, false, bcsrCompPerBlock)
+			j0 := int(m.BColInd[b]) * cw
+			cmax := cw
+			if j0+cmax > m.cols {
+				cmax = m.cols - j0
+			}
+			for bi := 0; bi < rmax; bi++ {
+				for bj := 0; bj < cmax; bj++ {
+					vs.Touch(emit, (int64(b)*int64(r*cw)+int64(bi*cw+bj))*8, 8, false, 0)
+					emit(core.Access{Addr: xBase + uint64(j0+bj)*8, Size: 8, Comp: bcsrCompPerVal})
+				}
+			}
+		}
+		for bi := 0; bi < rmax; bi++ {
+			yw.Touch(emit, int64(i0+bi)*8, 8, true, 0)
+		}
+	}
+}

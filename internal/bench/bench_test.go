@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spmv/internal/memsim"
+)
+
+// testConfig returns a heavily scaled-down configuration so the full
+// pipeline runs in seconds. Shape assertions at paper scale live in
+// cmd/spmvsim runs and EXPERIMENTS.md; these tests exercise the
+// harness machinery.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.01
+	cfg.WarmIters = 1
+	cfg.Threads = []int{1, 2, 4}
+	cfg.Formats = []string{"csr-du", "csr-vi"}
+	return cfg
+}
+
+func TestSuiteSpecsGenerate(t *testing.T) {
+	for _, spec := range Suite() {
+		c := spec.Gen(0.005)
+		if c.Len() == 0 {
+			t.Errorf("%s: empty matrix", spec.Name)
+		}
+		if !c.Finalized() {
+			t.Errorf("%s: not finalized", spec.Name)
+		}
+	}
+}
+
+func TestSuiteClassesAtScale1(t *testing.T) {
+	// At scale 1 the suite must populate both classes per its design,
+	// and every matrix must clear the 3MB admission threshold.
+	var nS, nL, nVI int
+	for _, spec := range Suite() {
+		c := spec.Gen(1.0)
+		ws := int64(c.Len())*12 + int64(c.Rows()+1)*4 + int64(c.Rows()+c.Cols())*8
+		if ws < MinWS {
+			t.Errorf("%s: ws %.1fMB below admission threshold", spec.Name, float64(ws)/(1<<20))
+		}
+		got := Classify(ws)
+		if got != spec.WantClass {
+			t.Errorf("%s: class %s at scale 1, spec says %s (ws %.1fMB)",
+				spec.Name, got, spec.WantClass, float64(ws)/(1<<20))
+		}
+		if got == "S" {
+			nS++
+		} else {
+			nL++
+		}
+	}
+	if nS < 5 || nL < 5 {
+		t.Errorf("unbalanced suite: %d S, %d L", nS, nL)
+	}
+	_ = nVI
+}
+
+func TestSuiteHasVIEligibleMatrices(t *testing.T) {
+	// Enough matrices with ttu > 5 to make Table IV meaningful (the
+	// paper had 30 of 77 ≈ 39%).
+	runs := collectForTest(t)
+	n := 0
+	for _, r := range runs {
+		if r.TTU > 5 {
+			n++
+		}
+	}
+	if n < 5 {
+		t.Errorf("only %d ttu>5 matrices in scaled suite", n)
+	}
+}
+
+var cachedRuns []*MatrixRuns
+
+func collectForTest(t *testing.T) []*MatrixRuns {
+	t.Helper()
+	if cachedRuns != nil {
+		return cachedRuns
+	}
+	runs, err := Collect(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no runs collected")
+	}
+	cachedRuns = runs
+	return runs
+}
+
+func TestCollectPopulatesAllCells(t *testing.T) {
+	runs := collectForTest(t)
+	cfg := testConfig()
+	for _, r := range runs {
+		for _, f := range append([]string{"csr"}, cfg.Formats...) {
+			for _, th := range cfg.Threads {
+				if r.Secs[f][th] <= 0 {
+					t.Errorf("%s/%s/%d: no timing", r.Name, f, th)
+				}
+			}
+		}
+		if r.CSRSpread2 <= 0 {
+			t.Errorf("%s: no spread-placement run", r.Name)
+		}
+		for _, f := range cfg.Formats {
+			if r.SizeRatio[f] <= 0 {
+				t.Errorf("%s/%s: no size ratio", r.Name, f)
+			}
+		}
+	}
+}
+
+func TestTable2Build(t *testing.T) {
+	runs := collectForTest(t)
+	cfg := testConfig()
+	tab := BuildTable2(runs, cfg.Threads)
+	if tab.NS+tab.NL != len(runs) {
+		t.Errorf("class counts %d+%d != %d", tab.NS, tab.NL, len(runs))
+	}
+	if tab.Serial0 <= 0 {
+		t.Error("no serial MFLOPS")
+	}
+	// Rows: 2(1xL2), 2(2xL2), 4 for threads {1,2,4}.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table II", "2 (1xL2)", "2 (2xL2)", "MFLOPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRelTableBuild(t *testing.T) {
+	runs := collectForTest(t)
+	cfg := testConfig()
+	t3 := BuildRelTable(runs, "csr-du", cfg.Threads, 0)
+	if t3.NS+t3.NL != len(runs) {
+		t.Errorf("Table III covers %d+%d of %d", t3.NS, t3.NL, len(runs))
+	}
+	if len(t3.Rows) != len(cfg.Threads) {
+		t.Errorf("rows = %d", len(t3.Rows))
+	}
+	t4 := BuildRelTable(runs, "csr-vi", cfg.Threads, 5)
+	if t4.NS+t4.NL >= len(runs) {
+		t.Errorf("Table IV did not filter by ttu: %d+%d", t4.NS, t4.NL)
+	}
+	for _, row := range t4.Rows {
+		if row.AllAvg <= 0 {
+			t.Errorf("Table IV empty row for %d threads", row.Threads)
+		}
+	}
+	var buf bytes.Buffer
+	t4.Print(&buf, "Table IV")
+	if !strings.Contains(buf.String(), "<0.98") {
+		t.Error("printout missing slowdown column")
+	}
+}
+
+func TestFigBuildSortedAndComplete(t *testing.T) {
+	runs := collectForTest(t)
+	cfg := testConfig()
+	entries := BuildFig(runs, "csr-du", cfg.Threads, 0)
+	if len(entries) != len(runs) {
+		t.Fatalf("fig entries = %d, want %d", len(entries), len(runs))
+	}
+	maxTh := cfg.Threads[len(cfg.Threads)-1]
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Fmt[maxTh] < entries[i-1].Fmt[maxTh] {
+			t.Error("entries not sorted by speedup")
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig(&buf, "Fig 7", entries, cfg.Threads)
+	if !strings.Contains(buf.String(), "-- 2 threads --") {
+		t.Error("fig printout missing thread block")
+	}
+}
+
+func TestCollectNativeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := testConfig()
+	cfg.Native = true
+	cfg.Threads = []int{1, 2}
+	cfg.Formats = []string{"csr-du"}
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.Secs["csr"][1] <= 0 || r.Secs["csr-du"][2] <= 0 {
+			t.Errorf("%s: missing native timing", r.Name)
+		}
+	}
+}
+
+func TestBuildFormatUnknown(t *testing.T) {
+	if _, err := buildFormat("nope", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRelSpeedupZeroSafe(t *testing.T) {
+	r := &MatrixRuns{Secs: map[string]map[int]float64{"csr": {1: 1}}}
+	if r.RelSpeedup("missing", 1) != 0 {
+		t.Error("missing format should yield 0")
+	}
+	if r.Speedup("missing", 8) != 0 {
+		t.Error("missing speedup should yield 0")
+	}
+}
+
+func TestBandwidthSweepShape(t *testing.T) {
+	cfg := testConfig()
+	points, err := BandwidthSweep(cfg, "banded-l-q128", 4, []float64{0.5, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Bus GB/s decreases as the factor grows.
+	if points[0].BusGBs <= points[2].BusGBs {
+		t.Errorf("bus bandwidth not decreasing: %v", points)
+	}
+	// The compression win must not shrink when bandwidth tightens:
+	// the last point (slowest bus) should show at least the first
+	// point's relative speedup for csr-vi.
+	first := points[0].RelSpeed["csr-vi"]
+	last := points[len(points)-1].RelSpeed["csr-vi"]
+	if last < first*0.95 {
+		t.Errorf("csr-vi gain fell from %.2f to %.2f as bandwidth tightened", first, last)
+	}
+}
+
+func TestBandwidthSweepUnknownMatrix(t *testing.T) {
+	if _, err := BandwidthSweep(testConfig(), "nope", 2, []float64{1}); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}
+
+func TestFrequencyStudyShape(t *testing.T) {
+	cfg := testConfig()
+	points, err := FrequencyStudy(cfg, "banded-l", []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// §VI-D: a faster core makes compression relatively more valuable
+	// serially (memory cycles dominate), so the 4GHz speedup must be at
+	// least the 1GHz one.
+	for _, f := range cfg.Formats {
+		if points[1].RelSpeed[f] < points[0].RelSpeed[f]-0.02 {
+			t.Errorf("%s: serial speedup fell with frequency: %.3f -> %.3f",
+				f, points[0].RelSpeed[f], points[1].RelSpeed[f])
+		}
+	}
+}
+
+func TestMachineStudyShape(t *testing.T) {
+	cfg := testConfig()
+	points, err := MachineStudy(cfg, "banded-l", []memsim.Machine{memsim.Clovertown(), memsim.Opteron8()}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.CSRSpeedup[1] != 1 {
+			t.Errorf("%s: serial speedup = %v, want 1", p.Name, p.CSRSpeedup[1])
+		}
+		if p.CSRSpeedup[4] <= 0 {
+			t.Errorf("%s: missing 4-thread speedup", p.Name)
+		}
+		for _, f := range cfg.Formats {
+			if p.RelSpeed[f][4] <= 0 {
+				t.Errorf("%s/%s: missing rel speedup", p.Name, f)
+			}
+		}
+	}
+}

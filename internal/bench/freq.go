@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spmv/internal/memsim"
+	"spmv/internal/simtrace"
+)
+
+// FreqPoint is one core-frequency setting: the clock and each format's
+// serial speedup over serial CSR.
+type FreqPoint struct {
+	FreqGHz  float64
+	RelSpeed map[string]float64
+}
+
+// FrequencyStudy reproduces the paper's §VI-D observation: the authors
+// measured smaller serial CSR-DU/VI gains on the 2GHz Clovertown than
+// on their earlier 3GHz Woodcrest and attributed it to clock frequency
+// — a slower core makes the decode cycles relatively more expensive and
+// the saved memory cycles relatively cheaper. They verified by
+// downclocking a Woodcrest to 2GHz; we verify by scaling the modeled
+// core clock against a fixed-bandwidth memory system (bus cycles per
+// line and miss latency scale with frequency) and measuring the serial
+// speedup of each compressed format.
+func FrequencyStudy(cfg Config, matrix string, freqsGHz []float64) ([]FreqPoint, error) {
+	spec, err := findSpec(matrix)
+	if err != nil {
+		return nil, err
+	}
+	c := spec.Gen(cfg.Scale)
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 2
+	}
+	base, err := buildFormat("csr", c)
+	if err != nil {
+		return nil, err
+	}
+	baseTraces, err := simtrace.Collect(base, 1)
+	if err != nil {
+		return nil, err
+	}
+	type prepared struct {
+		name   string
+		traces [][]memsim.PackedAccess
+	}
+	var formats []prepared
+	for _, name := range cfg.Formats {
+		f, err := buildFormat(name, c)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := simtrace.Collect(f, 1)
+		if err != nil {
+			return nil, err
+		}
+		formats = append(formats, prepared{name, tr})
+	}
+
+	warm := func(m memsim.Machine, traces [][]memsim.PackedAccess) (float64, error) {
+		placement := memsim.ClosePlacement(len(traces))
+		cold, err := memsim.Simulate(m, traces, placement, 1)
+		if err != nil {
+			return 0, err
+		}
+		full, err := memsim.Simulate(m, traces, placement, 1+cfg.WarmIters)
+		if err != nil {
+			return 0, err
+		}
+		// Seconds, not cycles: the clock differs between points.
+		return float64(full.Cycles-cold.Cycles) / float64(cfg.WarmIters) / m.FreqHz, nil
+	}
+
+	ref := cfg.Machine
+	var points []FreqPoint
+	for _, ghz := range freqsGHz {
+		m := ref
+		scale := ghz * 1e9 / ref.FreqHz
+		m.FreqHz = ghz * 1e9
+		// Memory speed is fixed in wall-clock terms, so its cost in
+		// core cycles scales with the clock.
+		m.BusPerLine = uint64(float64(ref.BusPerLine)*scale + 0.5)
+		m.MemLat = uint64(float64(ref.MemLat)*scale + 0.5)
+		if m.BusPerLine == 0 {
+			m.BusPerLine = 1
+		}
+		p := FreqPoint{FreqGHz: ghz, RelSpeed: map[string]float64{}}
+		csrSec, err := warm(m, baseTraces)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range formats {
+			sec, err := warm(m, f.traces)
+			if err != nil {
+				return nil, err
+			}
+			p.RelSpeed[f.name] = csrSec / sec
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// PrintFreq writes the frequency study as a text series.
+func PrintFreq(w io.Writer, points []FreqPoint, formats []string, matrix string) {
+	fmt.Fprintf(w, "Frequency study (§VI-D): %s, serial speedup vs serial CSR\n", matrix)
+	fmt.Fprintf(w, "%10s", "core GHz")
+	for _, f := range formats {
+		fmt.Fprintf(w, "%12s", f)
+	}
+	fmt.Fprintln(w)
+	for _, p := range points {
+		fmt.Fprintf(w, "%10.1f", p.FreqGHz)
+		for _, f := range formats {
+			fmt.Fprintf(w, "%12.2f", p.RelSpeed[f])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spmv/internal/memsim"
+	"spmv/internal/simtrace"
+)
+
+// MachinePoint is one machine of the machine study.
+type MachinePoint struct {
+	Name string
+	// CSRSpeedup[threads] is CSR's speedup over its own serial run.
+	CSRSpeedup map[int]float64
+	// RelSpeed[format][threads] is the format's speedup over CSR at
+	// equal threads.
+	RelSpeed map[string]map[int]float64
+}
+
+// MachineStudy runs one memory-bound matrix across different machine
+// models (e.g. the single-MCH Clovertown vs a dual-controller NUMA
+// box): Williams et al. — the paper's §III-D reference — observed
+// exactly this topology dependence, with bandwidth-rich machines
+// scaling CSR further and narrowing the compression win.
+func MachineStudy(cfg Config, matrix string, machines []memsim.Machine, threads []int) ([]MachinePoint, error) {
+	spec, err := findSpec(matrix)
+	if err != nil {
+		return nil, err
+	}
+	c := spec.Gen(cfg.Scale)
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 2
+	}
+	base, err := buildFormat("csr", c)
+	if err != nil {
+		return nil, err
+	}
+	type prepared struct {
+		name   string
+		traces map[int][][]memsim.PackedAccess
+	}
+	collect := func(name string) (prepared, error) {
+		f, err := buildFormat(name, c)
+		if err != nil {
+			return prepared{}, err
+		}
+		p := prepared{name: name, traces: map[int][][]memsim.PackedAccess{}}
+		for _, th := range threads {
+			tr, err := simtrace.Collect(f, th)
+			if err != nil {
+				return prepared{}, err
+			}
+			p.traces[th] = tr
+		}
+		return p, nil
+	}
+	baseP := prepared{name: "csr", traces: map[int][][]memsim.PackedAccess{}}
+	for _, th := range threads {
+		tr, err := simtrace.Collect(base, th)
+		if err != nil {
+			return nil, err
+		}
+		baseP.traces[th] = tr
+	}
+	var fmts []prepared
+	for _, name := range cfg.Formats {
+		p, err := collect(name)
+		if err != nil {
+			return nil, err
+		}
+		fmts = append(fmts, p)
+	}
+
+	warm := func(m memsim.Machine, traces [][]memsim.PackedAccess) (float64, error) {
+		placement := memsim.ClosePlacement(len(traces))
+		cold, err := memsim.Simulate(m, traces, placement, 1)
+		if err != nil {
+			return 0, err
+		}
+		full, err := memsim.Simulate(m, traces, placement, 1+cfg.WarmIters)
+		if err != nil {
+			return 0, err
+		}
+		return float64(full.Cycles-cold.Cycles) / float64(cfg.WarmIters), nil
+	}
+
+	var out []MachinePoint
+	for _, m := range machines {
+		p := MachinePoint{Name: m.Name, CSRSpeedup: map[int]float64{}, RelSpeed: map[string]map[int]float64{}}
+		csrCycles := map[int]float64{}
+		for _, th := range threads {
+			cyc, err := warm(m, baseP.traces[th])
+			if err != nil {
+				return nil, err
+			}
+			csrCycles[th] = cyc
+		}
+		for _, th := range threads {
+			p.CSRSpeedup[th] = csrCycles[threads[0]] / csrCycles[th]
+		}
+		for _, f := range fmts {
+			p.RelSpeed[f.name] = map[int]float64{}
+			for _, th := range threads {
+				cyc, err := warm(m, f.traces[th])
+				if err != nil {
+					return nil, err
+				}
+				p.RelSpeed[f.name][th] = csrCycles[th] / cyc
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PrintMachines writes the machine study as text.
+func PrintMachines(w io.Writer, points []MachinePoint, formats []string, matrix string, threads []int) {
+	fmt.Fprintf(w, "Machine study: %s (CSR scaling vs own serial; formats vs CSR at equal threads)\n", matrix)
+	for _, p := range points {
+		fmt.Fprintf(w, "-- %s --\n", p.Name)
+		fmt.Fprintf(w, "  %-10s", "threads")
+		for _, th := range threads {
+			fmt.Fprintf(w, "%8d", th)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  %-10s", "csr")
+		for _, th := range threads {
+			fmt.Fprintf(w, "%8.2f", p.CSRSpeedup[th])
+		}
+		fmt.Fprintln(w)
+		for _, f := range formats {
+			fmt.Fprintf(w, "  %-10s", f)
+			for _, th := range threads {
+				fmt.Fprintf(w, "%8.2f", p.RelSpeed[f][th])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spmv/internal/stats"
+)
+
+// Table2 reproduces the paper's Table II: overall CSR SpMV performance,
+// serial in MFLOPS and multithreaded as speedup over serial CSR, split
+// by matrix class.
+type Table2 struct {
+	NS, NL           int
+	SerialS, SerialL stats.Summary // MFLOPS
+	Serial0          float64       // M_0 average MFLOPS
+	Rows             []Table2Row
+}
+
+// Table2Row is one thread configuration of Table II.
+type Table2Row struct {
+	Label  string
+	S, L   stats.Summary // speedups vs serial CSR
+	AllAvg float64
+}
+
+// BuildTable2 derives Table II from collected runs.
+func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
+	var t Table2
+	var mfS, mfL, mfAll []float64
+	for _, r := range runs {
+		mf := stats.MFLOPS(r.NNZ, r.Secs["csr"][1])
+		mfAll = append(mfAll, mf)
+		if r.Class == "S" {
+			t.NS++
+			mfS = append(mfS, mf)
+		} else {
+			t.NL++
+			mfL = append(mfL, mf)
+		}
+	}
+	t.SerialS = stats.Summarize(mfS)
+	t.SerialL = stats.Summarize(mfL)
+	t.Serial0 = stats.Summarize(mfAll).Avg
+
+	addRow := func(label string, get func(*MatrixRuns) float64) {
+		var sS, sL, sAll []float64
+		for _, r := range runs {
+			sp := get(r)
+			if sp == 0 {
+				continue
+			}
+			sAll = append(sAll, sp)
+			if r.Class == "S" {
+				sS = append(sS, sp)
+			} else {
+				sL = append(sL, sp)
+			}
+		}
+		t.Rows = append(t.Rows, Table2Row{
+			Label: label, S: stats.Summarize(sS), L: stats.Summarize(sL),
+			AllAvg: stats.Summarize(sAll).Avg,
+		})
+	}
+	for _, th := range threads {
+		if th == 1 {
+			continue
+		}
+		th := th
+		if th == 2 {
+			addRow("2 (1xL2)", func(r *MatrixRuns) float64 { return r.Speedup("csr", 2) })
+			addRow("2 (2xL2)", func(r *MatrixRuns) float64 {
+				if r.CSRSpread2 == 0 {
+					return 0
+				}
+				return r.Secs["csr"][1] / r.CSRSpread2
+			})
+			continue
+		}
+		addRow(fmt.Sprintf("%d", th), func(r *MatrixRuns) float64 { return r.Speedup("csr", th) })
+	}
+	return t
+}
+
+// Print writes the table in the paper's layout.
+func (t Table2) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table II: overall CSR SpMxV performance (M_S: %d matrices, M_L: %d matrices)\n", t.NS, t.NL)
+	fmt.Fprintf(w, "%-10s | %8s %8s %8s | %8s %8s %8s | %8s\n",
+		"core(s)", "S.avg", "S.max", "S.min", "L.avg", "L.max", "L.min", "M0.avg")
+	fmt.Fprintf(w, "%-10s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %8.1f   (MFLOPS)\n",
+		"1", t.SerialS.Avg, t.SerialS.Max, t.SerialS.Min,
+		t.SerialL.Avg, t.SerialL.Max, t.SerialL.Min, t.Serial0)
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-10s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %8.2f\n",
+			row.Label, row.S.Avg, row.S.Max, row.S.Min,
+			row.L.Avg, row.L.Max, row.L.Min, row.AllAvg)
+	}
+}
+
+// RelTable reproduces Tables III/IV: a compressed format's speedup over
+// CSR at equal thread count, by class, with the paper's "< 0.98"
+// slowdown counters.
+type RelTable struct {
+	Format string
+	NS, NL int
+	Rows   []RelRow
+}
+
+// RelRow is one thread count of a RelTable.
+type RelRow struct {
+	Threads      int
+	S, L         stats.Summary
+	SlowS, SlowL int
+	AllAvg       float64
+}
+
+// BuildRelTable derives Table III (minTTU = 0, all matrices) or
+// Table IV (minTTU = 5, the ttu-filtered M_0^vi set) for a format.
+func BuildRelTable(runs []*MatrixRuns, format string, threads []int, minTTU float64) RelTable {
+	t := RelTable{Format: format}
+	sel := selectRuns(runs, minTTU)
+	for _, r := range sel {
+		if r.Class == "S" {
+			t.NS++
+		} else {
+			t.NL++
+		}
+	}
+	for _, th := range threads {
+		var sS, sL, sAll []float64
+		for _, r := range sel {
+			sp := r.RelSpeedup(format, th)
+			if sp == 0 {
+				continue
+			}
+			sAll = append(sAll, sp)
+			if r.Class == "S" {
+				sS = append(sS, sp)
+			} else {
+				sL = append(sL, sp)
+			}
+		}
+		t.Rows = append(t.Rows, RelRow{
+			Threads: th,
+			S:       stats.Summarize(sS), L: stats.Summarize(sL),
+			SlowS:  stats.CountBelow(sS, stats.SlowdownThreshold),
+			SlowL:  stats.CountBelow(sL, stats.SlowdownThreshold),
+			AllAvg: stats.Summarize(sAll).Avg,
+		})
+	}
+	return t
+}
+
+func selectRuns(runs []*MatrixRuns, minTTU float64) []*MatrixRuns {
+	if minTTU <= 0 {
+		return runs
+	}
+	var sel []*MatrixRuns
+	for _, r := range runs {
+		if r.TTU > minTTU {
+			sel = append(sel, r)
+		}
+	}
+	return sel
+}
+
+// Print writes the table in the paper's layout.
+func (t RelTable) Print(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s: %s vs CSR at equal thread count (M_S: %d, M_L: %d)\n",
+		title, t.Format, t.NS, t.NL)
+	fmt.Fprintf(w, "%-8s | %6s %6s %6s %6s | %6s %6s %6s %6s | %6s\n",
+		"core(s)", "S.avg", "S.max", "S.min", "<0.98", "L.avg", "L.max", "L.min", "<0.98", "M0.avg")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-8d | %6.2f %6.2f %6.2f %6d | %6.2f %6.2f %6.2f %6d | %6.2f\n",
+			row.Threads, row.S.Avg, row.S.Max, row.S.Min, row.SlowS,
+			row.L.Avg, row.L.Max, row.L.Min, row.SlowL, row.AllAvg)
+	}
+}
+
+// FigEntry is one matrix of Fig 7/8: the compressed format's speedup
+// over *serial* CSR per thread count (the bars), the CSR multithreaded
+// speedup (the black squares), and the size reduction (the text labels).
+type FigEntry struct {
+	Name          string
+	Class         string
+	SizeReduction float64 // 1 - size(format)/size(csr), as a percentage
+	Fmt           map[int]float64
+	CSR           map[int]float64
+}
+
+// BuildFig derives the Fig 7 (format "csr-du", minTTU 0) or Fig 8
+// (format "csr-vi", minTTU 5) per-matrix series, sorted by the
+// format's highest-thread speedup as in the paper's plots.
+func BuildFig(runs []*MatrixRuns, format string, threads []int, minTTU float64) []FigEntry {
+	sel := selectRuns(runs, minTTU)
+	entries := make([]FigEntry, 0, len(sel))
+	maxTh := threads[len(threads)-1]
+	for _, r := range sel {
+		e := FigEntry{
+			Name: r.Name, Class: r.Class,
+			SizeReduction: 100 * (1 - r.SizeRatio[format]),
+			Fmt:           map[int]float64{},
+			CSR:           map[int]float64{},
+		}
+		for _, th := range threads {
+			e.Fmt[th] = r.Speedup(format, th)
+			e.CSR[th] = r.Speedup("csr", th)
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Fmt[maxTh] < entries[b].Fmt[maxTh] })
+	return entries
+}
+
+// PrintFig writes the per-matrix series as text (one block per thread
+// count, matrices sorted by speedup, as in the paper's bar charts).
+func PrintFig(w io.Writer, title string, entries []FigEntry, threads []int) {
+	fmt.Fprintf(w, "%s (speedup vs serial CSR; [squares] = CSR same threads; %%= size reduction)\n", title)
+	for _, th := range threads {
+		if th == 1 {
+			continue
+		}
+		fmt.Fprintf(w, "-- %d threads --\n", th)
+		sorted := append([]FigEntry(nil), entries...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].Fmt[th] < sorted[b].Fmt[th] })
+		for _, e := range sorted {
+			fmt.Fprintf(w, "  %-18s %s  %5.2fx  [%5.2fx]  %5.1f%%\n",
+				e.Name, e.Class, e.Fmt[th], e.CSR[th], e.SizeReduction)
+		}
+	}
+}

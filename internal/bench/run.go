@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/formats"
+	"spmv/internal/matgen"
+	"spmv/internal/memsim"
+	"spmv/internal/parallel"
+	"spmv/internal/simtrace"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Machine is the simulated platform (simulation mode only).
+	Machine memsim.Machine
+	// Scale multiplies matrix sizes; 1.0 reproduces paper-scale working
+	// sets, smaller values speed up tests.
+	Scale float64
+	// WarmIters is the number of steady-state iterations measured
+	// (after one cold iteration, mirroring the paper's warm-cache
+	// 128-iteration loop).
+	WarmIters int
+	// Threads are the thread counts exercised (paper: 1, 2, 4, 8).
+	Threads []int
+	// Formats selects compressed formats to run beyond CSR. Valid:
+	// "csr-du", "csr-vi", "csr-du-vi", "dcsr", "csr-du-rle".
+	Formats []string
+	// Native switches from simulation to wall-clock goroutine timing.
+	Native bool
+	// Verbose, if non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+// DefaultConfig returns the paper-reproduction configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machine:   memsim.Clovertown(),
+		Scale:     1.0,
+		WarmIters: 2,
+		Threads:   []int{1, 2, 4, 8},
+		Formats:   []string{"csr-du", "csr-vi"},
+	}
+}
+
+// MatrixRuns holds all measurements for one matrix: steady-state
+// seconds per SpMV, per format and thread count.
+type MatrixRuns struct {
+	Name  string
+	Rows  int
+	Cols  int
+	NNZ   int
+	WS    int64 // CSR working set (§II-B)
+	TTU   float64
+	Class string // "S" or "L" by ws
+
+	// Secs[format][threads] is the steady-state seconds per SpMV with
+	// close placement. CSRSpread2 is the 2-thread separate-L2 run
+	// (simulation mode only; 0 in native mode).
+	Secs       map[string]map[int]float64
+	CSRSpread2 float64
+
+	// SizeRatio[format] is SizeBytes(format)/SizeBytes(csr).
+	SizeRatio map[string]float64
+}
+
+// Speedup returns serial-CSR time / the given configuration's time.
+func (r *MatrixRuns) Speedup(format string, threads int) float64 {
+	base := r.Secs["csr"][1]
+	t := r.Secs[format][threads]
+	if t == 0 {
+		return 0
+	}
+	return base / t
+}
+
+// RelSpeedup returns CSR time / format time at equal thread count
+// (the paper's Tables III/IV metric).
+func (r *MatrixRuns) RelSpeedup(format string, threads int) float64 {
+	base := r.Secs["csr"][threads]
+	t := r.Secs[format][threads]
+	if t == 0 {
+		return 0
+	}
+	return base / t
+}
+
+// buildFormat constructs a named format from a COO via the registry.
+func buildFormat(name string, c *core.COO) (core.Format, error) {
+	return formats.Build(name, c)
+}
+
+// Collect generates every suite matrix at cfg.Scale and measures CSR
+// plus each requested format at each thread count. Matrices whose
+// working set falls below the (scaled) admission threshold are skipped,
+// mirroring the paper's ws >= 3MB rejection.
+func Collect(cfg Config) ([]*MatrixRuns, error) {
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 2
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 4, 8}
+	}
+	minWS := int64(float64(MinWS) * cfg.Scale)
+	largeWS := int64(float64(LargeWS) * cfg.Scale)
+
+	var out []*MatrixRuns
+	for _, spec := range Suite() {
+		c := spec.Gen(cfg.Scale)
+		ws := core.WorkingSet(c.Rows(), c.Cols(), c.Len())
+		if ws < minWS {
+			continue
+		}
+		r := &MatrixRuns{
+			Name: spec.Name, Rows: c.Rows(), Cols: c.Cols(), NNZ: c.Len(),
+			WS: ws, TTU: matgen.TTU(c),
+			Secs:      map[string]map[int]float64{},
+			SizeRatio: map[string]float64{},
+		}
+		if ws >= largeWS {
+			r.Class = "L"
+		} else {
+			r.Class = "S"
+		}
+		base, err := buildFormat("csr", c)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
+		}
+		if err := measureFormat(cfg, r, base, true); err != nil {
+			return nil, fmt.Errorf("bench: %s/csr: %w", spec.Name, err)
+		}
+		for _, name := range cfg.Formats {
+			f, err := buildFormat(name, c)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, name, err)
+			}
+			r.SizeRatio[name] = float64(f.SizeBytes()) / float64(base.SizeBytes())
+			if err := measureFormat(cfg, r, f, false); err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, name, err)
+			}
+		}
+		if cfg.Verbose != nil {
+			fmt.Fprintf(cfg.Verbose, "%-16s class=%s nnz=%-9d ws=%5.1fMB ttu=%8.1f csr1=%.4gs\n",
+				r.Name, r.Class, r.NNZ, float64(r.WS)/(1<<20), r.TTU, r.Secs["csr"][1])
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// measureFormat fills r.Secs[f.Name()] for every thread count, plus the
+// spread-placement 2-thread run for CSR in simulation mode.
+func measureFormat(cfg Config, r *MatrixRuns, f core.Format, isCSR bool) error {
+	secs := map[int]float64{}
+	for _, th := range cfg.Threads {
+		s, err := measure(cfg, f, th, nil)
+		if err != nil {
+			return err
+		}
+		secs[th] = s
+	}
+	r.Secs[f.Name()] = secs
+	if isCSR && !cfg.Native {
+		s, err := measure(cfg, f, 2, memsim.SpreadPlacement(2, cfg.Machine.L2SharedBy))
+		if err != nil {
+			return err
+		}
+		r.CSRSpread2 = s
+	}
+	return nil
+}
+
+// measure returns steady-state seconds per SpMV.
+func measure(cfg Config, f core.Format, threads int, placement memsim.Placement) (float64, error) {
+	if cfg.Native {
+		return measureNative(cfg, f, threads)
+	}
+	// Simulated: subtract the cold iteration so only warm, steady-state
+	// iterations count (the paper measures 128 warm iterations).
+	traces, err := simtrace.Collect(f, threads)
+	if err != nil {
+		return 0, err
+	}
+	if placement == nil {
+		placement = memsim.ClosePlacement(len(traces))
+	}
+	if len(placement) > len(traces) {
+		placement = placement[:len(traces)]
+	}
+	cold, err := memsim.Simulate(cfg.Machine, traces, placement, 1)
+	if err != nil {
+		return 0, err
+	}
+	full, err := memsim.Simulate(cfg.Machine, traces, placement, 1+cfg.WarmIters)
+	if err != nil {
+		return 0, err
+	}
+	warm := float64(full.Cycles-cold.Cycles) / float64(cfg.WarmIters)
+	return warm / cfg.Machine.FreqHz, nil
+}
+
+// measureNative times RunIters with goroutines on the host.
+func measureNative(cfg Config, f core.Format, threads int) (float64, error) {
+	e, err := parallel.NewExecutor(f, threads)
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	x := make([]float64, f.Cols())
+	y := make([]float64, f.Rows())
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	e.RunIters(3, y, x) // warm caches, page in
+	iters := cfg.WarmIters
+	if iters < 3 {
+		iters = 3
+	}
+	start := time.Now()
+	e.RunIters(iters, y, x)
+	return time.Since(start).Seconds() / float64(iters), nil
+}

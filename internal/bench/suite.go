@@ -1,0 +1,119 @@
+// Package bench is the experiment harness: it defines the synthetic
+// matrix suite standing in for the paper's 77-matrix UF-collection set
+// (§VI-B) and regenerates every table and figure of the evaluation
+// section, either on the simulated Clovertown (cmd/spmvsim) or with
+// wall-clock goroutine timing on the host (cmd/spmvbench).
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+// Spec is one suite matrix: a deterministic generator parameterized by
+// a linear scale factor (1.0 = paper-scale working sets of 3-60MB;
+// tests use small scales).
+type Spec struct {
+	Name string
+	// Gen builds the matrix at the given scale.
+	Gen func(scale float64) *core.COO
+	// WantClass is the intended paper class at scale 1 ("S" or "L"),
+	// recorded for documentation; the harness classifies by actual ws.
+	WantClass string
+}
+
+// dim scales a linear dimension: row counts scale linearly with scale,
+// so 2D/3D grid sides scale by the appropriate root.
+func dim(n int, scale, root float64) int {
+	d := int(float64(n) * math.Pow(scale, 1/root))
+	if d < 4 {
+		d = 4
+	}
+	return d
+}
+
+// Suite returns the matrix set. Classes at scale 1 (modeled Clovertown,
+// ws thresholds of §VI-B: reject < 3MB, M_L at >= 17MB):
+// ten matrices land in M_S, twelve in M_L; twelve have ttu > 5 and form
+// the CSR-VI set.
+func Suite() []Spec {
+	seed := func(k int64) *rand.Rand { return rand.New(rand.NewSource(k)) }
+	return []Spec{
+		// --- M_S: 3MB <= ws < 17MB at scale 1 ---
+		{"stencil2d-s", func(s float64) *core.COO { return matgen.Stencil2D(dim(250, s, 2)) }, "S"},
+		{"stencil2d-m", func(s float64) *core.COO { return matgen.Stencil2D(dim(370, s, 2)) }, "S"},
+		{"stencil3d-s", func(s float64) *core.COO { return matgen.Stencil3D(dim(45, s, 3)) }, "S"},
+		{"stencil9-s", func(s float64) *core.COO { return matgen.Stencil2D9(dim(200, s, 2)) }, "S"},
+		{"banded-s", func(s float64) *core.COO {
+			return matgen.Banded(seed(11), dim(100000, s, 1), 30, 6, matgen.Values{})
+		}, "S"},
+		{"banded-s-q64", func(s float64) *core.COO {
+			return matgen.Banded(seed(12), dim(100000, s, 1), 30, 6, matgen.Values{Unique: 64})
+		}, "S"},
+		{"random-s", func(s float64) *core.COO {
+			n := dim(80000, s, 1)
+			return matgen.RandomUniform(seed(13), n, n, 6, matgen.Values{})
+		}, "S"},
+		{"femlike-s-q100", func(s float64) *core.COO {
+			return matgen.FEMLike(seed(14), dim(60000, s, 1), 5, matgen.Values{Unique: 100})
+		}, "S"},
+		{"blockdiag-s-q16", func(s float64) *core.COO {
+			return matgen.BlockDiag(seed(15), dim(8000, s, 1), 8, matgen.Values{Unique: 16})
+		}, "S"},
+		{"powerlaw-s", func(s float64) *core.COO {
+			return matgen.PowerLaw(seed(16), dim(150000, s, 1), 4, 0.7, matgen.Values{})
+		}, "S"},
+
+		// --- M_L: ws >= 17MB at scale 1 ---
+		{"stencil2d-l", func(s float64) *core.COO { return matgen.Stencil2D(dim(700, s, 2)) }, "L"},
+		{"stencil3d-l", func(s float64) *core.COO { return matgen.Stencil3D(dim(75, s, 3)) }, "L"},
+		{"stencil9-l", func(s float64) *core.COO { return matgen.Stencil2D9(dim(500, s, 2)) }, "L"},
+		{"banded-l", func(s float64) *core.COO {
+			return matgen.Banded(seed(21), dim(400000, s, 1), 60, 8, matgen.Values{})
+		}, "L"},
+		{"banded-l-q128", func(s float64) *core.COO {
+			return matgen.Banded(seed(22), dim(400000, s, 1), 60, 8, matgen.Values{Unique: 128})
+		}, "L"},
+		{"random-l", func(s float64) *core.COO {
+			n := dim(300000, s, 1)
+			return matgen.RandomUniform(seed(23), n, n, 7, matgen.Values{})
+		}, "L"},
+		{"random-l-q200", func(s float64) *core.COO {
+			n := dim(300000, s, 1)
+			return matgen.RandomUniform(seed(24), n, n, 7, matgen.Values{Unique: 200})
+		}, "L"},
+		{"femlike-l-q500", func(s float64) *core.COO {
+			return matgen.FEMLike(seed(25), dim(250000, s, 1), 5, matgen.Values{Unique: 500})
+		}, "L"},
+		{"femlike-l", func(s float64) *core.COO {
+			return matgen.FEMLike(seed(26), dim(220000, s, 1), 5, matgen.Values{})
+		}, "L"},
+		{"blockdiag-l-q8", func(s float64) *core.COO {
+			return matgen.BlockDiag(seed(27), dim(40000, s, 1), 8, matgen.Values{Unique: 8})
+		}, "L"},
+		{"powerlaw-l", func(s float64) *core.COO {
+			return matgen.PowerLaw(seed(28), dim(500000, s, 1), 5, 0.7, matgen.Values{})
+		}, "L"},
+		{"banded-l-wide", func(s float64) *core.COO {
+			return matgen.Banded(seed(29), dim(350000, s, 1), 20000, 9, matgen.Values{})
+		}, "L"},
+	}
+}
+
+// MinWS is the paper's admission threshold: matrices with smaller CSR
+// working sets are rejected from M_0 (ws >= 3MB for the 4MB L2).
+const MinWS = 3 << 20
+
+// LargeWS is the paper's M_L threshold: 4×L2 + 1MB = 17MB.
+const LargeWS = 17 << 20
+
+// Classify returns "S" or "L" from the CSR working set per §VI-B.
+func Classify(ws int64) string {
+	if ws >= LargeWS {
+		return "L"
+	}
+	return "S"
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spmv/internal/memsim"
+	"spmv/internal/simtrace"
+)
+
+// SweepPoint is one bus-bandwidth setting of the sweep: the simulated
+// effective bandwidth and the relative speedup of each compressed
+// format over CSR at the given thread count.
+type SweepPoint struct {
+	BusGBs   float64
+	RelSpeed map[string]float64
+}
+
+// BandwidthSweep runs the paper's core argument as an experiment: it
+// scales the machine's bus service time across the given factors
+// (1.0 = the Clovertown model) and measures the compressed formats'
+// speedup over CSR at the given thread count on one representative
+// memory-bound matrix. As bandwidth shrinks relative to compute, the
+// compression win must grow — and fade when bandwidth is abundant.
+// This ablation generalizes Tables III/IV beyond one machine.
+func BandwidthSweep(cfg Config, matrix string, threads int, factors []float64) ([]SweepPoint, error) {
+	spec, err := findSpec(matrix)
+	if err != nil {
+		return nil, err
+	}
+	c := spec.Gen(cfg.Scale)
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 2
+	}
+	base, err := buildFormat("csr", c)
+	if err != nil {
+		return nil, err
+	}
+	baseTraces, err := simtrace.Collect(base, threads)
+	if err != nil {
+		return nil, err
+	}
+	type prepared struct {
+		name   string
+		traces [][]memsim.PackedAccess
+	}
+	var formats []prepared
+	for _, name := range cfg.Formats {
+		f, err := buildFormat(name, c)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := simtrace.Collect(f, threads)
+		if err != nil {
+			return nil, err
+		}
+		formats = append(formats, prepared{name: name, traces: tr})
+	}
+
+	warm := func(m memsim.Machine, traces [][]memsim.PackedAccess) (float64, error) {
+		placement := memsim.ClosePlacement(len(traces))
+		cold, err := memsim.Simulate(m, traces, placement, 1)
+		if err != nil {
+			return 0, err
+		}
+		full, err := memsim.Simulate(m, traces, placement, 1+cfg.WarmIters)
+		if err != nil {
+			return 0, err
+		}
+		return float64(full.Cycles-cold.Cycles) / float64(cfg.WarmIters), nil
+	}
+
+	var points []SweepPoint
+	for _, fac := range factors {
+		m := cfg.Machine
+		m.BusPerLine = uint64(float64(m.BusPerLine)*fac + 0.5)
+		if m.BusPerLine == 0 {
+			m.BusPerLine = 1
+		}
+		p := SweepPoint{
+			BusGBs:   m.FreqHz * float64(m.LineSize) / float64(m.BusPerLine) / 1e9,
+			RelSpeed: map[string]float64{},
+		}
+		csrCycles, err := warm(m, baseTraces)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range formats {
+			cyc, err := warm(m, f.traces)
+			if err != nil {
+				return nil, err
+			}
+			p.RelSpeed[f.name] = csrCycles / cyc
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func findSpec(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("bench: unknown suite matrix %q", name)
+}
+
+// PrintSweep writes the sweep as a text series.
+func PrintSweep(w io.Writer, points []SweepPoint, formats []string, matrix string, threads int) {
+	fmt.Fprintf(w, "Bandwidth sweep: %s, %d threads (speedup vs CSR at equal threads)\n", matrix, threads)
+	fmt.Fprintf(w, "%10s", "bus GB/s")
+	for _, f := range formats {
+		fmt.Fprintf(w, "%12s", f)
+	}
+	fmt.Fprintln(w)
+	for _, p := range points {
+		fmt.Fprintf(w, "%10.2f", p.BusGBs)
+		for _, f := range formats {
+			fmt.Fprintf(w, "%12.2f", p.RelSpeed[f])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cds implements Compressed Diagonal Storage (CDS, §III-A of
+// the paper's related-work survey): the matrix is stored as a set of
+// dense diagonals, indexed by their offset from the main diagonal. For
+// genuinely banded matrices (stencils, banded FEM) this eliminates
+// column indices entirely — the ultimate index compression — but any
+// stray off-band non-zero adds a whole n-element diagonal, so FromCOO
+// enforces a fill bound like the other padded formats.
+package cds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spmv/internal/core"
+	"spmv/internal/partition"
+)
+
+// DefaultMaxFill is the default limit on stored/logical non-zeros.
+const DefaultMaxFill = 4.0
+
+// Matrix is a sparse matrix in CDS form. Diagonal k holds elements
+// (i, i+Offsets[k]); Diag[k] has length rows with zeros outside the
+// valid range.
+type Matrix struct {
+	rows, cols int
+	nnz        int
+	Offsets    []int32
+	Diags      [][]float64
+	rowNNZ     []int32
+
+	diagBase []uint64
+}
+
+var (
+	_ core.Format   = (*Matrix)(nil)
+	_ core.Splitter = (*Matrix)(nil)
+)
+
+// FromCOO builds a CDS matrix with the default fill bound.
+func FromCOO(c *core.COO) (*Matrix, error) { return FromCOOMaxFill(c, DefaultMaxFill) }
+
+// FromCOOMaxFill builds a CDS matrix with an explicit fill bound.
+func FromCOOMaxFill(c *core.COO, maxFill float64) (*Matrix, error) {
+	c.Finalize()
+	if c.Len() > math.MaxInt32 {
+		return nil, fmt.Errorf("cds: %d non-zeros exceed supported range", c.Len())
+	}
+	offsets := map[int32]struct{}{}
+	for k := 0; k < c.Len(); k++ {
+		i, j, _ := c.At(k)
+		offsets[int32(j-i)] = struct{}{}
+	}
+	if c.Len() > 0 {
+		fill := float64(len(offsets)) * float64(c.Rows()) / float64(c.Len())
+		if fill > maxFill {
+			return nil, fmt.Errorf("cds: %d diagonals for %d nnz (fill %.1f > %.1f)",
+				len(offsets), c.Len(), fill, maxFill)
+		}
+	}
+	m := &Matrix{rows: c.Rows(), cols: c.Cols(), nnz: c.Len(), rowNNZ: make([]int32, c.Rows())}
+	m.Offsets = make([]int32, 0, len(offsets))
+	for d := range offsets {
+		m.Offsets = append(m.Offsets, d)
+	}
+	sort.Slice(m.Offsets, func(a, b int) bool { return m.Offsets[a] < m.Offsets[b] })
+	index := make(map[int32]int, len(m.Offsets))
+	m.Diags = make([][]float64, len(m.Offsets))
+	for k, d := range m.Offsets {
+		index[d] = k
+		m.Diags[k] = make([]float64, c.Rows())
+	}
+	for k := 0; k < c.Len(); k++ {
+		i, j, v := c.At(k)
+		m.Diags[index[int32(j-i)]][i] += v
+		m.rowNNZ[i]++
+	}
+	return m, nil
+}
+
+// Name implements core.Format.
+func (m *Matrix) Name() string { return "cds" }
+
+// Rows implements core.Format.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols implements core.Format.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ implements core.Format (logical non-zeros).
+func (m *Matrix) NNZ() int { return m.nnz }
+
+// Diagonals returns the stored diagonal count.
+func (m *Matrix) Diagonals() int { return len(m.Offsets) }
+
+// Fill returns stored entries per logical non-zero.
+func (m *Matrix) Fill() float64 {
+	if m.nnz == 0 {
+		return 1
+	}
+	return float64(len(m.Offsets)*m.rows) / float64(m.nnz)
+}
+
+// SizeBytes implements core.Format: the diagonals plus their offsets —
+// note there is no per-element index data at all.
+func (m *Matrix) SizeBytes() int64 {
+	return int64(len(m.Offsets))*int64(m.rows)*core.ValSize +
+		int64(len(m.Offsets))*core.IdxSize
+}
+
+// SpMV computes y = A*x, one dense diagonal at a time.
+func (m *Matrix) SpMV(y, x []float64) { m.spmvRange(y, x, 0, m.rows) }
+
+func (m *Matrix) spmvRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = 0
+	}
+	for k, d := range m.Offsets {
+		diag := m.Diags[k]
+		iLo, iHi := lo, hi
+		if d < 0 {
+			if low := -int(d); iLo < low {
+				iLo = low
+			}
+		}
+		// Column i+d must stay inside the matrix for any sign of d.
+		if high := m.cols - int(d); iHi > high {
+			iHi = high
+		}
+		off := int(d)
+		for i := iLo; i < iHi; i++ {
+			y[i] += diag[i] * x[i+off]
+		}
+	}
+}
+
+// Split implements core.Splitter.
+func (m *Matrix) Split(n int) []core.Chunk {
+	prefix := make([]int64, m.rows+1)
+	for i, c := range m.rowNNZ {
+		prefix[i+1] = prefix[i] + int64(c)
+	}
+	bounds := partition.SplitPrefix(prefix, n)
+	var chunks []core.Chunk
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] == bounds[i+1] {
+			continue
+		}
+		chunks = append(chunks, &chunk{m: m, lo: bounds[i], hi: bounds[i+1]})
+	}
+	return chunks
+}
+
+type chunk struct {
+	m      *Matrix
+	lo, hi int
+}
+
+func (c *chunk) RowRange() (int, int) { return c.lo, c.hi }
+func (c *chunk) NNZ() int {
+	n := 0
+	for i := c.lo; i < c.hi; i++ {
+		n += int(c.m.rowNNZ[i])
+	}
+	return n
+}
+func (c *chunk) SpMV(y, x []float64) { c.m.spmvRange(y, x, c.lo, c.hi) }

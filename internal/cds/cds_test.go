@@ -1,0 +1,100 @@
+package cds
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) {
+		return FromCOOMaxFill(c, 1e18)
+	})
+}
+
+func TestStencilUsesFiveDiagonals(t *testing.T) {
+	n := 16
+	c := matgen.Stencil2D(n)
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Diagonals() != 5 {
+		t.Errorf("Diagonals = %d, want 5", m.Diagonals())
+	}
+	wantOffsets := []int32{int32(-n), -1, 0, 1, int32(n)}
+	for i, w := range wantOffsets {
+		if m.Offsets[i] != w {
+			t.Fatalf("Offsets = %v, want %v", m.Offsets, wantOffsets)
+		}
+	}
+	// No per-element index data: size is ~5*rows values.
+	want := int64(5)*int64(m.Rows())*8 + 5*4
+	if m.SizeBytes() != want {
+		t.Errorf("SizeBytes = %d, want %d", m.SizeBytes(), want)
+	}
+}
+
+func TestIndexDataEliminated(t *testing.T) {
+	// On a pure stencil CDS beats even CSR-DU on index bytes: zero.
+	c := matgen.Stencil2D(32)
+	m, _ := FromCOO(c)
+	valueBytes := int64(m.Diagonals()) * int64(m.Rows()) * 8
+	if m.SizeBytes()-valueBytes != int64(m.Diagonals())*4 {
+		t.Errorf("index data = %d bytes, want %d", m.SizeBytes()-valueBytes, m.Diagonals()*4)
+	}
+}
+
+func TestRejectsScattered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.RandomUniform(rng, 500, 500, 5, matgen.Values{})
+	if _, err := FromCOO(c); err == nil {
+		t.Error("scattered matrix accepted (every nnz adds a diagonal)")
+	}
+}
+
+func TestRectangularDiagonals(t *testing.T) {
+	// Tall and wide rectangular matrices exercise the range clipping.
+	for _, dims := range [][2]int{{10, 3}, {3, 10}} {
+		c := core.NewCOO(dims[0], dims[1])
+		for i := 0; i < dims[0]; i++ {
+			for j := 0; j < dims[1]; j++ {
+				if (i+j)%3 == 0 {
+					c.Add(i, j, float64(i+j+1))
+				}
+			}
+		}
+		c.Finalize()
+		m, err := FromCOOMaxFill(c, 1e18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := core.DenseFromCOO(c)
+		x := testmat.RandVec(rand.New(rand.NewSource(2)), dims[1])
+		want := make([]float64, dims[0])
+		got := make([]float64, dims[0])
+		d.SpMV(want, x)
+		m.SpMV(got, x)
+		testmat.AssertClose(t, "rect cds", got, want, 1e-12)
+	}
+}
+
+func TestSplitMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := matgen.Banded(rng, 600, 4, 5, matgen.Values{})
+	m, err := FromCOOMaxFill(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testmat.RandVec(rng, c.Cols())
+	want := make([]float64, c.Rows())
+	m.SpMV(want, x)
+	got := make([]float64, c.Rows())
+	for _, ch := range m.Split(5) {
+		ch.SpMV(got, x)
+	}
+	testmat.AssertClose(t, "cds chunks", got, want, 1e-12)
+}

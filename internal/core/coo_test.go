@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCOOPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 5}, {5, -1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCOO(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewCOO(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestCOOAddPanicsOutOfRange(t *testing.T) {
+	c := NewCOO(3, 4)
+	for _, p := range [][2]int{{-1, 0}, {3, 0}, {0, -1}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d, %d) did not panic", p[0], p[1])
+				}
+			}()
+			c.Add(p[0], p[1], 1)
+		}()
+	}
+}
+
+func TestCOOFinalizeSortsRowMajor(t *testing.T) {
+	c := NewCOO(4, 4)
+	c.Add(3, 1, 1)
+	c.Add(0, 2, 2)
+	c.Add(3, 0, 3)
+	c.Add(0, 0, 4)
+	c.Add(2, 3, 5)
+	c.Finalize()
+	want := [][3]float64{{0, 0, 4}, {0, 2, 2}, {2, 3, 5}, {3, 0, 3}, {3, 1, 1}}
+	if c.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(want))
+	}
+	for k, w := range want {
+		i, j, v := c.At(k)
+		if float64(i) != w[0] || float64(j) != w[1] || v != w[2] {
+			t.Errorf("entry %d = (%d,%d,%v), want (%v,%v,%v)", k, i, j, v, w[0], w[1], w[2])
+		}
+	}
+}
+
+func TestCOOFinalizeFoldsDuplicates(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(1, 1, 1.5)
+	c.Add(1, 1, 2.5)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, -1)
+	c.Finalize()
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	i, j, v := c.At(1)
+	if i != 1 || j != 1 || v != 3.0 {
+		t.Errorf("folded entry = (%d,%d,%v), want (1,1,3)", i, j, v)
+	}
+}
+
+func TestCOOFinalizeIdempotent(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 3)
+	c.Finalize()
+	n := c.Len()
+	c.Finalize()
+	if c.Len() != n {
+		t.Errorf("second Finalize changed Len: %d -> %d", n, c.Len())
+	}
+	if !c.Finalized() {
+		t.Error("Finalized() = false after Finalize")
+	}
+}
+
+func TestCOOAddResetsFinalized(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Finalize()
+	c.Add(1, 1, 1)
+	if c.Finalized() {
+		t.Error("Finalized() = true after Add")
+	}
+}
+
+func TestCOOUnfinalizedOpsPanic(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	for name, f := range map[string]func(){
+		"RowCounts": func() { c.RowCounts() },
+		"Transpose": func() { c.Transpose() },
+		"SpMV":      func() { c.SpMV(make([]float64, 2), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on unfinalized COO did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCOORowCounts(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 1)
+	c.Add(2, 2, 1)
+	c.Finalize()
+	got := c.RowCounts()
+	want := []int{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RowCounts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCOOTranspose(t *testing.T) {
+	c := RandomCOO(rand.New(rand.NewSource(1)), 13, 7, 40)
+	tr := c.Transpose()
+	if tr.Rows() != 7 || tr.Cols() != 13 {
+		t.Fatalf("transpose dims = %dx%d, want 7x13", tr.Rows(), tr.Cols())
+	}
+	d := DenseFromCOO(c)
+	dt := DenseFromCOO(tr)
+	for i := 0; i < d.R; i++ {
+		for j := 0; j < d.C; j++ {
+			if d.At(i, j) != dt.At(j, i) {
+				t.Fatalf("A[%d,%d]=%v but A^T[%d,%d]=%v", i, j, d.At(i, j), j, i, dt.At(j, i))
+			}
+		}
+	}
+}
+
+func TestCOOTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCOO(rng, 1+rng.Intn(20), 1+rng.Intn(20), 30)
+		tt := c.Transpose().Transpose()
+		if tt.Len() != c.Len() {
+			return false
+		}
+		for k := 0; k < c.Len(); k++ {
+			i1, j1, v1 := c.At(k)
+			i2, j2, v2 := tt.At(k)
+			if i1 != i2 || j1 != j2 || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCOOClone(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Finalize()
+	cl := c.Clone()
+	cl.Add(1, 1, 5)
+	if c.Len() != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Finalized() {
+		t.Error("original lost finalized state")
+	}
+}
+
+func TestCOOSpMVMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, cc := 1+rng.Intn(30), 1+rng.Intn(30)
+		c := RandomCOO(rng, r, cc, 2*r)
+		d := DenseFromCOO(c)
+		x := randVec(rng, cc)
+		y1 := make([]float64, r)
+		y2 := make([]float64, r)
+		c.SpMV(y1, x)
+		d.SpMV(y2, x)
+		return maxAbsDiff(y1, y2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RandomCOO builds a finalized random matrix with about n entries
+// (duplicates fold). Exported to sibling test files in this package only.
+func RandomCOO(rng *rand.Rand, rows, cols, n int) *COO {
+	c := NewCOO(rows, cols)
+	for k := 0; k < n; k++ {
+		c.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	c.Finalize()
+	return c
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestAddCOO(t *testing.T) {
+	a := NewCOO(2, 2)
+	a.Add(0, 0, 1)
+	a.Add(1, 1, 2)
+	a.Finalize()
+	b := NewCOO(2, 2)
+	b.Add(0, 0, 3)
+	b.Add(0, 1, 4)
+	b.Finalize()
+	s := a.AddCOO(b)
+	d := DenseFromCOO(s)
+	if d.At(0, 0) != 4 || d.At(0, 1) != 4 || d.At(1, 1) != 2 {
+		t.Errorf("sum = %v", d.V)
+	}
+	// Shape mismatch panics.
+	c := NewCOO(3, 2)
+	c.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	a.AddCOO(c)
+}
+
+func TestScaleAndEqual(t *testing.T) {
+	a := NewCOO(2, 2)
+	a.Add(0, 1, 2)
+	a.Finalize()
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Scale(0.5)
+	if a.Equal(b) {
+		t.Error("scaled matrix still equal")
+	}
+	_, _, v := b.At(0)
+	if v != 1 {
+		t.Errorf("scaled value = %v", v)
+	}
+	c := NewCOO(2, 3)
+	c.Finalize()
+	if a.Equal(c) {
+		t.Error("different shapes equal")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 1e-15)
+	c.Add(1, 1, -1e-15)
+	c.Add(2, 2, -2)
+	c.Add(1, 0, 0)
+	c.Finalize()
+	removed := c.Prune(1e-12)
+	if removed != 3 {
+		t.Errorf("removed = %d, want 3", removed)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if !c.Finalized() {
+		t.Error("Prune lost finalized state")
+	}
+	// NaN values are never pruned (comparisons fail).
+	n := NewCOO(1, 1)
+	n.Add(0, 0, math.NaN())
+	n.Finalize()
+	if n.Prune(1) != 0 {
+		t.Error("NaN pruned")
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "fmt"
+
+// Dense is a row-major dense matrix used as the correctness reference
+// for every sparse kernel in the library's tests. It is deliberately
+// simple and unoptimized.
+type Dense struct {
+	R, C int
+	V    []float64 // len R*C, row-major
+}
+
+// NewDense returns a zeroed r×c dense matrix.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("core: invalid Dense dimensions %dx%d", r, c))
+	}
+	return &Dense{R: r, C: c, V: make([]float64, r*c)}
+}
+
+// DenseFromCOO materializes a finalized COO.
+func DenseFromCOO(coo *COO) *Dense {
+	coo.mustFinal("DenseFromCOO")
+	d := NewDense(coo.Rows(), coo.Cols())
+	for k := 0; k < coo.Len(); k++ {
+		i, j, v := coo.At(k)
+		d.V[i*d.C+j] += v
+	}
+	return d
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.V[i*d.C+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.V[i*d.C+j] = v }
+
+// SpMV computes y = A*x with the naive triple loop.
+func (d *Dense) SpMV(y, x []float64) {
+	for i := 0; i < d.R; i++ {
+		sum := 0.0
+		row := d.V[i*d.C : (i+1)*d.C]
+		for j, a := range row {
+			sum += a * x[j]
+		}
+		y[i] = sum
+	}
+}

@@ -1,0 +1,16 @@
+// Package core defines the common vocabulary of the SpMV compression
+// library: the Format interface that every sparse-matrix storage scheme
+// implements, the Chunk/Splitter interfaces used by the multithreaded
+// runtime, the COO triplet builder that all format constructors consume,
+// a dense reference matrix used for correctness checking, working-set
+// accounting (the quantity the paper's compression schemes minimize),
+// and the memory-access tracing primitives that feed the machine
+// simulator.
+//
+// The package corresponds to the framework glue of Kourtis, Goumas and
+// Koziris, "Improving the Performance of Multithreaded Sparse
+// Matrix-Vector Multiplication Using Index and Value Compression"
+// (ICPP 2008): everything that the CSR, CSR-DU and CSR-VI storage
+// schemes have in common lives here, so that kernels, partitioners,
+// solvers, benchmarks and the simulator can treat formats uniformly.
+package core

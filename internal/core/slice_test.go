@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceBasic(t *testing.T) {
+	c := NewCOO(4, 4)
+	c.Add(0, 0, 1)
+	c.Add(1, 2, 2)
+	c.Add(2, 1, 3)
+	c.Add(3, 3, 4)
+	c.Finalize()
+	s := c.Slice(1, 3, 1, 4)
+	if s.Rows() != 2 || s.Cols() != 3 {
+		t.Fatalf("slice dims %dx%d", s.Rows(), s.Cols())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("slice nnz %d", s.Len())
+	}
+	i, j, v := s.At(0)
+	if i != 0 || j != 1 || v != 2 {
+		t.Errorf("entry 0 = (%d,%d,%v)", i, j, v)
+	}
+	i, j, v = s.At(1)
+	if i != 1 || j != 0 || v != 3 {
+		t.Errorf("entry 1 = (%d,%d,%v)", i, j, v)
+	}
+}
+
+func TestSliceEmptyRange(t *testing.T) {
+	c := NewCOO(4, 4)
+	c.Add(1, 1, 1)
+	c.Finalize()
+	s := c.Slice(2, 2, 0, 4)
+	if s.Len() != 0 {
+		t.Errorf("empty row range has %d entries", s.Len())
+	}
+	s2 := c.Slice(0, 4, 3, 3)
+	if s2.Len() != 0 {
+		t.Errorf("empty col range has %d entries", s2.Len())
+	}
+}
+
+func TestSlicePanicsOutOfRange(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Finalize()
+	for _, r := range [][4]int{{-1, 2, 0, 2}, {0, 4, 0, 2}, {2, 1, 0, 2}, {0, 2, -1, 2}, {0, 2, 0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%v) did not panic", r)
+				}
+			}()
+			c.Slice(r[0], r[1], r[2], r[3])
+		}()
+	}
+}
+
+func TestSliceTilesCoverMatrix(t *testing.T) {
+	// Quick property: slicing into a grid and re-assembling reproduces
+	// the matrix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(20), 2+rng.Intn(20)
+		c := RandomCOO(rng, rows, cols, 3*rows)
+		gr, gc := 1+rng.Intn(3), 1+rng.Intn(3)
+		total := 0
+		re := NewCOO(rows, cols)
+		for bi := 0; bi < gr; bi++ {
+			r0, r1 := bi*rows/gr, (bi+1)*rows/gr
+			for bj := 0; bj < gc; bj++ {
+				c0, c1 := bj*cols/gc, (bj+1)*cols/gc
+				if r0 == r1 || c0 == c1 {
+					continue
+				}
+				s := c.Slice(r0, r1, c0, c1)
+				total += s.Len()
+				for k := 0; k < s.Len(); k++ {
+					i, j, v := s.At(k)
+					re.Add(i+r0, j+c0, v)
+				}
+			}
+		}
+		if total != c.Len() {
+			return false
+		}
+		re.Finalize()
+		if re.Len() != c.Len() {
+			return false
+		}
+		for k := 0; k < c.Len(); k++ {
+			i1, j1, v1 := c.At(k)
+			i2, j2, v2 := re.At(k)
+			if i1 != i2 || j1 != j2 || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+// Memory-access tracing: formats that implement Tracer can replay the
+// exact memory reference stream of their SpMV kernel against the machine
+// simulator (internal/memsim). This substitutes for the paper's
+// hardware testbed: the simulator charges each access against a modeled
+// cache hierarchy and shared front-side bus, which is the resource the
+// compression schemes are designed to relieve.
+
+// Access is one memory reference of a kernel, annotated with the compute
+// work (in CPU cycles) the kernel performs before issuing it. Sequential
+// streaming accesses may be pre-coalesced to cache-line granularity by
+// the trace generator; gather accesses (x[col_ind[j]]) must be emitted
+// individually.
+type Access struct {
+	Addr  uint64 // virtual byte address
+	Size  uint32 // bytes touched starting at Addr
+	Write bool   // store rather than load
+	Comp  uint16 // CPU cycles of compute preceding this access
+}
+
+// EmitFunc receives the access stream of a traced kernel in program order.
+type EmitFunc func(Access)
+
+// Tracer is implemented by chunks whose SpMV memory behaviour can be
+// replayed. xBase and yBase are the virtual base addresses of the dense
+// vectors; the chunk knows the base addresses of its own arrays from its
+// format's Place call.
+type Tracer interface {
+	TraceSpMV(xBase, yBase uint64, emit EmitFunc)
+}
+
+// Placer is implemented by formats that support tracing: Place assigns
+// virtual base addresses to each of the format's arrays from the arena.
+// It must be called once before TraceSpMV on any chunk of the format.
+type Placer interface {
+	Place(a *Arena)
+}
+
+// Arena hands out disjoint, cache-line-aligned virtual address ranges
+// for the arrays of a traced computation. Addresses start well above
+// zero so that a zero Addr is recognizably "unplaced".
+type Arena struct {
+	next uint64
+}
+
+// LineSize is the cache-line size assumed by trace coalescing and by the
+// default machine models.
+const LineSize = 64
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{next: 1 << 20}
+}
+
+// Alloc reserves n bytes and returns the (line-aligned) base address.
+// A guard line is left between allocations so distinct arrays never
+// share a cache line.
+func (a *Arena) Alloc(n int64) uint64 {
+	if n < 0 {
+		panic("core: Arena.Alloc with negative size")
+	}
+	base := a.next
+	a.next += uint64(n)
+	a.next = (a.next + 2*LineSize - 1) &^ (LineSize - 1)
+	return base
+}
+
+// StreamCursor tracks a sequential scan over one array and emits one
+// line-granular Access each time the scan enters a new cache line. It
+// lets a kernel trace interleave several streamed arrays in program
+// order (row_ptr, col_ind, values, ctl, ...) without emitting an access
+// per element.
+type StreamCursor struct {
+	base     uint64
+	lastLine uint64
+}
+
+// NewStreamCursor returns a cursor over the array at base.
+func NewStreamCursor(base uint64) StreamCursor {
+	return StreamCursor{base: base, lastLine: ^uint64(0)}
+}
+
+// Touch records an access of size bytes at byte offset off into the
+// array. If the access enters a cache line the cursor has not yet
+// visited, one line-sized Access is emitted with the given compute
+// cost; otherwise the access is absorbed into the previously emitted
+// line (its compute cost is dropped — attach per-element compute to the
+// gather accesses instead).
+func (c *StreamCursor) Touch(emit EmitFunc, off int64, size int, write bool, comp uint16) {
+	line := (c.base + uint64(off)) / LineSize
+	if line != c.lastLine {
+		c.lastLine = line
+		emit(Access{Addr: line * LineSize, Size: LineSize, Write: write, Comp: comp})
+	}
+}
+
+// EmitStream coalesces a sequential scan of nbytes starting at base into
+// one Access per cache line, charging compPerByte×LineSize compute
+// cycles to each (rounded up). This models streaming over values,
+// col_ind, ctl, val_ind, and similar arrays.
+func EmitStream(emit EmitFunc, base uint64, nbytes int64, write bool, compPerLine uint16) {
+	if nbytes <= 0 {
+		return
+	}
+	first := base &^ (LineSize - 1)
+	last := (base + uint64(nbytes) - 1) &^ (LineSize - 1)
+	for addr := first; addr <= last; addr += LineSize {
+		emit(Access{Addr: addr, Size: LineSize, Write: write, Comp: compPerLine})
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+func TestArenaAllocAlignedDisjoint(t *testing.T) {
+	a := NewArena()
+	b1 := a.Alloc(100)
+	b2 := a.Alloc(1)
+	b3 := a.Alloc(0)
+	b4 := a.Alloc(64)
+	for _, b := range []uint64{b1, b2, b3, b4} {
+		if b%LineSize != 0 {
+			t.Errorf("allocation base %#x not line-aligned", b)
+		}
+		if b == 0 {
+			t.Error("allocation base is zero (reserved for unplaced)")
+		}
+	}
+	// Guard line: no two allocations may share a cache line.
+	if b2 < b1+100+LineSize-1 && b2/LineSize == (b1+99)/LineSize {
+		t.Errorf("allocations share a line: %#x after %#x+100", b2, b1)
+	}
+	if b2 <= b1 || b3 <= b2 || b4 <= b3 {
+		t.Error("allocations not strictly increasing")
+	}
+}
+
+func TestArenaAllocPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(-1) did not panic")
+		}
+	}()
+	NewArena().Alloc(-1)
+}
+
+func TestEmitStreamCoalescesToLines(t *testing.T) {
+	var got []Access
+	emit := func(a Access) { got = append(got, a) }
+	// 130 bytes starting 10 bytes into a line spans 3 lines.
+	base := uint64(1<<20) + 10
+	EmitStream(emit, base, 130, false, 7)
+	if len(got) != 3 {
+		t.Fatalf("emitted %d accesses, want 3", len(got))
+	}
+	for k, a := range got {
+		if a.Addr%LineSize != 0 {
+			t.Errorf("access %d addr %#x not line-aligned", k, a.Addr)
+		}
+		if a.Size != LineSize || a.Write || a.Comp != 7 {
+			t.Errorf("access %d = %+v, want full-line read with Comp=7", k, a)
+		}
+	}
+	if got[1].Addr != got[0].Addr+LineSize || got[2].Addr != got[1].Addr+LineSize {
+		t.Error("accesses not consecutive lines")
+	}
+}
+
+func TestEmitStreamZeroAndNegative(t *testing.T) {
+	calls := 0
+	emit := func(Access) { calls++ }
+	EmitStream(emit, 1<<20, 0, false, 0)
+	EmitStream(emit, 1<<20, -5, false, 0)
+	if calls != 0 {
+		t.Errorf("EmitStream emitted %d accesses for empty stream", calls)
+	}
+}
+
+func TestEmitStreamExactLine(t *testing.T) {
+	calls := 0
+	EmitStream(func(Access) { calls++ }, 1<<20, LineSize, true, 0)
+	if calls != 1 {
+		t.Errorf("exactly one line should emit 1 access, got %d", calls)
+	}
+}

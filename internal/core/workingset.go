@@ -1,0 +1,47 @@
+package core
+
+// Working-set accounting, paper §II-B:
+//
+//	ws = csr_size + vectors_size
+//	   = (nnz*(idx_s+val_s) + (nrows+1)*idx_s) + (nrows+ncols)*val_s
+//
+// With the paper's 4-byte indices and 8-byte values the value data is
+// 2/3 of the col_ind+values portion, which is why CSR-VI (value
+// compression) has more headroom than CSR-DU (index compression).
+
+// Default storage sizes used throughout the paper's evaluation (§VI-A).
+const (
+	IdxSize = 4 // bytes per index (32-bit)
+	ValSize = 8 // bytes per value (64-bit float)
+)
+
+// CSRBytes returns the size of the CSR matrix data (values + col_ind +
+// row_ptr) for the given shape, with idxSize-byte indices and
+// valSize-byte values.
+func CSRBytes(rows, nnz int, idxSize, valSize int) int64 {
+	return int64(nnz)*int64(idxSize+valSize) + int64(rows+1)*int64(idxSize)
+}
+
+// VectorBytes returns the size of the dense x and y vectors.
+func VectorBytes(rows, cols int, valSize int) int64 {
+	return int64(rows+cols) * int64(valSize)
+}
+
+// WorkingSet returns the full SpMV working set of a matrix stored in
+// standard CSR with the paper's default index/value sizes.
+func WorkingSet(rows, cols, nnz int) int64 {
+	return CSRBytes(rows, nnz, IdxSize, ValSize) + VectorBytes(rows, cols, ValSize)
+}
+
+// WorkingSetOf returns the SpMV working set of a concrete format:
+// its matrix data plus the vectors.
+func WorkingSetOf(f Format) int64 {
+	return f.SizeBytes() + VectorBytes(f.Rows(), f.Cols(), ValSize)
+}
+
+// CompressionRatio returns SizeBytes(f) / CSRBytes(baseline) for the
+// same matrix: < 1 means f is smaller than standard CSR.
+func CompressionRatio(f Format) float64 {
+	base := CSRBytes(f.Rows(), f.NNZ(), IdxSize, ValSize)
+	return float64(f.SizeBytes()) / float64(base)
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestCSRBytesFormula(t *testing.T) {
+	// Fig 1 example: 6x6 matrix, 16 nnz, 4-byte indices, 8-byte values.
+	// values: 16*8, col_ind: 16*4, row_ptr: 7*4.
+	got := CSRBytes(6, 16, 4, 8)
+	want := int64(16*8 + 16*4 + 7*4)
+	if got != want {
+		t.Errorf("CSRBytes = %d, want %d", got, want)
+	}
+}
+
+func TestWorkingSetFormula(t *testing.T) {
+	// ws = csr_size + (nrows+ncols)*val_s   (paper §II-B)
+	got := WorkingSet(6, 6, 16)
+	want := CSRBytes(6, 16, IdxSize, ValSize) + 12*8
+	if got != want {
+		t.Errorf("WorkingSet = %d, want %d", got, want)
+	}
+}
+
+func TestValueDataDominates(t *testing.T) {
+	// With 4-byte indices and 8-byte values, values are 2/3 of the
+	// col_ind+values portion (paper §II-B).
+	nnz := 1_000_000
+	valPart := int64(nnz) * ValSize
+	colPart := int64(nnz) * IdxSize
+	frac := float64(valPart) / float64(valPart+colPart)
+	if frac < 0.666 || frac > 0.667 {
+		t.Errorf("value fraction = %v, want 2/3", frac)
+	}
+}
+
+type fakeFormat struct {
+	rows, cols, nnz int
+	size            int64
+}
+
+func (f fakeFormat) Name() string        { return "fake" }
+func (f fakeFormat) Rows() int           { return f.rows }
+func (f fakeFormat) Cols() int           { return f.cols }
+func (f fakeFormat) NNZ() int            { return f.nnz }
+func (f fakeFormat) SizeBytes() int64    { return f.size }
+func (f fakeFormat) SpMV(y, x []float64) {}
+
+func TestCompressionRatio(t *testing.T) {
+	f := fakeFormat{rows: 100, cols: 100, nnz: 1000, size: CSRBytes(100, 1000, IdxSize, ValSize) / 2}
+	r := CompressionRatio(f)
+	if r < 0.49 || r > 0.51 {
+		t.Errorf("CompressionRatio = %v, want ~0.5", r)
+	}
+}
+
+func TestWorkingSetOf(t *testing.T) {
+	f := fakeFormat{rows: 10, cols: 20, nnz: 5, size: 1000}
+	got := WorkingSetOf(f)
+	want := int64(1000) + 30*8
+	if got != want {
+		t.Errorf("WorkingSetOf = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+package csc
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	// CSC is not a row Splitter, so the battery covers meta + SpMV only.
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c) })
+}
+
+func TestColPtrStructure(t *testing.T) {
+	// Fig 1 matrix: column 0 holds rows {0,4,5}.
+	vals := [][]float64{
+		{5.4, 1.1, 0, 0, 0, 0},
+		{0, 6.3, 0, 7.7, 0, 8.8},
+		{0, 0, 1.1, 0, 0, 0},
+		{0, 0, 2.9, 0, 3.7, 2.9},
+		{9.0, 0, 0, 1.1, 4.5, 0},
+		{1.1, 0, 2.9, 3.7, 0, 1.1},
+	}
+	c := core.NewCOO(6, 6)
+	for i, row := range vals {
+		for j, v := range row {
+			if v != 0 {
+				c.Add(i, j, v)
+			}
+		}
+	}
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantColPtr := []int32{0, 3, 5, 8, 11, 13, 16}
+	for i, w := range wantColPtr {
+		if m.ColPtr[i] != w {
+			t.Fatalf("ColPtr = %v, want %v", m.ColPtr, wantColPtr)
+		}
+	}
+	// Rows within each column are sorted (finalized COO is row-major,
+	// so the counting sort preserves row order per column).
+	for j := 0; j < 6; j++ {
+		for k := m.ColPtr[j] + 1; k < m.ColPtr[j+1]; k++ {
+			if m.RowInd[k] <= m.RowInd[k-1] {
+				t.Fatalf("column %d rows not sorted: %v", j, m.RowInd[m.ColPtr[j]:m.ColPtr[j+1]])
+			}
+		}
+	}
+}
+
+func TestSplitColsCoversAndMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.FEMLike(rng, 300, 5, matgen.Values{})
+	m, _ := FromCOO(c)
+	d := core.DenseFromCOO(c)
+	x := testmat.RandVec(rng, m.Cols())
+	want := make([]float64, m.Rows())
+	d.SpMV(want, x)
+
+	for _, n := range []int{1, 3, 8} {
+		chunks := m.SplitCols(n)
+		if len(chunks) > n {
+			t.Fatalf("SplitCols(%d) gave %d chunks", n, len(chunks))
+		}
+		next := 0
+		total := 0
+		for _, ch := range chunks {
+			lo, hi := ch.ColRange()
+			if lo < next || hi <= lo {
+				t.Fatalf("bad chunk range [%d,%d)", lo, hi)
+			}
+			next = hi
+			total += ch.NNZ()
+		}
+		if total != m.NNZ() {
+			t.Fatalf("chunk nnz sums to %d, want %d", total, m.NNZ())
+		}
+		// Accumulating all chunks into a zero y reproduces SpMV.
+		got := make([]float64, m.Rows())
+		for _, ch := range chunks {
+			ch.SpMVAdd(got, x)
+		}
+		testmat.AssertClose(t, "column chunks", got, want, 1e-10)
+	}
+}
+
+func TestSpMVOverwritesY(t *testing.T) {
+	c := core.NewCOO(3, 3)
+	c.Add(1, 1, 2)
+	c.Finalize()
+	m, _ := FromCOO(c)
+	y := []float64{7, 7, 7}
+	m.SpMV(y, []float64{1, 1, 1})
+	if y[0] != 0 || y[1] != 2 || y[2] != 0 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func BenchmarkSpMVCSC(b *testing.B) {
+	m, _ := FromCOO(matgen.Stencil2D(128))
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	b.SetBytes(m.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SpMV(y, x)
+	}
+}

@@ -1,0 +1,47 @@
+package csr
+
+import "spmv/internal/core"
+
+// Compute-cost model for traced kernels, in CPU cycles. One CSR
+// iteration does an index load, a multiply and an add; the cost is
+// attached to the x gather access since there is exactly one per
+// non-zero. Compressed formats charge more here (decode work) — that is
+// the paper's storage-for-computation tradeoff made explicit.
+const (
+	csrCompPerNNZ = 3
+	rowOverhead   = 2 // loop bookkeeping per row, attached to the row_ptr stream
+)
+
+// Place implements core.Placer for CSR.
+func (m *Matrix) Place(a *core.Arena) {
+	m.rowPtrBase = a.Alloc(int64(len(m.RowPtr)) * 4)
+	m.colIndBase = a.Alloc(int64(len(m.ColInd)) * 4)
+	m.valBase = a.Alloc(int64(len(m.Values)) * 8)
+}
+
+// TraceSpMV implements core.Tracer: it replays the memory reference
+// stream of the chunk's SpMV kernel in program order. The sequential
+// arrays (row_ptr, col_ind, values, y) are coalesced to cache-line
+// granularity; the x gathers are emitted per element.
+func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
+	m := c.m
+	if m.rowPtrBase == 0 {
+		panic("csr: TraceSpMV before Place")
+	}
+	rp := core.NewStreamCursor(m.rowPtrBase)
+	ci := core.NewStreamCursor(m.colIndBase)
+	vs := core.NewStreamCursor(m.valBase)
+	yw := core.NewStreamCursor(yBase)
+	for i := c.lo; i < c.hi; i++ {
+		rp.Touch(emit, int64(i)*4, 8, false, rowOverhead)
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			ci.Touch(emit, int64(j)*4, 4, false, 0)
+			vs.Touch(emit, int64(j)*8, 8, false, 0)
+			emit(core.Access{
+				Addr: xBase + uint64(m.ColInd[j])*8, Size: 8,
+				Comp: csrCompPerNNZ,
+			})
+		}
+		yw.Touch(emit, int64(i)*8, 8, true, 0)
+	}
+}

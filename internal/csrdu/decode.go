@@ -1,0 +1,235 @@
+package csrdu
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/varint"
+)
+
+// chunk is a contiguous row range of a CSR-DU matrix with its own
+// offsets into the ctl and values streams. startMark indexes the first
+// row mark of the chunk (-1 for the empty-matrix chunk) so the decoder
+// can anchor its row counter without depending on state from preceding
+// chunks.
+type chunk struct {
+	m            *Matrix
+	lo, hi       int // row range [lo, hi)
+	ctlLo, ctlHi int
+	valLo, valHi int
+	startMark    int
+}
+
+var _ core.Tracer = (*chunk)(nil)
+
+func (c *chunk) RowRange() (int, int) { return c.lo, c.hi }
+func (c *chunk) NNZ() int             { return c.valHi - c.valLo }
+
+// SpMV runs the CSR-DU kernel (paper Fig 3) over the chunk. The row
+// accumulator is kept in a register; per-unit inner loops are free of
+// decode branches — the decode switch executes once per unit.
+func (c *chunk) SpMV(y, x []float64) {
+	for i := c.lo; i < c.hi; i++ {
+		y[i] = 0
+	}
+	if c.startMark < 0 {
+		return
+	}
+	m := c.m
+	ctl := m.Ctl
+	values := m.Values
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	sum := 0.0
+	first := true
+
+	for pos < c.ctlHi {
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				// Anchor on the chunk's first row: the encoded row jump
+				// is relative to the previous chunk's last row.
+				yi = m.marks[c.startMark].row
+				first = false
+			} else {
+				y[yi] += sum
+				yi += int(skip)
+			}
+			sum = 0
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		sum += values[vi] * x[xi]
+		vi++
+
+		if flags&FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			delta := int(d)
+			for k := 1; k < size; k++ {
+				xi += delta
+				sum += values[vi] * x[xi]
+				vi++
+			}
+			continue
+		}
+		switch flags & TypeMask {
+		case ClassU8:
+			for k := 1; k < size; k++ {
+				xi += int(ctl[pos])
+				pos++
+				sum += values[vi] * x[xi]
+				vi++
+			}
+		case ClassU16:
+			for k := 1; k < size; k++ {
+				xi += int(uint16(ctl[pos]) | uint16(ctl[pos+1])<<8)
+				pos += 2
+				sum += values[vi] * x[xi]
+				vi++
+			}
+		case ClassU32:
+			for k := 1; k < size; k++ {
+				xi += int(uint32(ctl[pos]) | uint32(ctl[pos+1])<<8 |
+					uint32(ctl[pos+2])<<16 | uint32(ctl[pos+3])<<24)
+				pos += 4
+				sum += values[vi] * x[xi]
+				vi++
+			}
+		default:
+			for k := 1; k < size; k++ {
+				xi += int(uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+					uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+					uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56)
+				pos += 8
+				sum += values[vi] * x[xi]
+				vi++
+			}
+		}
+	}
+	if !first {
+		y[yi] += sum
+	}
+}
+
+// ForEach decodes the ctl stream and calls fn for every non-zero in
+// row-major order. It is the exact inverse of the encoder and the basis
+// of the encode/decode round-trip property tests.
+func (m *Matrix) ForEach(fn func(i, j int, v float64)) {
+	ctl := m.Ctl
+	pos := 0
+	vi := 0
+	yi := -1
+	xi := 0
+	for pos < len(ctl) {
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			yi += int(skip)
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		fn(yi, xi, m.Values[vi])
+		vi++
+		if flags&FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			for k := 1; k < size; k++ {
+				xi += int(d)
+				fn(yi, xi, m.Values[vi])
+				vi++
+			}
+			continue
+		}
+		cls := uint(flags & TypeMask)
+		for k := 1; k < size; k++ {
+			var d uint64
+			switch cls {
+			case ClassU8:
+				d = uint64(ctl[pos])
+			case ClassU16:
+				d = uint64(ctl[pos]) | uint64(ctl[pos+1])<<8
+			case ClassU32:
+				d = uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24
+			default:
+				d = uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+					uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+					uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56
+			}
+			pos += 1 << cls
+			xi += int(d)
+			fn(yi, xi, m.Values[vi])
+			vi++
+		}
+	}
+}
+
+// Triplets decodes the matrix back to finalized COO form: the inverse
+// of FromCOO.
+func (m *Matrix) Triplets() *core.COO {
+	c := core.NewCOO(m.rows, m.cols)
+	m.ForEach(func(i, j int, v float64) { c.Add(i, j, v) })
+	c.Finalize()
+	return c
+}
+
+// UnitStats summarizes the unit mix of an encoded matrix: how many
+// units of each delta class and how many RLE units, plus the average
+// unit size. The paper's performance argument rests on units being
+// large (few decode branches) and narrow (few index bytes).
+type UnitStats struct {
+	Units    int
+	PerClass [4]int // indexed by ClassU8..ClassU64 (RLE units excluded)
+	RLEUnits int
+	AvgSize  float64
+	CtlBytes int
+}
+
+// Stats decodes the ctl stream and returns the unit statistics.
+func (m *Matrix) Stats() UnitStats {
+	var s UnitStats
+	s.CtlBytes = len(m.Ctl)
+	pos := 0
+	total := 0
+	for pos < len(m.Ctl) {
+		flags := m.Ctl[pos]
+		size := int(m.Ctl[pos+1])
+		pos += 2
+		if flags&FlagRJMP != 0 {
+			_, pos = varint.DecodeAt(m.Ctl, pos)
+		}
+		_, pos = varint.DecodeAt(m.Ctl, pos) // ujmp
+		if flags&FlagRLE != 0 {
+			_, pos = varint.DecodeAt(m.Ctl, pos)
+			s.RLEUnits++
+		} else {
+			cls := int(flags & TypeMask)
+			s.PerClass[cls]++
+			pos += (size - 1) << cls
+		}
+		s.Units++
+		total += size
+	}
+	if s.Units > 0 {
+		s.AvgSize = float64(total) / float64(s.Units)
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package csrdu
+
+import (
+	"fmt"
+
+	"spmv/internal/varint"
+)
+
+// FromRaw reconstructs a Matrix from a serialized ctl stream and values
+// array (the inverse of reading m.Ctl/m.Values, used by the matfile
+// container). The stream is scanned once to validate its structure —
+// bounds of every row and column position, value-count consistency —
+// and to rebuild the row marks that partitioning needs. Unlike the hot
+// SpMV decoder, this scan trusts nothing about the input.
+func FromRaw(ctl []byte, values []float64, rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("csrdu: invalid dimensions %dx%d", rows, cols)
+	}
+	m := &Matrix{rows: rows, cols: cols, Ctl: ctl, Values: values, opts: Options{}.withDefaults()}
+	pos := 0
+	vi := 0
+	yi := -1
+	xi := 0
+	sawRLE := false
+	readVarint := func() (uint64, error) {
+		v, n := varint.Decode(ctl[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("csrdu: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	for pos < len(ctl) {
+		if pos+2 > len(ctl) {
+			return nil, fmt.Errorf("csrdu: truncated unit header at offset %d", pos)
+		}
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		unitStart := pos
+		pos += 2
+		if size == 0 {
+			return nil, fmt.Errorf("csrdu: zero-size unit at offset %d", unitStart)
+		}
+		if flags&FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&FlagRJMP != 0 {
+				var err error
+				if skip, err = readVarint(); err != nil {
+					return nil, err
+				}
+				if skip == 0 {
+					return nil, fmt.Errorf("csrdu: zero row jump at offset %d", unitStart)
+				}
+			}
+			yi += int(skip)
+			if yi >= rows {
+				return nil, fmt.Errorf("csrdu: row %d out of range (%d rows)", yi, rows)
+			}
+			xi = 0
+			m.marks = append(m.marks, mark{row: yi, ctl: unitStart, val: vi})
+		} else if yi < 0 {
+			return nil, fmt.Errorf("csrdu: first unit lacks NR flag")
+		}
+		j, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		xi += int(j)
+		vi += size
+		if vi > len(values) {
+			return nil, fmt.Errorf("csrdu: unit at %d overruns %d values", unitStart, len(values))
+		}
+		if flags&FlagRLE != 0 {
+			sawRLE = true
+			d, err := readVarint()
+			if err != nil {
+				return nil, err
+			}
+			xi += int(d) * (size - 1)
+		} else {
+			cls := uint(flags & TypeMask)
+			need := (size - 1) << cls
+			if pos+need > len(ctl) {
+				return nil, fmt.Errorf("csrdu: truncated ucis at offset %d", pos)
+			}
+			for k := 1; k < size; k++ {
+				var d uint64
+				switch cls {
+				case ClassU8:
+					d = uint64(ctl[pos])
+				case ClassU16:
+					d = uint64(ctl[pos]) | uint64(ctl[pos+1])<<8
+				case ClassU32:
+					d = uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+						uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24
+				default:
+					d = uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+						uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+						uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+						uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56
+				}
+				pos += 1 << cls
+				xi += int(d)
+			}
+		}
+		if xi < 0 || xi >= cols {
+			return nil, fmt.Errorf("csrdu: column position %d out of range (%d cols) at offset %d", xi, cols, unitStart)
+		}
+	}
+	if vi != len(values) {
+		return nil, fmt.Errorf("csrdu: stream encodes %d elements, %d values given", vi, len(values))
+	}
+	m.opts.RLE = sawRLE
+	return m, nil
+}

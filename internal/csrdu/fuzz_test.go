@@ -1,0 +1,52 @@
+package csrdu
+
+import (
+	"testing"
+
+	"spmv/internal/matgen"
+)
+
+// FuzzFromRaw feeds arbitrary ctl streams to the validating
+// deserializer: it must reject or accept without panicking, and
+// anything it accepts must survive an SpMV without out-of-bounds
+// access.
+func FuzzFromRaw(f *testing.F) {
+	// Seed with real streams.
+	m, _ := FromCOO(matgen.Stencil2D(5))
+	f.Add(m.Ctl, 25, 25, len(m.Values))
+	rle, _ := FromCOOOpts(matgen.Stencil2D(5), Options{RLE: true, RLEMin: 3})
+	f.Add(rle.Ctl, 25, 25, len(rle.Values))
+	f.Add([]byte{FlagNR | ClassU8, 1, 0}, 1, 1, 1)
+	f.Add([]byte{}, 3, 3, 0)
+	f.Fuzz(func(t *testing.T, ctl []byte, rows, cols, nvals int) {
+		if rows <= 0 || cols <= 0 || rows > 1000 || cols > 1000 || nvals < 0 || nvals > 10000 {
+			return
+		}
+		values := make([]float64, nvals)
+		for i := range values {
+			values[i] = float64(i + 1)
+		}
+		mat, err := FromRaw(ctl, values, rows, cols)
+		if err != nil {
+			return
+		}
+		// Accepted: the kernel must run in bounds.
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = 1
+		}
+		mat.SpMV(y, x)
+		// And the decode walk must agree with nnz.
+		count := 0
+		mat.ForEach(func(i, j int, v float64) {
+			if i < 0 || i >= rows || j < 0 || j >= cols {
+				t.Fatalf("ForEach out of range: (%d,%d)", i, j)
+			}
+			count++
+		})
+		if count != len(values) {
+			t.Fatalf("decoded %d elements, expected %d", count, len(values))
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package csrdu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+// sameCOO reports entry-wise equality of two finalized COOs.
+func sameCOO(a, b *core.COO) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.Len() != b.Len() {
+		return false
+	}
+	for k := 0; k < a.Len(); k++ {
+		i1, j1, v1 := a.At(k)
+		i2, j2, v2 := b.At(k)
+		if i1 != i2 || j1 != j2 || v1 != v2 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeDecodeRoundTripQuick: FromCOO followed by Triplets is the
+// identity on finalized COOs, for random shapes and all option sets.
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	opts := []Options{{}, {RLE: true}, {MinSwitch: 1}, {RLE: true, RLEMin: 3}}
+	f := func(seed int64, optIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(80)
+		cols := 1 + rng.Intn(3000) // wide: exercises u16 deltas
+		c := core.NewCOO(rows, cols)
+		n := rng.Intn(4 * rows)
+		for k := 0; k < n; k++ {
+			c.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		c.Finalize()
+		m, err := FromCOOOpts(c, opts[int(optIdx)%len(opts)])
+		if err != nil {
+			return false
+		}
+		return sameCOO(c, m.Triplets())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, c := range map[string]*core.COO{
+		"stencil":   matgen.Stencil2D(20),
+		"blockdiag": matgen.BlockDiag(rng, 10, 16, matgen.Values{}),
+		"random":    matgen.RandomUniform(rng, 100, 1<<20, 6, matgen.Values{}), // u32 deltas
+		"powerlaw":  matgen.PowerLaw(rng, 300, 6, 0.9, matgen.Values{}),
+	} {
+		for _, o := range []Options{{}, {RLE: true}} {
+			m, err := FromCOOOpts(c, o)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !sameCOO(c, m.Triplets()) {
+				t.Errorf("%s (RLE=%v): round trip mismatch", name, o.RLE)
+			}
+		}
+	}
+}
+
+func TestForEachCountsMatchNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := matgen.FEMLike(rng, 200, 5, matgen.Values{})
+	m, _ := FromCOO(c)
+	count := 0
+	lastI, lastJ := -1, -1
+	m.ForEach(func(i, j int, v float64) {
+		count++
+		if i < lastI || (i == lastI && j <= lastJ) {
+			t.Fatalf("ForEach not strictly row-major: (%d,%d) after (%d,%d)", i, j, lastI, lastJ)
+		}
+		lastI, lastJ = i, j
+	})
+	if count != m.NNZ() {
+		t.Errorf("ForEach visited %d, want %d", count, m.NNZ())
+	}
+}

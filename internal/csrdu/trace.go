@@ -1,0 +1,111 @@
+package csrdu
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/varint"
+)
+
+// Compute-cost model: CSR-DU trades CPU work for bandwidth. Each
+// non-zero costs the CSR work plus the delta add; each unit costs a
+// decode switch. The costs are attached to the per-nnz x gathers and to
+// the ctl stream lines respectively.
+// The per-element cost matches CSR's: the paper's point is that unit
+// decoding adds only one branch per unit, so the per-element delta add
+// disappears into the same multiply-accumulate slot.
+const (
+	duCompPerNNZ  = 3
+	duCompPerUnit = 8
+)
+
+// Place implements core.Placer.
+func (m *Matrix) Place(a *core.Arena) {
+	m.ctlBase = a.Alloc(int64(len(m.Ctl)))
+	m.valBase = a.Alloc(int64(len(m.Values)) * 8)
+}
+
+// TraceSpMV implements core.Tracer: it replays the kernel's memory
+// stream — the ctl bytes and values are sequential (coalesced to lines),
+// the x gathers are per non-zero, y stores once per row.
+func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
+	m := c.m
+	if m.ctlBase == 0 && len(m.Ctl) > 0 {
+		panic("csrdu: TraceSpMV before Place")
+	}
+	if c.startMark < 0 {
+		return
+	}
+	ctl := m.Ctl
+	cs := core.NewStreamCursor(m.ctlBase)
+	vs := core.NewStreamCursor(m.valBase)
+	yw := core.NewStreamCursor(yBase)
+
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	first := true
+	touchX := func() {
+		vs.Touch(emit, int64(vi)*8, 8, false, 0)
+		emit(core.Access{Addr: xBase + uint64(xi)*8, Size: 8, Comp: duCompPerNNZ})
+		vi++
+	}
+	for pos < c.ctlHi {
+		unitStart := pos
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				yi = m.marks[c.startMark].row
+				first = false
+			} else {
+				yw.Touch(emit, int64(yi)*8, 8, true, 0)
+				yi += int(skip)
+			}
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		cs.Touch(emit, int64(unitStart), 1, false, duCompPerUnit)
+		touchX()
+		if flags&FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			for k := 1; k < size; k++ {
+				xi += int(d)
+				touchX()
+			}
+		} else {
+			cls := uint(flags & TypeMask)
+			for k := 1; k < size; k++ {
+				var d int
+				switch cls {
+				case ClassU8:
+					d = int(ctl[pos])
+				case ClassU16:
+					d = int(uint16(ctl[pos]) | uint16(ctl[pos+1])<<8)
+				case ClassU32:
+					d = int(uint32(ctl[pos]) | uint32(ctl[pos+1])<<8 |
+						uint32(ctl[pos+2])<<16 | uint32(ctl[pos+3])<<24)
+				default:
+					d = int(uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+						uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+						uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+						uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56)
+				}
+				cs.Touch(emit, int64(pos), 1<<cls, false, 0)
+				pos += 1 << cls
+				xi += d
+				touchX()
+			}
+		}
+	}
+	if !first {
+		yw.Touch(emit, int64(yi)*8, 8, true, 0)
+	}
+}

@@ -1,0 +1,273 @@
+// Package csrduvi implements CSR-DU-VI, the combination of both of the
+// paper's compression schemes (an extension explored in the authors'
+// companion CF'08 paper, reference [8]): the column indices are encoded
+// as CSR-DU delta units and the values are indirected through a unique
+// value table as in CSR-VI. The working set shrinks on both the index
+// and the value side, at the cost of both decode overheads.
+package csrduvi
+
+import (
+	"fmt"
+	"math"
+
+	"spmv/internal/core"
+	"spmv/internal/csrdu"
+	"spmv/internal/partition"
+	"spmv/internal/varint"
+)
+
+// Matrix is a sparse matrix with CSR-DU index data and CSR-VI value
+// data. The ctl stream, marks and unit semantics are exactly those of
+// csrdu.Matrix; the values stream is replaced by val_ind + vals_unique.
+type Matrix struct {
+	du     *csrdu.Matrix
+	marks  []csrdu.RowMark
+	Unique []float64
+	VI8    []uint8
+	VI16   []uint16
+	VI32   []uint32
+
+	ctlBase, viBase, uniqBase uint64
+}
+
+var (
+	_ core.Format   = (*Matrix)(nil)
+	_ core.Splitter = (*Matrix)(nil)
+	_ core.Placer   = (*Matrix)(nil)
+)
+
+// FromCOO encodes with default CSR-DU options.
+func FromCOO(c *core.COO) (*Matrix, error) { return FromCOOOpts(c, csrdu.Options{}) }
+
+// FromCOOOpts encodes a triplet matrix into CSR-DU-VI.
+func FromCOOOpts(c *core.COO, opts csrdu.Options) (*Matrix, error) {
+	du, err := csrdu.FromCOOOpts(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("csrduvi: %w", err)
+	}
+	m := &Matrix{du: du, marks: du.RowMarks()}
+	// The CSR-DU values stream is in finalized-COO order, which is the
+	// same order FromCOO sees, so indices line up one-to-one.
+	index := make(map[uint64]uint32)
+	ind := make([]uint32, len(du.Values))
+	for k, v := range du.Values {
+		bits := math.Float64bits(v)
+		vi, ok := index[bits]
+		if !ok {
+			vi = uint32(len(m.Unique))
+			index[bits] = vi
+			m.Unique = append(m.Unique, v)
+		}
+		ind[k] = vi
+	}
+	switch uv := len(m.Unique); {
+	case uv <= 1<<8:
+		m.VI8 = make([]uint8, len(ind))
+		for k, v := range ind {
+			m.VI8[k] = uint8(v)
+		}
+	case uv <= 1<<16:
+		m.VI16 = make([]uint16, len(ind))
+		for k, v := range ind {
+			m.VI16[k] = uint16(v)
+		}
+	default:
+		m.VI32 = ind
+	}
+	return m, nil
+}
+
+// TTU returns the total-to-unique values ratio.
+func (m *Matrix) TTU() float64 {
+	if len(m.Unique) == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(len(m.Unique))
+}
+
+// IndexWidth returns the val_ind element width in bytes.
+func (m *Matrix) IndexWidth() int {
+	switch {
+	case m.VI8 != nil:
+		return 1
+	case m.VI16 != nil:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Stats returns the CSR-DU unit statistics of the index stream.
+func (m *Matrix) Stats() csrdu.UnitStats { return m.du.Stats() }
+
+// Name implements core.Format.
+func (m *Matrix) Name() string { return "csr-du-vi" }
+
+// Rows implements core.Format.
+func (m *Matrix) Rows() int { return m.du.Rows() }
+
+// Cols implements core.Format.
+func (m *Matrix) Cols() int { return m.du.Cols() }
+
+// NNZ implements core.Format.
+func (m *Matrix) NNZ() int { return m.du.NNZ() }
+
+// SizeBytes implements core.Format: ctl + val_ind + unique.
+func (m *Matrix) SizeBytes() int64 {
+	return int64(len(m.du.Ctl)) +
+		int64(m.NNZ())*int64(m.IndexWidth()) +
+		int64(len(m.Unique))*core.ValSize
+}
+
+// SpMV computes y = A*x.
+func (m *Matrix) SpMV(y, x []float64) {
+	(&chunk{m: m, lo: 0, hi: m.Rows(), ctlLo: 0, ctlHi: len(m.du.Ctl),
+		valLo: 0, valHi: m.NNZ(), startMark: 0}).SpMV(y, x)
+}
+
+// Split implements core.Splitter, mirroring csrdu's mark-based
+// partitioning.
+func (m *Matrix) Split(n int) []core.Chunk {
+	if len(m.marks) == 0 {
+		if m.Rows() == 0 {
+			return nil
+		}
+		return []core.Chunk{&chunk{m: m, lo: 0, hi: m.Rows(), startMark: -1}}
+	}
+	prefix := make([]int64, len(m.marks)+1)
+	for i, mk := range m.marks {
+		prefix[i] = int64(mk.Val)
+	}
+	prefix[len(m.marks)] = int64(m.NNZ())
+	bounds := partition.SplitPrefix(prefix, n)
+	var chunks []core.Chunk
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		if a == b {
+			continue
+		}
+		ch := &chunk{m: m, startMark: a}
+		ch.lo = m.marks[a].Row
+		ch.ctlLo = m.marks[a].Ctl
+		ch.valLo = m.marks[a].Val
+		if b < len(m.marks) {
+			ch.hi = m.marks[b].Row
+			ch.ctlHi = m.marks[b].Ctl
+			ch.valHi = m.marks[b].Val
+		} else {
+			ch.hi = m.Rows()
+			ch.ctlHi = len(m.du.Ctl)
+			ch.valHi = m.NNZ()
+		}
+		if len(chunks) == 0 {
+			ch.lo = 0
+		}
+		chunks = append(chunks, ch)
+	}
+	return chunks
+}
+
+type chunk struct {
+	m            *Matrix
+	lo, hi       int
+	ctlLo, ctlHi int
+	valLo, valHi int
+	startMark    int
+}
+
+func (c *chunk) RowRange() (int, int) { return c.lo, c.hi }
+func (c *chunk) NNZ() int             { return c.valHi - c.valLo }
+
+// SpMV runs the CSR-DU decode loop with the value fetch indirected
+// through the unique table. The three index widths get their own loops
+// so the hot path stays monomorphic.
+func (c *chunk) SpMV(y, x []float64) {
+	for i := c.lo; i < c.hi; i++ {
+		y[i] = 0
+	}
+	if c.startMark < 0 {
+		return
+	}
+	switch {
+	case c.m.VI8 != nil:
+		duviKernel(c, y, x, func(vi int) float64 { return c.m.Unique[c.m.VI8[vi]] })
+	case c.m.VI16 != nil:
+		duviKernel(c, y, x, func(vi int) float64 { return c.m.Unique[c.m.VI16[vi]] })
+	default:
+		duviKernel(c, y, x, func(vi int) float64 { return c.m.Unique[c.m.VI32[vi]] })
+	}
+}
+
+// duviKernel is the CSR-DU decode loop parameterized on the value
+// source. val is called once per non-zero with the running value index.
+func duviKernel(c *chunk, y, x []float64, val func(int) float64) {
+	m := c.m
+	ctl := m.du.Ctl
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	sum := 0.0
+	first := true
+	for pos < c.ctlHi {
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&csrdu.FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&csrdu.FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				yi = m.marks[c.startMark].Row
+				first = false
+			} else {
+				y[yi] += sum
+				yi += int(skip)
+			}
+			sum = 0
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		sum += val(vi) * x[xi]
+		vi++
+		if flags&csrdu.FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			delta := int(d)
+			for k := 1; k < size; k++ {
+				xi += delta
+				sum += val(vi) * x[xi]
+				vi++
+			}
+			continue
+		}
+		cls := uint(flags & csrdu.TypeMask)
+		for k := 1; k < size; k++ {
+			var d int
+			switch cls {
+			case csrdu.ClassU8:
+				d = int(ctl[pos])
+			case csrdu.ClassU16:
+				d = int(uint16(ctl[pos]) | uint16(ctl[pos+1])<<8)
+			case csrdu.ClassU32:
+				d = int(uint32(ctl[pos]) | uint32(ctl[pos+1])<<8 |
+					uint32(ctl[pos+2])<<16 | uint32(ctl[pos+3])<<24)
+			default:
+				d = int(uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+					uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+					uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56)
+			}
+			pos += 1 << cls
+			xi += d
+			sum += val(vi) * x[xi]
+			vi++
+		}
+	}
+	if !first {
+		y[yi] += sum
+	}
+}

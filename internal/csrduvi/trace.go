@@ -1,0 +1,121 @@
+package csrduvi
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/csrdu"
+	"spmv/internal/varint"
+)
+
+// Compute-cost model: both decode overheads apply.
+const (
+	duviCompPerNNZ  = 5
+	duviCompPerUnit = 8
+)
+
+// Place implements core.Placer. The ctl stream gets its own address
+// range here (independent of the embedded csrdu matrix, whose values
+// stream this format does not use).
+func (m *Matrix) Place(a *core.Arena) {
+	m.ctlBase = a.Alloc(int64(len(m.du.Ctl)))
+	m.viBase = a.Alloc(int64(m.NNZ()) * int64(m.IndexWidth()))
+	m.uniqBase = a.Alloc(int64(len(m.Unique)) * 8)
+}
+
+var _ core.Tracer = (*chunk)(nil)
+
+// TraceSpMV implements core.Tracer: ctl and val_ind are streamed, the
+// unique table and x are gathers, y stores once per row.
+func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
+	m := c.m
+	if m.ctlBase == 0 && len(m.du.Ctl) > 0 {
+		panic("csrduvi: TraceSpMV before Place")
+	}
+	if c.startMark < 0 {
+		return
+	}
+	ctl := m.du.Ctl
+	w := int64(m.IndexWidth())
+	cs := core.NewStreamCursor(m.ctlBase)
+	vs := core.NewStreamCursor(m.viBase)
+	yw := core.NewStreamCursor(yBase)
+	uniqueIdx := func(vi int) uint64 {
+		switch {
+		case m.VI8 != nil:
+			return uint64(m.VI8[vi])
+		case m.VI16 != nil:
+			return uint64(m.VI16[vi])
+		default:
+			return uint64(m.VI32[vi])
+		}
+	}
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	first := true
+	touchX := func() {
+		vs.Touch(emit, int64(vi)*w, int(w), false, 0)
+		emit(core.Access{Addr: m.uniqBase + uniqueIdx(vi)*8, Size: 8})
+		emit(core.Access{Addr: xBase + uint64(xi)*8, Size: 8, Comp: duviCompPerNNZ})
+		vi++
+	}
+	for pos < c.ctlHi {
+		unitStart := pos
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&csrdu.FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&csrdu.FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				yi = m.marks[c.startMark].Row
+				first = false
+			} else {
+				yw.Touch(emit, int64(yi)*8, 8, true, 0)
+				yi += int(skip)
+			}
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		cs.Touch(emit, int64(unitStart), 1, false, duviCompPerUnit)
+		touchX()
+		if flags&csrdu.FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			for k := 1; k < size; k++ {
+				xi += int(d)
+				touchX()
+			}
+			continue
+		}
+		cls := uint(flags & csrdu.TypeMask)
+		for k := 1; k < size; k++ {
+			var d int
+			switch cls {
+			case csrdu.ClassU8:
+				d = int(ctl[pos])
+			case csrdu.ClassU16:
+				d = int(uint16(ctl[pos]) | uint16(ctl[pos+1])<<8)
+			case csrdu.ClassU32:
+				d = int(uint32(ctl[pos]) | uint32(ctl[pos+1])<<8 |
+					uint32(ctl[pos+2])<<16 | uint32(ctl[pos+3])<<24)
+			default:
+				d = int(uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+					uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+					uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56)
+			}
+			cs.Touch(emit, int64(pos), 1<<cls, false, 0)
+			pos += 1 << cls
+			xi += d
+			touchX()
+		}
+	}
+	if !first {
+		yw.Touch(emit, int64(yi)*8, 8, true, 0)
+	}
+}

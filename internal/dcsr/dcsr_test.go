@@ -1,0 +1,125 @@
+package dcsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csrdu"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c) })
+}
+
+func TestCommandMixOnBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.Banded(rng, 2000, 20, 10, matgen.Values{})
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.PerOp[opRun] == 0 {
+		t.Error("banded matrix encoded without RUN commands")
+	}
+	if st.PerOp[opNewRow]+st.PerOp[opRowJmp] == 0 {
+		t.Error("no row commands")
+	}
+	// Small-delta matrix: stream must be well under 4 bytes/nnz.
+	perNNZ := float64(len(m.Cmds)) / float64(m.NNZ())
+	if perNNZ > 2.5 {
+		t.Errorf("cmd bytes/nnz = %v on banded", perNNZ)
+	}
+}
+
+func TestWideDeltasUseDelta32(t *testing.T) {
+	c := core.NewCOO(2, 1<<20)
+	c.Add(0, 0, 1)
+	c.Add(0, 1<<19, 2)
+	c.Add(1, 1<<20-1, 3)
+	c.Finalize()
+	m, _ := FromCOO(c)
+	st := m.Stats()
+	if st.PerOp[opDelta32] == 0 {
+		t.Errorf("expected DELTA32 commands, got mix %v", st.PerOp)
+	}
+	x := make([]float64, 1<<20)
+	x[0], x[1<<19], x[1<<20-1] = 1, 10, 100
+	y := make([]float64, 2)
+	m.SpMV(y, x)
+	if y[0] != 21 || y[1] != 300 {
+		t.Errorf("y = %v, want [21 300]", y)
+	}
+}
+
+func TestCompressionComparableToCSRDU(t *testing.T) {
+	// On a small-delta matrix both DCSR and CSR-DU approach ~1 byte/nnz
+	// of index data; neither should be more than ~60% larger than the
+	// other (they trade header costs differently).
+	rng := rand.New(rand.NewSource(2))
+	c := matgen.Banded(rng, 4000, 30, 12, matgen.Values{})
+	d, _ := FromCOO(c)
+	u, _ := csrdu.FromCOO(c)
+	dIdx := float64(len(d.Cmds))
+	uIdx := float64(len(u.Ctl))
+	if dIdx > 1.6*uIdx || uIdx > 1.6*dIdx {
+		t.Errorf("index streams diverge: dcsr %v bytes vs csr-du %v bytes", dIdx, uIdx)
+	}
+}
+
+func TestEmptyRowsViaRowJmp(t *testing.T) {
+	c := core.NewCOO(100, 10)
+	c.Add(0, 3, 1)
+	c.Add(99, 7, 2)
+	c.Finalize()
+	m, _ := FromCOO(c)
+	st := m.Stats()
+	if st.PerOp[opRowJmp] == 0 {
+		t.Error("expected ROWJMP for 98 empty rows")
+	}
+	x := make([]float64, 10)
+	x[3], x[7] = 2, 3
+	y := make([]float64, 100)
+	m.SpMV(y, x)
+	if y[0] != 2 || y[99] != 6 {
+		t.Errorf("y[0]=%v y[99]=%v", y[0], y[99])
+	}
+	for i := 1; i < 99; i++ {
+		if y[i] != 0 {
+			t.Fatalf("y[%d] = %v", i, y[i])
+		}
+	}
+}
+
+func TestCorruptStreamPanics(t *testing.T) {
+	c := core.NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Finalize()
+	m, _ := FromCOO(c)
+	m.Cmds[0] = 200 // invalid opcode
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupt stream did not panic")
+		}
+	}()
+	m.SpMV(make([]float64, 2), make([]float64, 2))
+}
+
+func BenchmarkSpMVBandedDCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	c := matgen.Banded(rng, 20000, 50, 16, matgen.Values{})
+	m, _ := FromCOO(c)
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	b.SetBytes(m.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SpMV(y, x)
+	}
+}

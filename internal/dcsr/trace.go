@@ -1,0 +1,93 @@
+package dcsr
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/varint"
+)
+
+// Compute-cost model: DCSR pays a decode branch per command. Elements
+// inside RUNs amortize it; standalone DELTA commands carry the full
+// misprediction-prone cost. These constants are deliberately higher
+// than CSR-DU's per-unit cost — that asymmetry is the §III-B argument.
+const (
+	dcsrCompPerElem = 4  // delta add + multiply-accumulate
+	dcsrCompPerCmd  = 10 // decode dispatch (mispredicted branch amortized)
+)
+
+// Place implements core.Placer.
+func (m *Matrix) Place(a *core.Arena) {
+	m.cmdBase = a.Alloc(int64(len(m.Cmds)))
+	m.valBase = a.Alloc(int64(len(m.Values)) * 8)
+}
+
+var _ core.Tracer = (*chunk)(nil)
+
+// TraceSpMV implements core.Tracer.
+func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
+	m := c.m
+	if m.cmdBase == 0 && len(m.Cmds) > 0 {
+		panic("dcsr: TraceSpMV before Place")
+	}
+	if c.startMark < 0 {
+		return
+	}
+	cmds := m.Cmds
+	cs := core.NewStreamCursor(m.cmdBase)
+	vs := core.NewStreamCursor(m.valBase)
+	yw := core.NewStreamCursor(yBase)
+	pos := c.cmdLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	first := true
+	elem := func(comp uint16) {
+		vs.Touch(emit, int64(vi)*8, 8, false, 0)
+		emit(core.Access{Addr: xBase + uint64(xi)*8, Size: 8, Comp: comp})
+		vi++
+	}
+	for pos < c.cmdHi {
+		cs.Touch(emit, int64(pos), 1, false, dcsrCompPerCmd)
+		op := cmds[pos]
+		pos++
+		switch op {
+		case opDelta8:
+			xi += int(cmds[pos])
+			pos++
+			elem(dcsrCompPerElem)
+		case opDelta16:
+			xi += int(uint16(cmds[pos]) | uint16(cmds[pos+1])<<8)
+			pos += 2
+			elem(dcsrCompPerElem)
+		case opDelta32:
+			xi += int(uint32(cmds[pos]) | uint32(cmds[pos+1])<<8 |
+				uint32(cmds[pos+2])<<16 | uint32(cmds[pos+3])<<24)
+			pos += 4
+			elem(dcsrCompPerElem)
+		case opNewRow, opRowJmp:
+			var skip uint64 = 1
+			if op == opRowJmp {
+				skip, pos = varint.DecodeAt(cmds, pos)
+			}
+			if first {
+				yi = m.marks[c.startMark].row
+				first = false
+			} else {
+				yw.Touch(emit, int64(yi)*8, 8, true, 0)
+				yi += int(skip)
+			}
+			xi = 0
+		case opRun:
+			n := int(cmds[pos])
+			pos++
+			for k := 0; k < n; k++ {
+				cs.Touch(emit, int64(pos), 1, false, 0)
+				xi += int(cmds[pos])
+				pos++
+				elem(dcsrCompPerElem)
+			}
+		}
+	}
+	if !first {
+		yw.Touch(emit, int64(yi)*8, 8, true, 0)
+	}
+}

@@ -1,0 +1,159 @@
+// Package ell implements the ELLPACK-ITPACK storage format, one of the
+// classic CSR alternatives the paper's related work surveys (§III-A).
+//
+// Every row is padded to the length of the longest row and the matrix
+// is stored as two dense rows×width arrays (values and column indices)
+// in column-major order, as in the original ITPACK: the kernel streams
+// one "generalized column" at a time with unit stride and no inner-loop
+// bounds, which vectorizes trivially — at the price of storing padding.
+// On skewed matrices (e.g. power-law) the padding explodes; FromCOO
+// refuses to build when the fill exceeds a configurable bound, which is
+// exactly the format's documented weakness.
+package ell
+
+import (
+	"fmt"
+	"math"
+
+	"spmv/internal/core"
+	"spmv/internal/partition"
+)
+
+// DefaultMaxFill is the default limit on stored/logical non-zeros.
+const DefaultMaxFill = 10.0
+
+// Matrix is a sparse matrix in ELLPACK form. Values and ColInd are
+// rows×Width arrays in column-major order: element (i, k) of the padded
+// row-block lives at [k*rows + i]. Padding entries have value 0 and
+// column index 0.
+type Matrix struct {
+	rows, cols int
+	nnz        int
+	Width      int
+	ColInd     []int32
+	Values     []float64
+	rowLen     []int32 // logical length of each row
+
+	colBase, valBase uint64
+}
+
+var (
+	_ core.Format   = (*Matrix)(nil)
+	_ core.Splitter = (*Matrix)(nil)
+)
+
+// FromCOO builds an ELLPACK matrix, refusing if the padding would
+// exceed DefaultMaxFill times the logical non-zero count.
+func FromCOO(c *core.COO) (*Matrix, error) { return FromCOOMaxFill(c, DefaultMaxFill) }
+
+// FromCOOMaxFill builds an ELLPACK matrix with an explicit fill bound.
+func FromCOOMaxFill(c *core.COO, maxFill float64) (*Matrix, error) {
+	c.Finalize()
+	if c.Len() > math.MaxInt32 {
+		return nil, fmt.Errorf("ell: %d non-zeros exceed supported range", c.Len())
+	}
+	rows := c.Rows()
+	counts := c.RowCounts()
+	width := 0
+	for _, n := range counts {
+		if n > width {
+			width = n
+		}
+	}
+	if c.Len() > 0 {
+		fill := float64(width) * float64(rows) / float64(c.Len())
+		if fill > maxFill {
+			return nil, fmt.Errorf("ell: fill %.1f exceeds limit %.1f (width %d, skewed rows)", fill, maxFill, width)
+		}
+	}
+	m := &Matrix{
+		rows: rows, cols: c.Cols(), nnz: c.Len(), Width: width,
+		ColInd: make([]int32, rows*width),
+		Values: make([]float64, rows*width),
+		rowLen: make([]int32, rows),
+	}
+	fillPos := make([]int32, rows)
+	for k := 0; k < c.Len(); k++ {
+		i, j, v := c.At(k)
+		p := fillPos[i]
+		fillPos[i]++
+		m.ColInd[int(p)*rows+i] = int32(j)
+		m.Values[int(p)*rows+i] = v
+	}
+	copy(m.rowLen, fillPos)
+	return m, nil
+}
+
+// Name implements core.Format.
+func (m *Matrix) Name() string { return "ell" }
+
+// Rows implements core.Format.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols implements core.Format.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ implements core.Format (logical non-zeros, excluding padding).
+func (m *Matrix) NNZ() int { return m.nnz }
+
+// Fill returns stored entries (padding included) per logical non-zero.
+func (m *Matrix) Fill() float64 {
+	if m.nnz == 0 {
+		return 1
+	}
+	return float64(m.rows*m.Width) / float64(m.nnz)
+}
+
+// SizeBytes implements core.Format: both padded arrays.
+func (m *Matrix) SizeBytes() int64 {
+	return int64(m.rows) * int64(m.Width) * (core.IdxSize + core.ValSize)
+}
+
+// SpMV computes y = A*x.
+func (m *Matrix) SpMV(y, x []float64) { m.spmvRange(y, x, 0, m.rows) }
+
+// spmvRange streams the padded columns over a row range. The padded
+// entries contribute 0*x[0], so the kernel has no inner-loop branch.
+func (m *Matrix) spmvRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = 0
+	}
+	for k := 0; k < m.Width; k++ {
+		colBase := k * m.rows
+		for i := lo; i < hi; i++ {
+			y[i] += m.Values[colBase+i] * x[m.ColInd[colBase+i]]
+		}
+	}
+}
+
+// Split implements core.Splitter (nnz-balanced by logical row lengths).
+func (m *Matrix) Split(n int) []core.Chunk {
+	prefix := make([]int64, m.rows+1)
+	for i, l := range m.rowLen {
+		prefix[i+1] = prefix[i] + int64(l)
+	}
+	bounds := partition.SplitPrefix(prefix, n)
+	var chunks []core.Chunk
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] == bounds[i+1] {
+			continue
+		}
+		chunks = append(chunks, &chunk{m: m, lo: bounds[i], hi: bounds[i+1]})
+	}
+	return chunks
+}
+
+type chunk struct {
+	m      *Matrix
+	lo, hi int
+}
+
+func (c *chunk) RowRange() (int, int) { return c.lo, c.hi }
+func (c *chunk) NNZ() int {
+	n := 0
+	for i := c.lo; i < c.hi; i++ {
+		n += int(c.m.rowLen[i])
+	}
+	return n
+}
+func (c *chunk) SpMV(y, x []float64) { c.m.spmvRange(y, x, c.lo, c.hi) }

@@ -1,0 +1,100 @@
+package ell
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	// Unbounded fill so the skewed corpus matrices still build.
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) {
+		return FromCOOMaxFill(c, 1e18)
+	})
+}
+
+func TestWidthAndFill(t *testing.T) {
+	c := core.NewCOO(4, 6)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 2)
+	c.Add(1, 3, 3)
+	c.Add(1, 5, 4)
+	c.Add(3, 2, 5)
+	c.Finalize()
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width != 3 {
+		t.Errorf("Width = %d, want 3", m.Width)
+	}
+	if got, want := m.Fill(), 12.0/5.0; got != want {
+		t.Errorf("Fill = %v, want %v", got, want)
+	}
+	if m.SizeBytes() != int64(4*3*(4+8)) {
+		t.Errorf("SizeBytes = %d", m.SizeBytes())
+	}
+}
+
+func TestColumnMajorLayout(t *testing.T) {
+	// ITPACK layout: entry k of row i lives at k*rows+i.
+	c := core.NewCOO(3, 5)
+	c.Add(0, 1, 10)
+	c.Add(0, 4, 11)
+	c.Add(2, 0, 12)
+	c.Finalize()
+	m, _ := FromCOO(c)
+	if m.Values[0*3+0] != 10 || m.Values[1*3+0] != 11 {
+		t.Errorf("row 0 misplaced: %v", m.Values)
+	}
+	if m.Values[0*3+2] != 12 {
+		t.Errorf("row 2 misplaced: %v", m.Values)
+	}
+	// Padding is explicit zero with column 0.
+	if m.Values[1*3+2] != 0 || m.ColInd[1*3+2] != 0 {
+		t.Errorf("padding wrong: v=%v c=%d", m.Values[1*3+2], m.ColInd[1*3+2])
+	}
+}
+
+func TestRejectsSkewedFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.PowerLaw(rng, 3000, 3, 1.2, matgen.Values{})
+	if _, err := FromCOO(c); err == nil {
+		m, _ := FromCOOMaxFill(c, 1e18)
+		t.Errorf("power-law accepted with fill %.1f", m.Fill())
+	}
+}
+
+func TestBandedIsEfficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := matgen.Banded(rng, 2000, 10, 6, matgen.Values{})
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fill() > 2.5 {
+		t.Errorf("Fill = %v on near-uniform rows", m.Fill())
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	c := core.NewCOO(3, 3)
+	c.Finalize()
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width != 0 || m.Fill() != 1 {
+		t.Errorf("Width=%d Fill=%v", m.Width, m.Fill())
+	}
+	y := []float64{1, 2, 3}
+	m.SpMV(y, make([]float64, 3))
+	for _, v := range y {
+		if v != 0 {
+			t.Errorf("y = %v", y)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package formats is the registry of storage schemes by name: one
+// place where a format string ("csr-du", "csr-vi", ...) becomes a
+// constructor call. The experiment harness, the empirical autotuner and
+// the command-line tools all build formats through it.
+package formats
+
+import (
+	"fmt"
+
+	"spmv/internal/bcsr"
+	"spmv/internal/cds"
+	"spmv/internal/core"
+	"spmv/internal/csc"
+	"spmv/internal/csr"
+	"spmv/internal/csrdu"
+	"spmv/internal/csrduvi"
+	"spmv/internal/csrvi"
+	"spmv/internal/dcsr"
+	"spmv/internal/ell"
+	"spmv/internal/hybrid"
+	"spmv/internal/jds"
+	"spmv/internal/sym"
+	"spmv/internal/vbr"
+)
+
+// Build constructs the named format from a triplet matrix.
+func Build(name string, c *core.COO) (core.Format, error) {
+	switch name {
+	case "csr":
+		return csr.FromCOO(c)
+	case "csr16":
+		return csr.From16(c)
+	case "csr32":
+		return csr.From32(c)
+	case "csr-du":
+		return csrdu.FromCOO(c)
+	case "csr-du-rle":
+		return csrdu.FromCOOOpts(c, csrdu.Options{RLE: true})
+	case "csr-vi":
+		return csrvi.FromCOO(c)
+	case "csr-du-vi":
+		return csrduvi.FromCOO(c)
+	case "dcsr":
+		return dcsr.FromCOO(c)
+	case "csc":
+		return csc.FromCOO(c)
+	case "bcsr2x2":
+		return bcsr.FromCOO(c, 2, 2)
+	case "bcsr4x4":
+		return bcsr.FromCOO(c, 4, 4)
+	case "ell":
+		return ell.FromCOO(c)
+	case "jds":
+		return jds.FromCOO(c)
+	case "cds":
+		return cds.FromCOO(c)
+	case "vbr":
+		return vbr.FromCOOAuto(c)
+	case "hybrid":
+		return hybrid.FromCOO(c)
+	case "sym-csr":
+		return sym.FromCOO(c, 1e-12)
+	default:
+		return nil, fmt.Errorf("formats: unknown format %q", name)
+	}
+}
+
+// Names returns every registered format name.
+func Names() []string {
+	return []string{
+		"csr", "csr16", "csr32",
+		"csr-du", "csr-du-rle", "csr-vi", "csr-du-vi",
+		"dcsr", "csc", "bcsr2x2", "bcsr4x4",
+		"ell", "jds", "cds", "vbr", "sym-csr", "hybrid",
+	}
+}

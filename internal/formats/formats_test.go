@@ -1,0 +1,42 @@
+package formats
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestEveryRegisteredFormatBuildsOnStencil(t *testing.T) {
+	// The stencil is symmetric, banded, low-unique and uniform-row:
+	// every registered format can represent it.
+	c := matgen.Stencil2D(10)
+	x := testmat.RandVec(rand.New(rand.NewSource(1)), c.Cols())
+	ref, err := Build("csr", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, c.Rows())
+	ref.SpMV(want, x)
+	for _, name := range Names() {
+		f, err := Build(name, c)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		got := make([]float64, c.Rows())
+		f.SpMV(got, x)
+		testmat.AssertClose(t, name, got, want, 1e-10)
+		if f.NNZ() != c.Len() {
+			t.Errorf("%s: NNZ %d != %d", name, f.NNZ(), c.Len())
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	c := matgen.Stencil2D(3)
+	if _, err := Build("nope", c); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package fpc implements an FPC-style lossless compressor for streams
+// of float64 values, after Burtscher and Ratanaworabhan ("High
+// Throughput Compression of Double-Precision Floating-Point Data",
+// DCC 2007) — the value-compression technique the paper's §III-C cites
+// from the network-transfer context.
+//
+// Two hash-based predictors — fcm (finite context) and dfcm
+// (differential finite context) — guess each value from the preceding
+// stream; the encoder XORs the value with the better guess and stores
+// only the non-zero tail of the XOR plus a 4-bit code (1 bit predictor
+// choice, 3 bits leading-zero-byte count). Matrix value streams with
+// repeated or slowly varying coefficients compress well; incompressible
+// streams expand by at most 1/16.
+//
+// Unlike CSR-VI this is a storage/transfer compressor, not an SpMV
+// kernel format: decompression is sequential. The library uses it to
+// report value-stream compressibility (cmd/mtxinfo) and for compact
+// matrix files.
+package fpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DefaultTableBits sizes the predictor hash tables (2^bits entries).
+const DefaultTableBits = 16
+
+type predictor struct {
+	fcm      []uint64
+	dfcm     []uint64
+	fcmHash  uint64
+	dfcmHash uint64
+	last     uint64
+	mask     uint64
+}
+
+func newPredictor(tableBits int) *predictor {
+	size := 1 << tableBits
+	return &predictor{
+		fcm:  make([]uint64, size),
+		dfcm: make([]uint64, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// next returns the two predictions for the upcoming value.
+func (p *predictor) next() (fcmPred, dfcmPred uint64) {
+	return p.fcm[p.fcmHash], p.dfcm[p.dfcmHash] + p.last
+}
+
+// update trains both predictors with the actual value.
+func (p *predictor) update(v uint64) {
+	p.fcm[p.fcmHash] = v
+	p.fcmHash = ((p.fcmHash << 6) ^ (v >> 48)) & p.mask
+	d := v - p.last
+	p.dfcm[p.dfcmHash] = d
+	p.dfcmHash = ((p.dfcmHash << 2) ^ (d >> 40)) & p.mask
+	p.last = v
+}
+
+// Compress encodes values with DefaultTableBits.
+func Compress(values []float64) []byte { return CompressBits(values, DefaultTableBits) }
+
+// CompressBits encodes values using 2^tableBits-entry predictor tables.
+// Layout: [tableBits:1][count:uvarint][per pair: header byte + residual
+// bytes]. Each 4-bit header holds the predictor bit (high) and the
+// count of leading zero bytes L (0..7); 8-L residual bytes follow in
+// little-endian order (a fully predicted value stores L=7 plus one zero
+// byte).
+func CompressBits(values []float64, tableBits int) []byte {
+	if tableBits < 4 || tableBits > 24 {
+		tableBits = DefaultTableBits
+	}
+	out := make([]byte, 0, len(values)*5+10)
+	out = append(out, byte(tableBits))
+	out = binary.AppendUvarint(out, uint64(len(values)))
+	p := newPredictor(tableBits)
+
+	codes := make([]byte, 2)
+	resid := make([]byte, 0, 16)
+	for k := 0; k < len(values); k += 2 {
+		resid = resid[:0]
+		n := 2
+		if k+1 >= len(values) {
+			n = 1
+			codes[1] = 0
+		}
+		for s := 0; s < n; s++ {
+			v := math.Float64bits(values[k+s])
+			f, d := p.next()
+			p.update(v)
+			xf, xd := v^f, v^d
+			x := xf
+			var predBit byte
+			if lzb(xd) > lzb(xf) {
+				x = xd
+				predBit = 8
+			}
+			l := lzb(x)
+			if l > 7 {
+				l = 7
+			}
+			codes[s] = predBit | byte(l)
+			for b := 0; b < 8-l; b++ {
+				resid = append(resid, byte(x>>(8*b)))
+			}
+		}
+		out = append(out, codes[0]<<4|codes[1])
+		out = append(out, resid...)
+	}
+	return out
+}
+
+// lzb counts leading zero bytes of x (0..8).
+func lzb(x uint64) int {
+	n := 0
+	for n < 8 && x&(0xff<<uint(56-8*n)) == 0 {
+		n++
+	}
+	return n
+}
+
+// Decompress decodes a stream produced by CompressBits.
+func Decompress(data []byte) ([]float64, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("fpc: truncated header")
+	}
+	tableBits := int(data[0])
+	if tableBits < 4 || tableBits > 24 {
+		return nil, fmt.Errorf("fpc: invalid table size %d", tableBits)
+	}
+	count, n := binary.Uvarint(data[1:])
+	if n <= 0 {
+		return nil, fmt.Errorf("fpc: bad count")
+	}
+	// Every pair of values consumes at least one header byte, so a
+	// valid stream can never claim more than ~2 values per input byte;
+	// reject larger counts before allocating.
+	if count > 2*uint64(len(data))+2 {
+		return nil, fmt.Errorf("fpc: count %d impossible for %d input bytes", count, len(data))
+	}
+	pos := 1 + n
+	p := newPredictor(tableBits)
+	out := make([]float64, 0, count)
+	for uint64(len(out)) < count {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("fpc: truncated at value %d", len(out))
+		}
+		hdr := data[pos]
+		pos++
+		n := 2
+		if uint64(len(out))+1 == count {
+			n = 1
+		}
+		for s := 0; s < n; s++ {
+			code := hdr >> 4
+			if s == 1 {
+				code = hdr & 0x0f
+			}
+			l := int(code & 7)
+			var x uint64
+			for b := 0; b < 8-l; b++ {
+				if pos >= len(data) {
+					return nil, fmt.Errorf("fpc: truncated residual at value %d", len(out))
+				}
+				x |= uint64(data[pos]) << (8 * b)
+				pos++
+			}
+			f, d := p.next()
+			var v uint64
+			if code&8 != 0 {
+				v = x ^ d
+			} else {
+				v = x ^ f
+			}
+			p.update(v)
+			out = append(out, math.Float64frombits(v))
+		}
+	}
+	return out, nil
+}
+
+// Ratio returns compressed/uncompressed size for a value stream: a
+// quick compressibility probe.
+func Ratio(values []float64) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	return float64(len(Compress(values))) / float64(8*len(values))
+}

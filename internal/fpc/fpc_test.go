@@ -1,0 +1,156 @@
+package fpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmv/internal/matgen"
+)
+
+func roundTrip(t *testing.T, vals []float64, what string) {
+	t.Helper()
+	comp := Compress(vals)
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if len(back) != len(vals) {
+		t.Fatalf("%s: %d values back, want %d", what, len(back), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("%s: value %d = %x, want %x (lossless violated)",
+				what, i, math.Float64bits(back[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	roundTrip(t, nil, "empty")
+	roundTrip(t, []float64{1.5}, "single")
+	roundTrip(t, []float64{1.5, -2.5}, "pair")
+	roundTrip(t, []float64{0, 0, 0, 0, 0}, "zeros")
+	roundTrip(t, []float64{math.Inf(1), math.Inf(-1), math.NaN(), math.Copysign(0, -1)}, "specials")
+	seq := make([]float64, 1001)
+	for i := range seq {
+		seq[i] = float64(i) * 0.25
+	}
+	roundTrip(t, seq, "arithmetic sequence")
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		comp := Compress(vals)
+		back, err := Decompress(comp)
+		if err != nil || len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressesRepeatedValues(t *testing.T) {
+	// A stencil value stream ({4,-1} pattern) must compress hard.
+	c := matgen.Stencil2D(40)
+	vals := make([]float64, c.Len())
+	for k := range vals {
+		_, _, vals[k] = c.At(k)
+	}
+	if r := Ratio(vals); r > 0.45 {
+		t.Errorf("stencil value stream ratio = %v, want < 0.45", r)
+	}
+}
+
+func TestRandomDataBoundedExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	r := Ratio(vals)
+	if r > 1.07 {
+		t.Errorf("random stream expanded to %v, bound is 1+1/16", r)
+	}
+	if r < 0.85 {
+		t.Errorf("random stream ratio %v suspiciously small", r)
+	}
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) / 100)
+	}
+	rSmooth := Ratio(vals)
+	rng := rand.New(rand.NewSource(2))
+	rand64 := make([]float64, 8192)
+	for i := range rand64 {
+		rand64[i] = rng.NormFloat64()
+	}
+	if rSmooth >= Ratio(rand64) {
+		t.Errorf("smooth ratio %v not below random %v", rSmooth, Ratio(rand64))
+	}
+}
+
+func TestTableBitsVariants(t *testing.T) {
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = float64(i % 17)
+	}
+	for _, bits := range []int{4, 10, 20} {
+		comp := CompressBits(vals, bits)
+		back, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("bits=%d: mismatch at %d", bits, i)
+			}
+		}
+	}
+	// Out-of-range bits fall back to the default rather than failing.
+	comp := CompressBits(vals[:4], 99)
+	if _, err := Decompress(comp); err != nil {
+		t.Errorf("fallback table size: %v", err)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"one byte":    {16},
+		"bad bits":    {99, 2, 0},
+		"truncated":   Compress([]float64{1, 2, 3, 4, 5})[:6],
+		"short resid": {16, 2, 0x00}, // header promises residuals that are missing
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecompressHugeClaimedCount(t *testing.T) {
+	// Regression (found by fuzzing): a count varint claiming billions of
+	// values must be rejected before allocation, not OOM.
+	if _, err := Decompress([]byte("\x12\xf0\xf0\xf0\xf0O")); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	if Ratio(nil) != 1 {
+		t.Errorf("Ratio(nil) = %v", Ratio(nil))
+	}
+}

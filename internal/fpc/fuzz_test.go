@@ -1,0 +1,59 @@
+package fpc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompress checks the decoder never panics or over-allocates on
+// arbitrary input.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Compress([]float64{1, 2, 3}))
+	f.Add(Compress(nil))
+	f.Add([]byte{16, 200, 200, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-compress and decode to itself.
+		back, err := Decompress(Compress(vals))
+		if err != nil {
+			t.Fatalf("re-compress failed: %v", err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("length changed: %d -> %d", len(vals), len(back))
+		}
+		for i := range vals {
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("value %d changed", i)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks lossless compression over arbitrary value bytes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := make([]float64, len(raw)/8)
+		for i := range vals {
+			var bits uint64
+			for b := 0; b < 8; b++ {
+				bits |= uint64(raw[i*8+b]) << (8 * b)
+			}
+			vals[i] = math.Float64frombits(bits)
+		}
+		back, err := Decompress(Compress(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("value %d: %x != %x", i, math.Float64bits(back[i]), math.Float64bits(vals[i]))
+			}
+		}
+	})
+}

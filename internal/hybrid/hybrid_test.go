@@ -1,0 +1,117 @@
+package hybrid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/csrdu"
+	"spmv/internal/matgen"
+	"spmv/internal/parallel"
+	"spmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) {
+		return FromCOOBlock(c, 16) // small blocks so the corpus exercises many
+	})
+}
+
+// mixedMatrix glues a pure stencil region (dense diagonals: CDS wins)
+// on top of a widely scattered region (CSR-DU wins): no single format
+// is best for both. side is the stencil grid side; each region has
+// side*side rows.
+func mixedMatrix(rng *rand.Rand, side int) *core.COO {
+	n := side * side
+	cols := 1 << 20
+	c := core.NewCOO(2*n, cols)
+	stencil := matgen.Stencil2D(side)
+	for k := 0; k < stencil.Len(); k++ {
+		i, j, v := stencil.At(k)
+		c.Add(i, j, v)
+	}
+	scattered := matgen.RandomUniform(rng, n, cols, 6, matgen.Values{})
+	for k := 0; k < scattered.Len(); k++ {
+		i, j, v := scattered.At(k)
+		c.Add(n+i, j, v)
+	}
+	c.Finalize()
+	return c
+}
+
+func TestPicksDifferentFormatsPerRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := mixedMatrix(rng, 64)
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := m.Mix()
+	if !strings.Contains(mix, ":") {
+		t.Fatalf("Mix = %q", mix)
+	}
+	// The banded half must not be stored as plain CSR, and the format
+	// mix must contain at least two formats.
+	if !strings.Contains(mix, "cds") || !strings.Contains(mix, "csr-du") {
+		t.Errorf("expected cds for the stencil region and csr-du for the scattered one, got %s", mix)
+	}
+	if len(strings.Fields(mix)) < 2 {
+		t.Errorf("expected a mixed selection, got %s", mix)
+	}
+	// Hybrid must beat both single whole-matrix formats on size.
+	whole, _ := csr.FromCOO(c)
+	du, _ := csrdu.FromCOO(c)
+	if m.SizeBytes() >= whole.SizeBytes() {
+		t.Errorf("hybrid %d >= csr %d", m.SizeBytes(), whole.SizeBytes())
+	}
+	if m.SizeBytes() > du.SizeBytes() {
+		t.Errorf("hybrid %d > csr-du %d: per-region choice should not lose", m.SizeBytes(), du.SizeBytes())
+	}
+}
+
+func TestMatchesCSRNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := mixedMatrix(rng, 24)
+	m, _ := FromCOO(c)
+	ref, _ := csr.FromCOO(c)
+	x := testmat.RandVec(rng, c.Cols())
+	y1 := make([]float64, c.Rows())
+	y2 := make([]float64, c.Rows())
+	m.SpMV(y1, x)
+	ref.SpMV(y2, x)
+	testmat.AssertClose(t, "hybrid", y1, y2, 1e-10)
+}
+
+func TestParallelExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := mixedMatrix(rng, 32)
+	m, _ := FromCOOBlock(c, 512)
+	e, err := parallel.NewExecutor(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	x := testmat.RandVec(rng, c.Cols())
+	want := make([]float64, c.Rows())
+	m.SpMV(want, x)
+	got := make([]float64, c.Rows())
+	e.Run(got, x)
+	testmat.AssertClose(t, "parallel hybrid", got, want, 1e-10)
+}
+
+func TestBadBlockHeight(t *testing.T) {
+	c := matgen.Stencil2D(4)
+	if _, err := FromCOOBlock(c, 0); err == nil {
+		t.Error("block height 0 accepted")
+	}
+}
+
+func TestStencilAllCompressed(t *testing.T) {
+	c := matgen.Stencil2D(64)
+	m, _ := FromCOOBlock(c, 1024)
+	if strings.Contains(m.Mix(), "csr:") {
+		t.Errorf("stencil blocks fell back to plain CSR: %s", m.Mix())
+	}
+}

@@ -1,0 +1,114 @@
+// Package jds implements the Jagged Diagonal Storage format (JD in the
+// paper's related-work survey, §III-A), the classic vector-machine
+// format: rows are sorted by decreasing length and stored as "jagged
+// diagonals" — the k-th non-zero of every row that has one. Each jagged
+// diagonal is a dense unit-stride stream, so the kernel is a sequence
+// of long vectorizable loops, at the price of a row permutation on y.
+//
+// The row permutation scatters output rows, so JDS does not support the
+// library's contiguous row partitioning (it implements Format only);
+// the paper's multithreaded evaluation likewise uses CSR-derived
+// formats.
+package jds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spmv/internal/core"
+)
+
+// Matrix is a sparse matrix in JDS form.
+type Matrix struct {
+	rows, cols int
+	Perm       []int32 // Perm[r] = original row of sorted position r
+	JdPtr      []int32 // offset of each jagged diagonal (len = maxLen+1)
+	ColInd     []int32
+	Values     []float64
+}
+
+var _ core.Format = (*Matrix)(nil)
+
+// FromCOO builds a JDS matrix.
+func FromCOO(c *core.COO) (*Matrix, error) {
+	c.Finalize()
+	if c.Len() > math.MaxInt32 {
+		return nil, fmt.Errorf("jds: %d non-zeros exceed supported range", c.Len())
+	}
+	rows := c.Rows()
+	counts := c.RowCounts()
+	m := &Matrix{rows: rows, cols: c.Cols()}
+	m.Perm = make([]int32, rows)
+	for i := range m.Perm {
+		m.Perm[i] = int32(i)
+	}
+	// Stable sort by decreasing row length keeps deterministic layout.
+	sort.SliceStable(m.Perm, func(a, b int) bool {
+		return counts[m.Perm[a]] > counts[m.Perm[b]]
+	})
+	maxLen := 0
+	if rows > 0 {
+		maxLen = counts[m.Perm[0]]
+	}
+	// Row start offsets within the original (finalized, row-major) COO.
+	starts := make([]int32, rows+1)
+	for i := 0; i < rows; i++ {
+		starts[i+1] = starts[i] + int32(counts[i])
+	}
+	m.JdPtr = make([]int32, maxLen+1)
+	m.ColInd = make([]int32, 0, c.Len())
+	m.Values = make([]float64, 0, c.Len())
+	for d := 0; d < maxLen; d++ {
+		m.JdPtr[d] = int32(len(m.Values))
+		for r := 0; r < rows; r++ {
+			orig := m.Perm[r]
+			if counts[orig] <= d {
+				break // rows sorted by length: the rest are shorter
+			}
+			k := int(starts[orig]) + d
+			_, j, v := c.At(k)
+			m.ColInd = append(m.ColInd, int32(j))
+			m.Values = append(m.Values, v)
+		}
+	}
+	m.JdPtr[maxLen] = int32(len(m.Values))
+	return m, nil
+}
+
+// Name implements core.Format.
+func (m *Matrix) Name() string { return "jds" }
+
+// Rows implements core.Format.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols implements core.Format.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ implements core.Format.
+func (m *Matrix) NNZ() int { return len(m.Values) }
+
+// MaxLen returns the number of jagged diagonals (longest row length).
+func (m *Matrix) MaxLen() int { return len(m.JdPtr) - 1 }
+
+// SizeBytes implements core.Format: values, col_ind, jd_ptr and the
+// permutation.
+func (m *Matrix) SizeBytes() int64 {
+	return int64(m.NNZ())*(core.IdxSize+core.ValSize) +
+		int64(len(m.JdPtr))*core.IdxSize +
+		int64(m.rows)*core.IdxSize
+}
+
+// SpMV computes y = A*x: one dense pass per jagged diagonal.
+func (m *Matrix) SpMV(y, x []float64) {
+	for i := 0; i < m.rows; i++ {
+		y[i] = 0
+	}
+	for d := 0; d < len(m.JdPtr)-1; d++ {
+		lo, hi := m.JdPtr[d], m.JdPtr[d+1]
+		for t := lo; t < hi; t++ {
+			r := t - lo // sorted row position
+			y[m.Perm[r]] += m.Values[t] * x[m.ColInd[t]]
+		}
+	}
+}

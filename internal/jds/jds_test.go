@@ -1,0 +1,76 @@
+package jds
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) { return FromCOO(c) })
+}
+
+func TestPermSortedByLength(t *testing.T) {
+	c := core.NewCOO(4, 8)
+	c.Add(0, 0, 1) // len 1
+	for j := 0; j < 4; j++ {
+		c.Add(1, j, 1) // len 4
+	}
+	for j := 0; j < 2; j++ {
+		c.Add(3, j, 1) // len 2
+	}
+	c.Finalize()
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 3, 0, 2} // stable: equal lengths keep order
+	for i, w := range want {
+		if m.Perm[i] != w {
+			t.Fatalf("Perm = %v, want %v", m.Perm, want)
+		}
+	}
+	if m.MaxLen() != 4 {
+		t.Errorf("MaxLen = %d", m.MaxLen())
+	}
+	// Jagged diagonal widths shrink: 3 rows have a 1st element, 2 a 2nd...
+	widths := []int32{3, 2, 1, 1}
+	for d := 0; d < 4; d++ {
+		if got := m.JdPtr[d+1] - m.JdPtr[d]; got != widths[d] {
+			t.Errorf("diagonal %d width = %d, want %d", d, got, widths[d])
+		}
+	}
+}
+
+func TestPowerLawFriendly(t *testing.T) {
+	// JDS was designed for exactly the skewed matrices that break
+	// ELLPACK: no padding regardless of skew.
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.PowerLaw(rng, 2000, 5, 1.1, matgen.Values{})
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != c.Len() {
+		t.Errorf("NNZ = %d, want %d (no padding)", m.NNZ(), c.Len())
+	}
+	d := core.DenseFromCOO(c)
+	x := testmat.RandVec(rng, c.Cols())
+	want := make([]float64, c.Rows())
+	got := make([]float64, c.Rows())
+	d.SpMV(want, x)
+	m.SpMV(got, x)
+	testmat.AssertClose(t, "jds powerlaw", got, want, 1e-10)
+}
+
+func TestNotASplitter(t *testing.T) {
+	c := matgen.Stencil2D(4)
+	m, _ := FromCOO(c)
+	var f core.Format = m
+	if _, ok := f.(core.Splitter); ok {
+		t.Error("JDS should not claim contiguous row partitioning")
+	}
+}

@@ -1,0 +1,333 @@
+// Package matfile stores encoded matrices in a compact binary
+// container, so a compressed matrix (the product of an O(nnz) encoding
+// pass) can be built once and memory-mapped or streamed by solver
+// processes — the deployment mode the paper's formats target, where
+// the same matrix is multiplied hundreds of times per run.
+//
+// Layout (all integers little-endian):
+//
+//	magic   4 bytes  "SPMV"
+//	version 1 byte
+//	name    1-byte length + bytes (format name)
+//	rows, cols, nnz  8 bytes each
+//	sections: per format, a sequence of length-prefixed byte blobs
+//
+// Supported formats: csr, csr-du (incl. RLE streams), csr-vi.
+package matfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/csrdu"
+	"spmv/internal/csrvi"
+)
+
+var magic = [4]byte{'S', 'P', 'M', 'V'}
+
+const version = 1
+
+// Write serializes a supported format to w.
+func Write(w io.Writer, f core.Format) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	bw.WriteByte(version)
+	name := f.Name()
+	if len(name) > 255 {
+		return fmt.Errorf("matfile: format name too long")
+	}
+	bw.WriteByte(byte(len(name)))
+	bw.WriteString(name)
+	for _, v := range []int64{int64(f.Rows()), int64(f.Cols()), int64(f.NNZ())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var err error
+	switch m := f.(type) {
+	case *csr.Matrix:
+		err = writeSections(bw, int32Bytes(m.RowPtr), int32Bytes(m.ColInd), floatBytes(m.Values))
+	case *csrdu.Matrix:
+		err = writeSections(bw, m.Ctl, floatBytes(m.Values))
+	case *csrvi.Matrix:
+		err = writeSections(bw, int32Bytes(m.RowPtr), int32Bytes(m.ColInd),
+			[]byte{byte(m.IndexWidth())}, viBytes(m), floatBytes(m.Unique))
+	default:
+		return fmt.Errorf("matfile: unsupported format %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a matrix written by Write. The concrete type of the
+// result matches the stored format name.
+func Read(r io.Reader) (core.Format, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("matfile: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("matfile: bad magic %q", m)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("matfile: unsupported version %d", ver)
+	}
+	nlen, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	nameB := make([]byte, nlen)
+	if _, err := io.ReadFull(br, nameB); err != nil {
+		return nil, err
+	}
+	var rows, cols, nnz int64
+	for _, p := range []*int64{&rows, &cols, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 || nnz > math.MaxInt32 {
+		return nil, fmt.Errorf("matfile: invalid shape %dx%d nnz %d", rows, cols, nnz)
+	}
+	name := string(nameB)
+	// Sections can never legitimately exceed this bound (the largest is
+	// 8 bytes per nnz); cap allocations so corrupt lengths fail cleanly
+	// instead of exhausting memory.
+	maxSection := (nnz+rows+cols+2)*8 + 1024
+	// The container stores raw streams; rebuilding through triplets
+	// revalidates all invariants at O(nnz) cost, which the encoders'
+	// construction already pays. That keeps the reader immune to
+	// malformed ctl streams.
+	switch name {
+	case "csr":
+		rowPtr, colInd, values, err := readCSRSections(br, rows, nnz, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		return rebuildCSR(rowPtr, colInd, values, rows, cols)
+	case "csr-du", "csr-du-rle":
+		ctl, err := readSection(br, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := readSection(br, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		return rebuildDU(ctl, bytesFloat(vals), rows, cols, nnz, name == "csr-du-rle")
+	case "csr-vi":
+		rowPtr, err := readSection(br, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		colInd, err := readSection(br, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := readSection(br, maxSection); err != nil { // width (informational)
+			return nil, err
+		}
+		vi, err := readSection(br, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		uniq, err := readSection(br, maxSection)
+		if err != nil {
+			return nil, err
+		}
+		return rebuildVI(bytesInt32(rowPtr), bytesInt32(colInd), vi, bytesFloat(uniq), rows, cols, nnz)
+	default:
+		return nil, fmt.Errorf("matfile: unsupported format %q", name)
+	}
+}
+
+func writeSections(w *bufio.Writer, sections ...[]byte) error {
+	for _, s := range sections {
+		if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
+			return err
+		}
+		if _, err := w.Write(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readSection(r io.Reader, maxLen int64) ([]byte, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > maxLen {
+		return nil, fmt.Errorf("matfile: invalid section length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func readCSRSections(r io.Reader, rows, nnz, maxSection int64) ([]int32, []int32, []float64, error) {
+	rp, err := readSection(r, maxSection)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ci, err := readSection(r, maxSection)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vs, err := readSection(r, maxSection)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rowPtr, colInd, values := bytesInt32(rp), bytesInt32(ci), bytesFloat(vs)
+	if int64(len(rowPtr)) != rows+1 || int64(len(colInd)) != nnz || int64(len(values)) != nnz {
+		return nil, nil, nil, fmt.Errorf("matfile: section sizes inconsistent with header")
+	}
+	return rowPtr, colInd, values, nil
+}
+
+// validRowPtr checks that a row pointer is monotone and spans exactly
+// [0, nnz] — a corrupt one would send the rebuild loops out of bounds.
+func validRowPtr(rowPtr []int32, nnz int64) error {
+	if len(rowPtr) == 0 || rowPtr[0] != 0 || int64(rowPtr[len(rowPtr)-1]) != nnz {
+		return fmt.Errorf("matfile: row pointer does not span nnz")
+	}
+	for i := 1; i < len(rowPtr); i++ {
+		if rowPtr[i] < rowPtr[i-1] {
+			return fmt.Errorf("matfile: row pointer not monotone at %d", i)
+		}
+	}
+	return nil
+}
+
+func rebuildCSR(rowPtr, colInd []int32, values []float64, rows, cols int64) (core.Format, error) {
+	if err := validRowPtr(rowPtr, int64(len(values))); err != nil {
+		return nil, err
+	}
+	c := core.NewCOO(int(rows), int(cols))
+	for i := int64(0); i < rows; i++ {
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			if colInd[k] < 0 || int64(colInd[k]) >= cols {
+				return nil, fmt.Errorf("matfile: column %d out of range", colInd[k])
+			}
+			c.Add(int(i), int(colInd[k]), values[k])
+		}
+	}
+	return csr.FromCOO(c)
+}
+
+func rebuildDU(ctl []byte, values []float64, rows, cols, nnz int64, rle bool) (core.Format, error) {
+	if int64(len(values)) != nnz {
+		return nil, fmt.Errorf("matfile: value count %d != header nnz %d", len(values), nnz)
+	}
+	_ = rle // recorded in the stream itself; FromRaw detects RLE units
+	return csrdu.FromRaw(ctl, values, int(rows), int(cols))
+}
+
+func rebuildVI(rowPtr, colInd []int32, vi []byte, uniq []float64, rows, cols, nnz int64) (core.Format, error) {
+	if int64(len(rowPtr)) != rows+1 || int64(len(colInd)) != nnz {
+		return nil, fmt.Errorf("matfile: section sizes inconsistent with header")
+	}
+	width := 1
+	switch {
+	case len(uniq) > 1<<16:
+		width = 4
+	case len(uniq) > 1<<8:
+		width = 2
+	}
+	if int64(len(vi)) != nnz*int64(width) {
+		return nil, fmt.Errorf("matfile: val_ind size %d inconsistent with %d unique", len(vi), len(uniq))
+	}
+	if err := validRowPtr(rowPtr, nnz); err != nil {
+		return nil, err
+	}
+	c := core.NewCOO(int(rows), int(cols))
+	for i := int64(0); i < rows; i++ {
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			var idx int
+			switch width {
+			case 1:
+				idx = int(vi[k])
+			case 2:
+				idx = int(binary.LittleEndian.Uint16(vi[int(k)*2:]))
+			default:
+				idx = int(binary.LittleEndian.Uint32(vi[int(k)*4:]))
+			}
+			if idx >= len(uniq) {
+				return nil, fmt.Errorf("matfile: value index %d out of range", idx)
+			}
+			if colInd[k] < 0 || int64(colInd[k]) >= cols {
+				return nil, fmt.Errorf("matfile: column %d out of range", colInd[k])
+			}
+			c.Add(int(i), int(colInd[k]), uniq[idx])
+		}
+	}
+	return csrvi.FromCOO(c)
+}
+
+func int32Bytes(s []int32) []byte {
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+func bytesInt32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func floatBytes(s []float64) []byte {
+	out := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func bytesFloat(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func viBytes(m *csrvi.Matrix) []byte {
+	switch {
+	case m.VI8 != nil:
+		return append([]byte(nil), m.VI8...)
+	case m.VI16 != nil:
+		out := make([]byte, 2*len(m.VI16))
+		for i, v := range m.VI16 {
+			binary.LittleEndian.PutUint16(out[i*2:], v)
+		}
+		return out
+	default:
+		out := make([]byte, 4*len(m.VI32))
+		for i, v := range m.VI32 {
+			binary.LittleEndian.PutUint32(out[i*4:], v)
+		}
+		return out
+	}
+}

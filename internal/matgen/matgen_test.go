@@ -1,0 +1,246 @@
+package matgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+)
+
+func TestStencil2DShape(t *testing.T) {
+	n := 8
+	c := Stencil2D(n)
+	if c.Rows() != n*n || c.Cols() != n*n {
+		t.Fatalf("dims = %dx%d, want %dx%d", c.Rows(), c.Cols(), n*n, n*n)
+	}
+	// nnz = 5n² - 4n (boundary rows lose neighbours).
+	want := 5*n*n - 4*n
+	if c.Len() != want {
+		t.Errorf("nnz = %d, want %d", c.Len(), want)
+	}
+	// Exactly two unique values: 4 and -1.
+	if ttu := TTU(c); ttu != float64(c.Len())/2 {
+		t.Errorf("ttu = %v, want %v", ttu, float64(c.Len())/2)
+	}
+}
+
+func TestStencil2DSymmetricSPDish(t *testing.T) {
+	c := Stencil2D(6)
+	d := core.DenseFromCOO(c)
+	for i := 0; i < d.R; i++ {
+		// Diagonally dominant and symmetric.
+		var off float64
+		for j := 0; j < d.C; j++ {
+			if d.At(i, j) != d.At(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if i != j {
+				off += absf(d.At(i, j))
+			}
+		}
+		if d.At(i, i) < off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestStencil3DShape(t *testing.T) {
+	n := 4
+	c := Stencil3D(n)
+	if c.Rows() != n*n*n {
+		t.Fatalf("rows = %d, want %d", c.Rows(), n*n*n)
+	}
+	want := 7*n*n*n - 6*n*n
+	if c.Len() != want {
+		t.Errorf("nnz = %d, want %d", c.Len(), want)
+	}
+}
+
+func TestStencil2D9Shape(t *testing.T) {
+	n := 6
+	c := Stencil2D9(n)
+	// Interior rows have 9 entries; corners 4; edges 6.
+	want := 9*(n-2)*(n-2) + 6*4*(n-2) + 4*4
+	if c.Len() != want {
+		t.Errorf("nnz = %d, want %d", c.Len(), want)
+	}
+}
+
+func TestBandedWithinBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, hb := 200, 11
+	c := Banded(rng, n, hb, 8, Values{})
+	for k := 0; k < c.Len(); k++ {
+		i, j, _ := c.At(k)
+		if j < i-hb || j > i+hb {
+			t.Fatalf("entry (%d,%d) outside band %d", i, j, hb)
+		}
+	}
+	// Diagonal present in every row.
+	counts := c.RowCounts()
+	for i, n := range counts {
+		if n < 1 {
+			t.Fatalf("row %d empty", i)
+		}
+	}
+}
+
+func TestRandomUniformEveryRowNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := RandomUniform(rng, 150, 90, 5, Values{})
+	for i, n := range c.RowCounts() {
+		if n < 1 {
+			t.Fatalf("row %d empty", i)
+		}
+	}
+	if c.Cols() != 90 {
+		t.Fatalf("cols = %d", c.Cols())
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := PowerLaw(rng, 2000, 8, 0.9, Values{})
+	counts := c.RowCounts()
+	if counts[0] < 10*counts[len(counts)-1] {
+		t.Errorf("expected skew: first row %d nnz vs last row %d", counts[0], counts[len(counts)-1])
+	}
+	for i, n := range counts {
+		if n < 1 {
+			t.Fatalf("row %d empty", i)
+		}
+	}
+}
+
+func TestBlockDiagDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := BlockDiag(rng, 5, 4, Values{})
+	if c.Len() != 5*4*4 {
+		t.Fatalf("nnz = %d, want 80", c.Len())
+	}
+	for k := 0; k < c.Len(); k++ {
+		i, j, _ := c.At(k)
+		if i/4 != j/4 {
+			t.Fatalf("entry (%d,%d) off block diagonal", i, j)
+		}
+	}
+}
+
+func TestFEMLikeSymmetricPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := FEMLike(rng, 300, 6, Values{})
+	d := core.DenseFromCOO(c)
+	for i := 0; i < d.R; i++ {
+		for j := 0; j < d.C; j++ {
+			if (d.At(i, j) != 0) != (d.At(j, i) != 0) {
+				t.Fatalf("pattern asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestValuesUniquePool(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := RandomUniform(rng, 400, 400, 10, Values{Unique: 16})
+	ttu := TTU(c)
+	// Pool of 16: ttu should be close to nnz/16 (some values may be unused).
+	if ttu < float64(c.Len())/16/2 {
+		t.Errorf("ttu = %v too small for pool of 16 (nnz %d)", ttu, c.Len())
+	}
+}
+
+func TestQuantizeRaisesTTUKeepsPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := RandomUniform(rng, 200, 200, 8, Values{})
+	q := Quantize(c, rng, 10)
+	if q.Len() != c.Len() {
+		t.Fatalf("Quantize changed nnz: %d -> %d", c.Len(), q.Len())
+	}
+	for k := 0; k < c.Len(); k++ {
+		i1, j1, _ := c.At(k)
+		i2, j2, _ := q.At(k)
+		if i1 != i2 || j1 != j2 {
+			t.Fatalf("Quantize changed pattern at entry %d", k)
+		}
+	}
+	if TTU(q) <= TTU(c) {
+		t.Errorf("ttu did not increase: %v -> %v", TTU(c), TTU(q))
+	}
+	if TTU(q) < float64(q.Len())/10/2 {
+		t.Errorf("ttu after quantize = %v, want near %v", TTU(q), float64(q.Len())/10)
+	}
+}
+
+func TestTTUEmpty(t *testing.T) {
+	c := core.NewCOO(3, 3)
+	c.Finalize()
+	if TTU(c) != 0 {
+		t.Errorf("TTU(empty) = %v", TTU(c))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Banded(rand.New(rand.NewSource(42)), 100, 5, 6, Values{Unique: 8})
+	b := Banded(rand.New(rand.NewSource(42)), 100, 5, 6, Values{Unique: 8})
+	if a.Len() != b.Len() {
+		t.Fatalf("nondeterministic nnz: %d vs %d", a.Len(), b.Len())
+	}
+	for k := 0; k < a.Len(); k++ {
+		i1, j1, v1 := a.At(k)
+		i2, j2, v2 := b.At(k)
+		if i1 != i2 || j1 != j2 || v1 != v2 {
+			t.Fatalf("nondeterministic at entry %d", k)
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRMATSkewAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := RMAT(rng, 12, 8, 0, 0, 0, Values{})
+	if c.Rows() != 1<<12 {
+		t.Fatalf("rows = %d", c.Rows())
+	}
+	counts := c.RowCounts()
+	maxDeg, minDeg := 0, 1<<30
+	for _, d := range counts {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	if minDeg < 1 {
+		t.Error("empty row despite self-loop guarantee")
+	}
+	// R-MAT with default parameters is heavily skewed.
+	if maxDeg < 10*(c.Len()/c.Rows()) {
+		t.Errorf("max degree %d not skewed vs avg %d", maxDeg, c.Len()/c.Rows())
+	}
+	// Deterministic.
+	c2 := RMAT(rand.New(rand.NewSource(21)), 12, 8, 0, 0, 0, Values{})
+	if c2.Len() != c.Len() {
+		t.Error("nondeterministic")
+	}
+}
+
+func TestSymmetrizeProducesSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := RandomUniform(rng, 60, 60, 4, Values{})
+	s := Symmetrize(c)
+	d := core.DenseFromCOO(s)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if d.At(i, j) != d.At(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

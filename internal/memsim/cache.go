@@ -1,0 +1,122 @@
+// Package memsim is a deterministic event-driven model of the paper's
+// experimental platform (§VI-A, Fig 6): an 8-core system of two Intel
+// Clovertown packages — pairs of cores sharing a 4MB L2 — behind a
+// single front-side bus and memory controller. It substitutes for the
+// paper's hardware testbed: Go offers no thread pinning or cache
+// placement control, and the phenomena the paper measures (bandwidth
+// contention, constructive/destructive L2 sharing) are properties of
+// exactly this topology.
+//
+// The model charges each memory access of a traced SpMV kernel against
+// private L1s, shared L2s and a bandwidth-limited bus: compute cycles
+// come from the trace annotations, hit latencies from the cache
+// configuration, and contention emerges from queueing on the bus
+// server. It is a throughput model in the spirit of cache simulators
+// used for memory-bound kernels, not a cycle-accurate pipeline model —
+// the paper's effects live in the memory system.
+package memsim
+
+import "fmt"
+
+// cacheLine holds the per-way state of one set.
+type cacheLine struct {
+	tag   uint64
+	stamp uint64 // LRU timestamp (0 = invalid)
+	dirty bool
+}
+
+// Cache is a set-associative write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	lines    []cacheLine // sets × ways
+	tick     uint64
+
+	Hits, Misses uint64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and
+// line size (both powers of two).
+func NewCache(sizeBytes, ways, lineSize int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 ||
+		lineSize&(lineSize-1) != 0 || sizeBytes%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("memsim: invalid cache geometry size=%d ways=%d line=%d", sizeBytes, ways, lineSize))
+	}
+	sets := sizeBytes / (ways * lineSize)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("memsim: set count %d not a power of two", sets))
+	}
+	var lb uint
+	for 1<<lb < lineSize {
+		lb++
+	}
+	return &Cache{sets: sets, ways: ways, lineBits: lb, lines: make([]cacheLine, sets*ways)}
+}
+
+// Access looks up the line containing addr, allocating it on miss.
+// It returns whether the access hit, and whether the allocation evicted
+// a dirty line (which costs writeback bus bandwidth at the outermost
+// level).
+func (c *Cache) Access(addr uint64, write bool) (hit, evictedDirty bool) {
+	c.tick++
+	lineAddr := addr >> c.lineBits
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr >> uint(log2(c.sets))
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range ways {
+		if ways[i].stamp != 0 && ways[i].tag == tag {
+			ways[i].stamp = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.Hits++
+			return true, false
+		}
+		if ways[i].stamp < oldest {
+			oldest = ways[i].stamp
+			victim = i
+		}
+	}
+	c.Misses++
+	evictedDirty = ways[victim].stamp != 0 && ways[victim].dirty
+	ways[victim] = cacheLine{tag: tag, stamp: c.tick, dirty: write}
+	return false, evictedDirty
+}
+
+// Contains reports whether addr's line is resident (no LRU update, no
+// stat change). Used by tests.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.lineBits
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr >> uint(log2(c.sets))
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	for i := range ways {
+		if ways[i].stamp != 0 && ways[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.tick = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

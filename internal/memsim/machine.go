@@ -1,0 +1,113 @@
+package memsim
+
+import "fmt"
+
+// Machine describes a shared-memory multiprocessor: per-core private
+// L1s, L2s shared by fixed groups of cores, and one bandwidth-limited
+// bus to memory.
+type Machine struct {
+	Name  string
+	Cores int
+	// FreqHz is the core clock; cycles/FreqHz = seconds.
+	FreqHz float64
+
+	LineSize int
+
+	L1Size, L1Ways int
+	L2Size, L2Ways int
+	// L2SharedBy is the number of consecutive cores sharing each L2
+	// (2 on Clovertown: each Woodcrest die's pair of cores).
+	L2SharedBy int
+
+	// Latencies in core cycles. MemLat is the *effective* demand-miss
+	// penalty as seen by a streaming kernel: hardware prefetchers and
+	// memory-level parallelism overlap most of the raw ~200-cycle DRAM
+	// latency, so the per-miss stall is far smaller than the raw
+	// latency while the bus occupancy (BusPerLine) still bounds
+	// aggregate bandwidth.
+	L1Lat, L2Lat, MemLat uint64
+	// BusPerLine is the bus occupancy of one line transfer in core
+	// cycles: LineSize / (bus bytes per cycle). It bounds aggregate
+	// bandwidth: FreqHz * LineSize / BusPerLine bytes/second.
+	BusPerLine uint64
+	// Controllers is the number of independent memory controllers;
+	// cores are divided into that many consecutive groups, each with
+	// its own bus of BusPerLine service time. The Clovertown's single
+	// MCH is 1; NUMA systems like dual-socket Opterons (Williams et
+	// al., the paper's §III-D) have one per socket. Zero means 1.
+	Controllers int
+}
+
+// Clovertown returns the paper's platform (Fig 6): 8 cores at 2 GHz,
+// 32KB 8-way private L1D, 4MB 16-way L2 per core pair, FSB/MCH modeled
+// at ~9 GB/s effective.
+func Clovertown() Machine {
+	return Machine{
+		Name:       "2x Intel Clovertown (paper Fig 6)",
+		Cores:      8,
+		FreqHz:     2e9,
+		LineSize:   64,
+		L1Size:     32 << 10,
+		L1Ways:     8,
+		L2Size:     4 << 20,
+		L2Ways:     16,
+		L2SharedBy: 2,
+		L1Lat:      1, // effective: OOO execution hides most of the 3-cycle L1
+		L2Lat:      12,
+		MemLat:     16, // effective, prefetch-overlapped (raw ~200)
+		BusPerLine: 19, // 64B / (2GHz/19) ≈ 6.7 GB/s effective FSB/MCH
+	}
+}
+
+// Opteron8 returns an 8-core dual-socket NUMA-style machine: same
+// cores and clock as the Clovertown model but per-socket memory
+// controllers and smaller per-pair L2s — the topology contrast Williams
+// et al. observed to scale SpMV better (paper §III-D). Local-access
+// behaviour only; remote-socket penalties are not modeled.
+func Opteron8() Machine {
+	m := Clovertown()
+	m.Name = "2-socket NUMA 8-core (Opteron-like)"
+	m.L2Size = 2 << 20
+	m.Controllers = 2
+	return m
+}
+
+// TotalL2 returns the aggregate L2 capacity.
+func (m Machine) TotalL2() int64 {
+	groups := (m.Cores + m.L2SharedBy - 1) / m.L2SharedBy
+	return int64(groups) * int64(m.L2Size)
+}
+
+func (m Machine) validate() error {
+	if m.Cores <= 0 || m.L2SharedBy <= 0 || m.Cores%m.L2SharedBy != 0 {
+		return fmt.Errorf("memsim: invalid core/L2 grouping %d/%d", m.Cores, m.L2SharedBy)
+	}
+	if m.FreqHz <= 0 || m.LineSize <= 0 {
+		return fmt.Errorf("memsim: invalid frequency or line size")
+	}
+	return nil
+}
+
+// Placement maps thread index to core index.
+type Placement []int
+
+// ClosePlacement schedules threads on "as close as possible" cores —
+// the paper's default: thread pairs share an L2, four threads fill one
+// package.
+func ClosePlacement(threads int) Placement {
+	p := make(Placement, threads)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// SpreadPlacement schedules threads on cores with separate L2s (the
+// paper's 2(2×L2) configuration): thread i goes on core i*sharedBy.
+func SpreadPlacement(threads, sharedBy int) Placement {
+	p := make(Placement, threads)
+	for i := range p {
+		p[i] = i * sharedBy
+	}
+	return p
+}

@@ -1,0 +1,319 @@
+package memsim
+
+import "testing"
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(1<<10, 2, 64)
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _ := c.Access(0x1030, false); !hit {
+		t.Error("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("stats: %d hits %d misses", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 64B lines, 2 sets => 256B cache. Addresses mapping to set 0:
+	// multiples of 128.
+	c := NewCache(256, 2, 64)
+	c.Access(0*128, false)
+	c.Access(1*128, false)
+	c.Access(0*128, false) // refresh 0: now 1*128 is LRU
+	c.Access(2*128, false) // evicts 1*128
+	if !c.Contains(0 * 128) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(1 * 128) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Contains(2 * 128) {
+		t.Error("new line not resident")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := NewCache(128, 1, 64) // direct-mapped, 2 sets
+	c.Access(0, true)         // dirty
+	if _, dirty := c.Access(128, false); !dirty {
+		t.Error("evicting a written line did not report dirty")
+	}
+	c.Access(256, false)
+	if _, dirty := c.Access(0, false); dirty {
+		t.Error("evicting a clean line reported dirty")
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	for _, g := range [][3]int{{0, 2, 64}, {1024, 0, 64}, {1024, 2, 63}, {1000, 2, 64}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%v) did not panic", g)
+				}
+			}()
+			NewCache(g[0], g[1], g[2])
+		}()
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(1<<10, 2, 64)
+	c.Access(0, true)
+	c.Reset()
+	if c.Contains(0) || c.Hits != 0 || c.Misses != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestClovertownGeometry(t *testing.T) {
+	m := Clovertown()
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores != 8 || m.L2SharedBy != 2 {
+		t.Errorf("cores/sharing = %d/%d", m.Cores, m.L2SharedBy)
+	}
+	if m.TotalL2() != 16<<20 {
+		t.Errorf("TotalL2 = %d, want 16MB", m.TotalL2())
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	close2 := ClosePlacement(2)
+	if close2[0] != 0 || close2[1] != 1 {
+		t.Errorf("ClosePlacement(2) = %v", close2)
+	}
+	spread2 := SpreadPlacement(2, 2)
+	if spread2[0] != 0 || spread2[1] != 2 {
+		t.Errorf("SpreadPlacement(2,2) = %v", spread2)
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	a := Pack(0xdeadbeef, 8, true, 12345)
+	if a.size() != 8 || !a.write() || a.comp() != 12345 || a.Addr != 0xdeadbeef {
+		t.Errorf("Pack round trip: %+v size=%d write=%v comp=%d", a, a.size(), a.write(), a.comp())
+	}
+	b := Pack(64, 255, false, 0)
+	if b.size() != 255 || b.write() || b.comp() != 0 {
+		t.Errorf("Pack edge: size=%d write=%v comp=%d", b.size(), b.write(), b.comp())
+	}
+}
+
+// streamTrace builds a trace streaming over n distinct lines.
+func streamTrace(base uint64, lines int, comp uint16) []PackedAccess {
+	tr := make([]PackedAccess, lines)
+	for i := range tr {
+		tr[i] = Pack(base+uint64(i)*64, 64, false, comp)
+	}
+	return tr
+}
+
+func TestSimulateComputeOnly(t *testing.T) {
+	// One access fitting in cache, replayed: time ≈ comp + hit latency.
+	m := Clovertown()
+	tr := [][]PackedAccess{streamTrace(1<<20, 1, 100)}
+	r, err := Simulate(m, tr, ClosePlacement(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + m.MemLat // one cold miss
+	if r.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", r.Cycles, want)
+	}
+	if r.MemLines != 1 {
+		t.Errorf("MemLines = %d", r.MemLines)
+	}
+}
+
+func TestSimulateWarmIterations(t *testing.T) {
+	// A working set smaller than L1: second iteration must be all hits.
+	m := Clovertown()
+	tr := [][]PackedAccess{streamTrace(1<<20, 16, 10)}
+	r1, _ := Simulate(m, tr, ClosePlacement(1), 1)
+	r2, _ := Simulate(m, tr, ClosePlacement(1), 2)
+	coldCost := r1.Cycles
+	warmCost := r2.Cycles - r1.Cycles
+	if warmCost >= coldCost {
+		t.Errorf("warm iteration (%d cycles) not cheaper than cold (%d)", warmCost, coldCost)
+	}
+	if r2.L1Hits != 16 {
+		t.Errorf("L1Hits = %d, want 16 warm hits", r2.L1Hits)
+	}
+}
+
+func TestSimulateBandwidthContention(t *testing.T) {
+	// Streams too large for cache: doubling threads must not double
+	// throughput — the bus serializes line transfers.
+	m := Clovertown()
+	lines := 200000 // 12.8MB per thread > L2 share
+	t1 := [][]PackedAccess{streamTrace(1<<24, lines, 1)}
+	r1, err := Simulate(m, t1, ClosePlacement(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8 := make([][]PackedAccess, 8)
+	for i := range t8 {
+		t8[i] = streamTrace(uint64(1)<<24+uint64(i)<<28, lines, 1)
+	}
+	r8, err := Simulate(m, t8, ClosePlacement(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r1.Cycles) * 8 / float64(r8.Cycles) // work is 8x
+	if speedup > 3.0 {
+		t.Errorf("8-thread streaming speedup = %.2f, bus should cap it below ~3", speedup)
+	}
+	if speedup < 0.8 {
+		t.Errorf("8-thread streaming slower than serial: %.2f", speedup)
+	}
+}
+
+func TestSimulateComputeBoundScales(t *testing.T) {
+	// Tiny working set, heavy compute: should scale nearly linearly.
+	m := Clovertown()
+	mk := func(base uint64) []PackedAccess {
+		tr := make([]PackedAccess, 10000)
+		for i := range tr {
+			tr[i] = Pack(base+uint64(i%8)*64, 8, false, 50)
+		}
+		return tr
+	}
+	r1, _ := Simulate(m, [][]PackedAccess{mk(1 << 20)}, ClosePlacement(1), 1)
+	t8 := make([][]PackedAccess, 8)
+	for i := range t8 {
+		t8[i] = mk(uint64(1)<<20 + uint64(i)<<16)
+	}
+	r8, _ := Simulate(m, t8, ClosePlacement(8), 1)
+	speedup := float64(r1.Cycles) * 8 / float64(r8.Cycles)
+	if speedup < 6 {
+		t.Errorf("compute-bound speedup = %.2f, want near 8", speedup)
+	}
+}
+
+func TestSimulateSharedVsSeparateL2(t *testing.T) {
+	// Two threads each streaming ~3MB: together they overflow a shared
+	// 4MB L2 but fit two separate L2s. Separate placement must win on
+	// the second iteration (paper Table II: 2(2xL2) > 2(1xL2)).
+	m := Clovertown()
+	lines := 50000 // 3.2MB
+	mk := func(base uint64) []PackedAccess { return streamTrace(base, lines, 2) }
+	traces := [][]PackedAccess{mk(1 << 24), mk(1 << 28)}
+	shared, err := Simulate(m, traces, ClosePlacement(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Simulate(m, traces, SpreadPlacement(2, m.L2SharedBy), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Cycles >= shared.Cycles {
+		t.Errorf("separate L2s (%d cycles) not faster than shared (%d)", spread.Cycles, shared.Cycles)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := Clovertown()
+	tr := [][]PackedAccess{streamTrace(0, 1, 0)}
+	if _, err := Simulate(m, tr, Placement{9}, 1); err == nil {
+		t.Error("bad core accepted")
+	}
+	if _, err := Simulate(m, tr, Placement{0, 0}, 1); err == nil {
+		t.Error("mismatched placement length accepted")
+	}
+	nine := make([][]PackedAccess, 9)
+	for i := range nine {
+		nine[i] = streamTrace(0, 1, 0)
+	}
+	if _, err := Simulate(m, nine, ClosePlacement(9), 1); err == nil {
+		t.Error("more traces than cores accepted")
+	}
+	dup := [][]PackedAccess{streamTrace(0, 1, 0), streamTrace(64, 1, 0)}
+	if _, err := Simulate(m, dup, Placement{3, 3}, 1); err == nil {
+		t.Error("duplicate core accepted")
+	}
+}
+
+func TestSimulateEmptyTrace(t *testing.T) {
+	m := Clovertown()
+	r, err := Simulate(m, [][]PackedAccess{nil}, ClosePlacement(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 0 {
+		t.Errorf("Cycles = %d for empty trace", r.Cycles)
+	}
+}
+
+func TestResultSeconds(t *testing.T) {
+	m := Clovertown()
+	r := Result{Cycles: 2_000_000_000}
+	if s := r.Seconds(m); s != 1.0 {
+		t.Errorf("Seconds = %v, want 1", s)
+	}
+}
+
+func TestDualControllerScalesBetter(t *testing.T) {
+	// Two memory controllers double aggregate bandwidth: a streaming
+	// 8-thread workload must finish faster than on the single-MCH
+	// Clovertown (Williams et al.'s Opteron observation).
+	single := Clovertown()
+	dual := Opteron8()
+	mk := func(i int) []PackedAccess {
+		return streamTrace(uint64(1)<<24+uint64(i)<<28, 150000, 1)
+	}
+	traces := make([][]PackedAccess, 8)
+	for i := range traces {
+		traces[i] = mk(i)
+	}
+	r1, err := Simulate(single, traces, ClosePlacement(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(dual, traces, ClosePlacement(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r2.Cycles) > 0.75*float64(r1.Cycles) {
+		t.Errorf("dual controller %d cycles vs single %d: expected clear speedup",
+			r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestControllerMapping(t *testing.T) {
+	// With 2 controllers on 8 cores, threads on cores 0-3 share bus 0
+	// and 4-7 share bus 1. A thread placed on core 7 must not contend
+	// with one on core 0: both streaming alone on their bus should
+	// finish in (near) the same time as a single-thread run.
+	m := Opteron8()
+	tr := streamTrace(1<<24, 100000, 1)
+	tr2 := streamTrace(1<<28, 100000, 1)
+	solo, _ := Simulate(m, [][]PackedAccess{tr}, Placement{0}, 1)
+	pair, _ := Simulate(m, [][]PackedAccess{tr, tr2}, Placement{0, 7}, 1)
+	if float64(pair.Cycles) > 1.1*float64(solo.Cycles) {
+		t.Errorf("cross-socket pair %d cycles vs solo %d: buses should be independent",
+			pair.Cycles, solo.Cycles)
+	}
+}
+
+func TestBusWaitAccounting(t *testing.T) {
+	// A lone streaming thread waits only on its own in-flight line
+	// (bus service exceeds the overlapped stall); contention from eight
+	// threads must dwarf that.
+	m := Clovertown()
+	solo, _ := Simulate(m, [][]PackedAccess{streamTrace(1<<24, 50000, 1)}, ClosePlacement(1), 1)
+	traces := make([][]PackedAccess, 8)
+	for i := range traces {
+		traces[i] = streamTrace(uint64(1)<<24+uint64(i)<<28, 50000, 1)
+	}
+	many, _ := Simulate(m, traces, ClosePlacement(8), 1)
+	if many.BusWait < 10*solo.BusWait {
+		t.Errorf("contended BusWait %d not >> solo %d", many.BusWait, solo.BusWait)
+	}
+}

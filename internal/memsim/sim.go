@@ -1,0 +1,167 @@
+package memsim
+
+import "fmt"
+
+// PackedAccess is one memory reference compacted for trace buffers:
+// Meta packs size (bits 0-7), write flag (bit 8) and compute cycles
+// (bits 16-31).
+type PackedAccess struct {
+	Addr uint64
+	Meta uint32
+}
+
+// Pack builds a PackedAccess.
+func Pack(addr uint64, size int, write bool, comp uint16) PackedAccess {
+	m := uint32(size) & 0xff
+	if write {
+		m |= 1 << 8
+	}
+	m |= uint32(comp) << 16
+	return PackedAccess{Addr: addr, Meta: m}
+}
+
+func (a PackedAccess) size() int    { return int(a.Meta & 0xff) }
+func (a PackedAccess) write() bool  { return a.Meta&(1<<8) != 0 }
+func (a PackedAccess) comp() uint64 { return uint64(a.Meta >> 16) }
+
+// Result reports a simulation outcome.
+type Result struct {
+	Cycles    uint64   // wall time: max over threads
+	PerThread []uint64 // per-thread finish time
+	L1Hits    uint64
+	L2Hits    uint64
+	MemLines  uint64 // lines fetched over the bus
+	Writeback uint64 // dirty lines written back over the bus
+	BusBusy   uint64 // total bus occupancy in cycles
+	BusWait   uint64 // cycles threads spent queued behind a busy bus
+}
+
+// Seconds converts the simulated cycle count to seconds on m.
+func (r Result) Seconds(m Machine) float64 { return float64(r.Cycles) / m.FreqHz }
+
+// Simulate runs the per-thread access traces against the machine and
+// returns the simulated timing. placement maps each trace to a core.
+// iters replays every trace that many times back to back with warm
+// caches — the paper's measurement loop of 128 consecutive SpMV
+// operations without cache pollution between them.
+//
+// The scheduler always advances the thread with the smallest local
+// time, so bus queueing (the contention the compression schemes
+// relieve) is causally consistent across threads.
+func Simulate(m Machine, traces [][]PackedAccess, placement Placement, iters int) (Result, error) {
+	if err := m.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(traces) > m.Cores {
+		return Result{}, fmt.Errorf("memsim: %d traces exceed %d cores", len(traces), m.Cores)
+	}
+	if len(placement) != len(traces) {
+		return Result{}, fmt.Errorf("memsim: placement length %d != traces %d", len(placement), len(traces))
+	}
+	if iters <= 0 {
+		iters = 1
+	}
+	seen := make(map[int]bool)
+	for _, c := range placement {
+		if c < 0 || c >= m.Cores || seen[c] {
+			return Result{}, fmt.Errorf("memsim: invalid placement %v", placement)
+		}
+		seen[c] = true
+	}
+
+	n := len(traces)
+	l1 := make([]*Cache, n)
+	l2groups := make(map[int]*Cache)
+	l2 := make([]*Cache, n)
+	for t := 0; t < n; t++ {
+		l1[t] = NewCache(m.L1Size, m.L1Ways, m.LineSize)
+		g := placement[t] / m.L2SharedBy
+		if l2groups[g] == nil {
+			l2groups[g] = NewCache(m.L2Size, m.L2Ways, m.LineSize)
+		}
+		l2[t] = l2groups[g]
+	}
+
+	var res Result
+	res.PerThread = make([]uint64, n)
+	time := make([]uint64, n)
+	pos := make([]int, n)  // index into current iteration's trace
+	iter := make([]int, n) // completed iterations
+	// One bus per memory controller; cores map to controllers in
+	// consecutive groups.
+	controllers := m.Controllers
+	if controllers <= 0 {
+		controllers = 1
+	}
+	busFree := make([]uint64, controllers)
+	ctrlOf := make([]int, n)
+	for t := 0; t < n; t++ {
+		ctrlOf[t] = placement[t] * controllers / m.Cores
+	}
+
+	active := n
+	for active > 0 {
+		// Advance the thread with the smallest local time.
+		t := -1
+		var tmin uint64 = ^uint64(0)
+		for i := 0; i < n; i++ {
+			if iter[i] >= iters {
+				continue
+			}
+			if time[i] <= tmin {
+				tmin = time[i]
+				t = i
+			}
+		}
+		tr := traces[t]
+		if pos[t] >= len(tr) {
+			iter[t]++
+			pos[t] = 0
+			if iter[t] >= iters || len(tr) == 0 {
+				iter[t] = iters
+				res.PerThread[t] = time[t]
+				active--
+			}
+			continue
+		}
+		a := tr[pos[t]]
+		pos[t]++
+		time[t] += a.comp()
+
+		if hit, _ := l1[t].Access(a.Addr, a.write()); hit {
+			time[t] += m.L1Lat
+			res.L1Hits++
+			continue
+		}
+		hit2, dirtyEvict := l2[t].Access(a.Addr, a.write())
+		if hit2 {
+			time[t] += m.L2Lat
+			res.L2Hits++
+			continue
+		}
+		// Memory: queue on the bus, then pay the latency. The line was
+		// allocated in L2 by the Access above; a dirty eviction writes
+		// back over the same bus.
+		start := time[t]
+		bus := ctrlOf[t]
+		if busFree[bus] > start {
+			res.BusWait += busFree[bus] - start
+			start = busFree[bus]
+		}
+		occupy := m.BusPerLine
+		if dirtyEvict {
+			occupy += m.BusPerLine
+			res.Writeback++
+		}
+		busFree[bus] = start + occupy
+		res.BusBusy += occupy
+		time[t] = start + m.MemLat
+		res.MemLines++
+	}
+	for _, ft := range res.PerThread {
+		if ft > res.Cycles {
+			res.Cycles = ft
+		}
+	}
+	return res, nil
+}

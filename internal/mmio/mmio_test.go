@@ -1,0 +1,213 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+func TestReadGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 1.5
+2 3 -2.0
+3 4 4e2
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 3 || c.Cols() != 4 || c.Len() != 3 {
+		t.Fatalf("shape %dx%d nnz %d", c.Rows(), c.Cols(), c.Len())
+	}
+	i, j, v := c.At(2)
+	if i != 2 || j != 3 || v != 400 {
+		t.Errorf("last entry = (%d,%d,%v)", i, j, v)
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 2 5.0
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("nnz = %d, want 5 (2 off-diag mirrored)", c.Len())
+	}
+	d := core.DenseFromCOO(c)
+	if d.At(0, 1) != -1 || d.At(1, 0) != -1 {
+		t.Error("mirror missing")
+	}
+	if d.At(1, 2) != 5 || d.At(2, 1) != 5 {
+		t.Error("mirror missing for (3,2)")
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.DenseFromCOO(c)
+	if d.At(1, 0) != 3 || d.At(0, 1) != -3 {
+		t.Errorf("skew expand wrong: %v %v", d.At(1, 0), d.At(0, 1))
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, v := c.At(0)
+	if v != 1 {
+		t.Errorf("pattern value = %v, want 1", v)
+	}
+}
+
+func TestReadInteger(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 1 42
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, v := c.At(0)
+	if v != 42 {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad banner":    "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"array format":  "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad field":     "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":  "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"bad size":      "%%MatrixMarket matrix coordinate real general\n0 3 1\n1 1 1\n",
+		"short entry":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"oob coord":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5\n",
+		"missing entry": "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5\n",
+		"bad value":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := matgen.FEMLike(rng, 60, 4, matgen.Values{Unique: 7})
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != orig.Rows() || back.Cols() != orig.Cols() || back.Len() != orig.Len() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for k := 0; k < orig.Len(); k++ {
+		i1, j1, v1 := orig.At(k)
+		i2, j2, v2 := back.At(k)
+		if i1 != i2 || j1 != j2 || v1 != v2 {
+			t.Fatalf("entry %d: (%d,%d,%v) vs (%d,%d,%v)", k, i1, j1, v1, i2, j2, v2)
+		}
+	}
+}
+
+func TestDuplicatesSummed(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.5
+1 1 2.5
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("nnz = %d after fold", c.Len())
+	}
+	_, _, v := c.At(0)
+	if v != 4 {
+		t.Errorf("folded value = %v", v)
+	}
+}
+
+func TestCaseInsensitiveBanner(t *testing.T) {
+	in := "%%MatrixMarket MATRIX Coordinate REAL General\n1 1 1\n1 1 9\n"
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, v := c.At(0)
+	if v != 9 {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestReadStreamMatchesRead(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 2 5.0
+`
+	var sized *Size
+	var got [][3]float64
+	size, err := ReadStream(strings.NewReader(in),
+		func(s Size) { sized = &s },
+		func(i, j int, v float64) { got = append(got, [3]float64{float64(i), float64(j), v}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized == nil || sized.Rows != 3 || sized.NNZ != 3 {
+		t.Fatalf("onSize: %+v", sized)
+	}
+	if size.Header.Symmetry != "symmetric" {
+		t.Errorf("header: %+v", size.Header)
+	}
+	// 3 file entries, 2 mirrored => 5 emits.
+	if len(got) != 5 {
+		t.Fatalf("emits = %d, want 5", len(got))
+	}
+}
+
+func TestReadStreamNilOnSize(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 3\n"
+	n := 0
+	if _, err := ReadStream(strings.NewReader(in), nil, func(i, j int, v float64) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("emits = %d", n)
+	}
+}

@@ -1,0 +1,95 @@
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Size describes a coordinate file's declared shape.
+type Size struct {
+	Rows, Cols, NNZ int
+	Header          Header
+}
+
+// ReadStream parses a Matrix Market stream without materializing a COO:
+// onSize (optional) fires once after the header and size line; emit is
+// then called once per stored entry (symmetric entries are expanded, so
+// emit may fire up to twice per file line). Use it for matrices too
+// large to hold twice in memory, or to feed assembly pipelines
+// directly. Read is built on top of it.
+func ReadStream(r io.Reader, onSize func(Size), emit func(i, j int, v float64)) (Size, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	h, err := readHeader(sc)
+	if err != nil {
+		return Size{}, err
+	}
+	var size Size
+	size.Header = h
+	for {
+		line, err := nextLine(sc)
+		if err != nil {
+			return size, fmt.Errorf("mmio: missing size line: %w", err)
+		}
+		if line == "" {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &size.Rows, &size.Cols, &size.NNZ); err != nil {
+			return size, fmt.Errorf("mmio: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if size.Rows <= 0 || size.Cols <= 0 || size.NNZ < 0 {
+		return size, fmt.Errorf("mmio: invalid size %d %d %d", size.Rows, size.Cols, size.NNZ)
+	}
+	if onSize != nil {
+		onSize(size)
+	}
+	for k := 0; k < size.NNZ; k++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return size, fmt.Errorf("mmio: entry %d/%d: %w", k+1, size.NNZ, err)
+		}
+		if line == "" {
+			k--
+			continue
+		}
+		fields := strings.Fields(line)
+		minFields := 3
+		if h.Field == "pattern" {
+			minFields = 2
+		}
+		if len(fields) < minFields {
+			return size, fmt.Errorf("mmio: entry %d: short line %q", k+1, line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return size, fmt.Errorf("mmio: entry %d: bad coordinates %q", k+1, line)
+		}
+		if i < 1 || i > size.Rows || j < 1 || j > size.Cols {
+			return size, fmt.Errorf("mmio: entry %d: coordinate (%d,%d) outside %dx%d", k+1, i, j, size.Rows, size.Cols)
+		}
+		v := 1.0
+		if h.Field != "pattern" {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return size, fmt.Errorf("mmio: entry %d: bad value %q", k+1, fields[2])
+			}
+		}
+		emit(i-1, j-1, v)
+		if i != j {
+			switch h.Symmetry {
+			case "symmetric":
+				emit(j-1, i-1, v)
+			case "skew-symmetric":
+				emit(j-1, i-1, -v)
+			}
+		}
+	}
+	return size, nil
+}

@@ -1,0 +1,110 @@
+// Package parallel is the multithreaded SpMV runtime: the Go analogue
+// of the paper's pthread row-partitioned kernel driver (§II-C, §VI-A).
+//
+// An Executor owns one persistent worker goroutine per chunk — the
+// analogue of a pinned thread — so that iterative workloads (the paper
+// measures 128 consecutive SpMV operations) pay goroutine startup once,
+// not per iteration. Row partitioning needs no reduction because chunks
+// write disjoint y ranges; the column- and block-partitioned executors
+// give each worker a private y and reduce, as §II-C prescribes.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"spmv/internal/core"
+)
+
+// Executor runs row-partitioned multithreaded SpMV for one matrix.
+// Create with NewExecutor, use Run/RunIters any number of times
+// (not concurrently), and Close when done.
+type Executor struct {
+	chunks []core.Chunk
+	rows   int
+	gaps   [][2]int // row ranges covered by no chunk (zeroed per run)
+
+	start []chan job
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+type job struct {
+	y, x []float64
+}
+
+// NewExecutor partitions f into at most nthreads nnz-balanced row
+// chunks and starts one worker per chunk. It returns an error if the
+// format does not support row partitioning.
+func NewExecutor(f core.Format, nthreads int) (*Executor, error) {
+	s, ok := f.(core.Splitter)
+	if !ok {
+		return nil, fmt.Errorf("parallel: format %s does not support row partitioning", f.Name())
+	}
+	if nthreads <= 0 {
+		return nil, fmt.Errorf("parallel: invalid thread count %d", nthreads)
+	}
+	e := &Executor{chunks: s.Split(nthreads), rows: f.Rows()}
+	// Rows covered by no chunk hold no non-zeros; record them so Run
+	// can zero them (SpMV overwrites y).
+	next := 0
+	for _, ch := range e.chunks {
+		lo, hi := ch.RowRange()
+		if lo > next {
+			e.gaps = append(e.gaps, [2]int{next, lo})
+		}
+		next = hi
+	}
+	if next < e.rows {
+		e.gaps = append(e.gaps, [2]int{next, e.rows})
+	}
+	e.start = make([]chan job, len(e.chunks))
+	for i := range e.chunks {
+		e.start[i] = make(chan job)
+		go e.worker(i)
+	}
+	return e, nil
+}
+
+func (e *Executor) worker(i int) {
+	ch := e.chunks[i]
+	for j := range e.start[i] {
+		ch.SpMV(j.y, j.x)
+		e.wg.Done()
+	}
+}
+
+// Threads returns the number of workers (may be less than requested
+// for small matrices).
+func (e *Executor) Threads() int { return len(e.chunks) }
+
+// Run computes y = A*x using all workers and blocks until complete.
+func (e *Executor) Run(y, x []float64) {
+	for _, g := range e.gaps {
+		for i := g[0]; i < g[1]; i++ {
+			y[i] = 0
+		}
+	}
+	e.wg.Add(len(e.chunks))
+	for i := range e.start {
+		e.start[i] <- job{y: y, x: x}
+	}
+	e.wg.Wait()
+}
+
+// RunIters performs iters consecutive SpMV operations (the paper's
+// measurement loop), reusing the same x and y.
+func (e *Executor) RunIters(iters int, y, x []float64) {
+	for k := 0; k < iters; k++ {
+		e.Run(y, x)
+	}
+}
+
+// Close stops the workers. The Executor must not be used afterwards.
+func (e *Executor) Close() {
+	e.once.Do(func() {
+		for i := range e.start {
+			close(e.start[i])
+		}
+	})
+}

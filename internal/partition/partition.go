@@ -1,0 +1,101 @@
+// Package partition implements the static load-balancing schemes of the
+// paper's §II-C: row partitioning balanced by non-zero count (the scheme
+// used for all of the paper's experiments), plus the even and
+// prefix-weight splitters that the column- and block-partitioned
+// executors build on.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Even returns parts+1 boundaries splitting [0, n) into parts nearly
+// equal contiguous ranges. Boundaries are non-decreasing; ranges may be
+// empty when parts > n.
+func Even(n, parts int) []int {
+	if parts <= 0 {
+		panic(fmt.Sprintf("partition: Even with parts=%d", parts))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("partition: Even with n=%d", n))
+	}
+	b := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		b[i] = i * n / parts
+	}
+	return b
+}
+
+// SplitPrefix splits [0, n) into parts contiguous ranges of
+// approximately equal weight, where prefix is the length-(n+1)
+// inclusive prefix-sum of per-item weights (prefix[0] == 0,
+// prefix[n] == total). Boundary i is placed at the first position whose
+// prefix reaches i/parts of the total, which is the paper's "each thread
+// is assigned approximately the same number of elements" rule.
+func SplitPrefix(prefix []int64, parts int) []int {
+	if parts <= 0 {
+		panic(fmt.Sprintf("partition: SplitPrefix with parts=%d", parts))
+	}
+	if len(prefix) == 0 || prefix[0] != 0 {
+		panic("partition: SplitPrefix needs prefix with prefix[0]==0")
+	}
+	n := len(prefix) - 1
+	total := prefix[n]
+	b := make([]int, parts+1)
+	b[parts] = n
+	for i := 1; i < parts; i++ {
+		target := total * int64(i) / int64(parts)
+		// First index whose prefix is >= target.
+		j := sort.Search(n+1, func(k int) bool { return prefix[k] >= target })
+		if j < b[i-1] {
+			j = b[i-1]
+		}
+		if j > n {
+			j = n
+		}
+		b[i] = j
+	}
+	return b
+}
+
+// SplitRowsByNNZ splits the rows of a CSR matrix into parts ranges of
+// approximately equal non-zero count. rowPtr is the standard CSR row
+// pointer (len rows+1).
+func SplitRowsByNNZ(rowPtr []int32, parts int) []int {
+	prefix := make([]int64, len(rowPtr))
+	for i, p := range rowPtr {
+		prefix[i] = int64(p) - int64(rowPtr[0])
+	}
+	return SplitPrefix(prefix, parts)
+}
+
+// SplitByCounts splits [0, len(counts)) into parts ranges of
+// approximately equal total count (e.g. per-column nnz for column
+// partitioning).
+func SplitByCounts(counts []int, parts int) []int {
+	prefix := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + int64(c)
+	}
+	return SplitPrefix(prefix, parts)
+}
+
+// Imbalance returns max(weight of part) / (total/parts) for the given
+// boundaries and prefix weights: 1.0 is a perfect balance. Returns 1 for
+// zero total weight.
+func Imbalance(prefix []int64, bounds []int) float64 {
+	parts := len(bounds) - 1
+	total := prefix[len(prefix)-1]
+	if total == 0 || parts == 0 {
+		return 1
+	}
+	var maxW int64
+	for i := 0; i < parts; i++ {
+		w := prefix[bounds[i+1]] - prefix[bounds[i]]
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return float64(maxW) * float64(parts) / float64(total)
+}

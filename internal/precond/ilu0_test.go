@@ -1,0 +1,188 @@
+package precond
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/matgen"
+	"spmv/internal/solver"
+	"spmv/internal/testmat"
+)
+
+func TestILU0OnIdentityIsIdentity(t *testing.T) {
+	c := core.NewCOO(5, 5)
+	for i := 0; i < 5; i++ {
+		c.Add(i, i, 1)
+	}
+	p, err := NewILU0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []float64{1, 2, 3, 4, 5}
+	z := make([]float64, 5)
+	p.Apply(z, r)
+	for i := range r {
+		if z[i] != r[i] {
+			t.Errorf("z = %v", z)
+		}
+	}
+}
+
+func TestILU0ExactForTriangularPattern(t *testing.T) {
+	// For a matrix whose LU factors have no fill (e.g. tridiagonal),
+	// ILU(0) is the exact LU, so Apply solves A z = r exactly.
+	n := 50
+	c := core.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2.5)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	c.Finalize()
+	p, err := NewILU0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	r := testmat.RandVec(rng, n)
+	z := make([]float64, n)
+	p.Apply(z, r)
+	// Check A z = r.
+	m, _ := csr.FromCOO(c)
+	az := make([]float64, n)
+	m.SpMV(az, z)
+	testmat.AssertClose(t, "exact tridiagonal ILU0", az, r, 1e-10)
+}
+
+func TestILU0ErrorsOnBadInput(t *testing.T) {
+	rect := core.NewCOO(2, 3)
+	rect.Add(0, 0, 1)
+	rect.Finalize()
+	if _, err := NewILU0(rect); err == nil {
+		t.Error("rectangular accepted")
+	}
+	noDiag := core.NewCOO(2, 2)
+	noDiag.Add(0, 1, 1)
+	noDiag.Add(1, 0, 1)
+	noDiag.Finalize()
+	if _, err := NewILU0(noDiag); err == nil {
+		t.Error("missing diagonal accepted")
+	}
+	zeroPivot := core.NewCOO(2, 2)
+	zeroPivot.Add(0, 0, 0)
+	zeroPivot.Add(0, 1, 1)
+	zeroPivot.Add(1, 0, 1)
+	zeroPivot.Add(1, 1, 1)
+	zeroPivot.Finalize()
+	if _, err := NewILU0(zeroPivot); err == nil {
+		t.Error("zero pivot accepted")
+	}
+}
+
+// convectionDiffusion builds a nonsymmetric test system.
+func convectionDiffusion(n int) *core.COO {
+	base := matgen.Stencil2D(n)
+	c := core.NewCOO(base.Rows(), base.Cols())
+	for k := 0; k < base.Len(); k++ {
+		i, j, v := base.At(k)
+		if j == i+1 {
+			v += 0.5
+		}
+		if j == i-1 {
+			v -= 0.3
+		}
+		c.Add(i, j, v)
+	}
+	c.Finalize()
+	return c
+}
+
+func TestILU0AcceleratesGMRES(t *testing.T) {
+	c := convectionDiffusion(20)
+	f, _ := csr.FromCOO(c)
+	op, _ := solver.FromFormat(f)
+	rng := rand.New(rand.NewSource(2))
+	b := testmat.RandVec(rng, op.N)
+
+	plainX := make([]float64, op.N)
+	plain, err := solver.GMRES(op, b, plainX, 30, 1e-8, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewILU0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, finish := solver.RightPreconditioned(op, p)
+	u := make([]float64, op.N)
+	pre, err := solver.GMRES(pop, b, u, 30, 1e-8, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !pre.Converged {
+		t.Fatalf("convergence: plain %+v pre %+v", plain, pre)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Errorf("ILU0 GMRES used %d iterations vs plain %d", pre.Iterations, plain.Iterations)
+	}
+	// The recovered solution must solve the original system.
+	x := finish(u)
+	ax := make([]float64, op.N)
+	f.SpMV(ax, x)
+	maxDiff := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Errorf("true residual after finish: %v", maxDiff)
+	}
+}
+
+func TestILU0AcceleratesCGPrec(t *testing.T) {
+	// SPD system: ILU(0) of a symmetric matrix applied through CGPrec.
+	c := matgen.Stencil2D(24)
+	f, _ := csr.FromCOO(c)
+	op, _ := solver.FromFormat(f)
+	rng := rand.New(rand.NewSource(3))
+	b := testmat.RandVec(rng, op.N)
+
+	x1 := make([]float64, op.N)
+	plain, err := solver.CG(op, b, x1, 1e-9, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewILU0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, op.N)
+	pre, err := solver.CGPrec(op, p, b, x2, 1e-9, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !pre.Converged {
+		t.Fatalf("convergence: plain %+v pre %+v", plain, pre)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Errorf("ILU0 CG used %d iterations vs plain %d", pre.Iterations, plain.Iterations)
+	}
+	testmat.AssertClose(t, "solutions agree", x2, x1, 1e-6)
+}
+
+func TestFactorBytes(t *testing.T) {
+	c := matgen.Stencil2D(8)
+	p, _ := NewILU0(c)
+	if p.FactorBytes() <= 0 || p.N() != 64 {
+		t.Errorf("FactorBytes=%d N=%d", p.FactorBytes(), p.N())
+	}
+}

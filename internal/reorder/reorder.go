@@ -1,0 +1,185 @@
+// Package reorder implements reverse Cuthill-McKee (RCM) bandwidth
+// reduction — the matrix-reordering optimization the paper's §III-A
+// surveys. Reordering pulls non-zeros toward the diagonal, which (a)
+// improves x-vector locality, the classic motivation, and (b) shrinks
+// the column deltas CSR-DU encodes, so a reordered matrix compresses
+// strictly better — a synergy this library measures in its ablations.
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"spmv/internal/core"
+)
+
+// RCM returns a reverse Cuthill-McKee permutation of a square matrix's
+// symmetrized pattern. perm[new] = old: row/column old of the input
+// becomes row/column new of the permuted matrix. Disconnected
+// components are each ordered from a minimum-degree start node.
+func RCM(c *core.COO) ([]int32, error) {
+	c.Finalize()
+	if c.Rows() != c.Cols() {
+		return nil, fmt.Errorf("reorder: RCM needs a square matrix, got %dx%d", c.Rows(), c.Cols())
+	}
+	n := c.Rows()
+	adj := buildAdjacency(c)
+
+	perm := make([]int32, 0, n)
+	visited := make([]bool, n)
+	// Nodes sorted by degree once; used to pick component start nodes.
+	byDegree := make([]int32, n)
+	for i := range byDegree {
+		byDegree[i] = int32(i)
+	}
+	sort.SliceStable(byDegree, func(a, b int) bool {
+		return len(adj[byDegree[a]]) < len(adj[byDegree[b]])
+	})
+
+	queue := make([]int32, 0, n)
+	for _, start := range byDegree {
+		if visited[start] {
+			continue
+		}
+		// BFS from the minimum-degree unvisited node, neighbors in
+		// increasing degree order (the Cuthill-McKee rule).
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			perm = append(perm, v)
+			nbrs := adj[v]
+			sort.SliceStable(nbrs, func(a, b int) bool {
+				return len(adj[nbrs[a]]) < len(adj[nbrs[b]])
+			})
+			for _, w := range nbrs {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	// Reverse (the "R" in RCM): reduces profile over plain CM.
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}
+
+// buildAdjacency returns the symmetrized adjacency lists (self-loops
+// dropped).
+func buildAdjacency(c *core.COO) [][]int32 {
+	n := c.Rows()
+	adj := make([][]int32, n)
+	seen := make(map[[2]int32]struct{}, c.Len())
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if _, ok := seen[[2]int32{a, b}]; ok {
+			return
+		}
+		seen[[2]int32{a, b}] = struct{}{}
+		adj[a] = append(adj[a], b)
+	}
+	for k := 0; k < c.Len(); k++ {
+		i, j, _ := c.At(k)
+		addEdge(int32(i), int32(j))
+		addEdge(int32(j), int32(i))
+	}
+	return adj
+}
+
+// Permute applies a symmetric permutation: result[new(i), new(j)] =
+// A[i, j] where new is the inverse of perm (perm[new] = old).
+func Permute(c *core.COO, perm []int32) (*core.COO, error) {
+	c.Finalize()
+	n := c.Rows()
+	if len(perm) != n || c.Cols() != n {
+		return nil, fmt.Errorf("reorder: permutation length %d for %dx%d matrix", len(perm), c.Rows(), c.Cols())
+	}
+	inv := make([]int32, n)
+	seen := make([]bool, n)
+	for newIdx, old := range perm {
+		if old < 0 || int(old) >= n || seen[old] {
+			return nil, fmt.Errorf("reorder: invalid permutation (entry %d = %d)", newIdx, old)
+		}
+		seen[old] = true
+		inv[old] = int32(newIdx)
+	}
+	out := core.NewCOO(n, n)
+	for k := 0; k < c.Len(); k++ {
+		i, j, v := c.At(k)
+		out.Add(int(inv[i]), int(inv[j]), v)
+	}
+	out.Finalize()
+	return out, nil
+}
+
+// PermuteVec gathers x into permuted order: out[new] = x[perm[new]].
+func PermuteVec(x []float64, perm []int32) []float64 {
+	out := make([]float64, len(perm))
+	for newIdx, old := range perm {
+		out[newIdx] = x[old]
+	}
+	return out
+}
+
+// UnpermuteVec scatters a permuted vector back: out[perm[new]] = y[new].
+func UnpermuteVec(y []float64, perm []int32) []float64 {
+	out := make([]float64, len(perm))
+	for newIdx, old := range perm {
+		out[old] = y[newIdx]
+	}
+	return out
+}
+
+// Bandwidth returns max |i-j| over the non-zeros (0 for diagonal or
+// empty matrices).
+func Bandwidth(c *core.COO) int {
+	c.Finalize()
+	bw := 0
+	for k := 0; k < c.Len(); k++ {
+		i, j, _ := c.At(k)
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		if d > bw {
+			bw = d
+		}
+	}
+	return bw
+}
+
+// Profile returns the sum over rows of the distance from the first
+// non-zero to the diagonal column — the quantity RCM minimizes more
+// robustly than bandwidth.
+func Profile(c *core.COO) int64 {
+	c.Finalize()
+	var sum int64
+	n := c.Len()
+	for k := 0; k < n; {
+		i, j0, _ := c.At(k)
+		minJ, maxJ := j0, j0
+		for k < n {
+			i2, j, _ := c.At(k)
+			if i2 != i {
+				break
+			}
+			if j < minJ {
+				minJ = j
+			}
+			if j > maxJ {
+				maxJ = j
+			}
+			k++
+		}
+		if maxJ > minJ {
+			sum += int64(maxJ - minJ)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,66 @@
+// Package simtrace connects storage formats to the machine simulator:
+// it collects the per-thread memory access traces of a row-partitioned
+// multithreaded SpMV and runs them on a memsim.Machine. This is the
+// simulated counterpart of parallel.Executor, used by the experiment
+// harness to reproduce the paper's tables on the modeled Clovertown.
+package simtrace
+
+import (
+	"fmt"
+
+	"spmv/internal/core"
+	"spmv/internal/memsim"
+)
+
+// Collect places f's arrays in a fresh virtual address space, splits it
+// into nthreads row chunks, and records each chunk's SpMV access
+// stream. The format must implement core.Placer and core.Splitter with
+// core.Tracer chunks.
+func Collect(f core.Format, nthreads int) ([][]memsim.PackedAccess, error) {
+	p, ok := f.(core.Placer)
+	if !ok {
+		return nil, fmt.Errorf("simtrace: format %s is not traceable", f.Name())
+	}
+	s, ok := f.(core.Splitter)
+	if !ok {
+		return nil, fmt.Errorf("simtrace: format %s is not row-splittable", f.Name())
+	}
+	a := core.NewArena()
+	p.Place(a)
+	xBase := a.Alloc(int64(f.Cols()) * 8)
+	yBase := a.Alloc(int64(f.Rows()) * 8)
+
+	chunks := s.Split(nthreads)
+	traces := make([][]memsim.PackedAccess, len(chunks))
+	for i, ch := range chunks {
+		tr, ok := ch.(core.Tracer)
+		if !ok {
+			return nil, fmt.Errorf("simtrace: %s chunk is not a Tracer", f.Name())
+		}
+		// Pre-size: roughly 1.5 accesses per nnz after coalescing.
+		buf := make([]memsim.PackedAccess, 0, ch.NNZ()+ch.NNZ()/2+16)
+		tr.TraceSpMV(xBase, yBase, func(acc core.Access) {
+			buf = append(buf, memsim.Pack(acc.Addr, int(acc.Size), acc.Write, acc.Comp))
+		})
+		traces[i] = buf
+	}
+	return traces, nil
+}
+
+// SimulateSpMV collects traces for f at the given thread count and runs
+// iters warm iterations on m with the given placement. If placement is
+// nil, ClosePlacement is used (the paper's default scheduling).
+func SimulateSpMV(m memsim.Machine, f core.Format, nthreads int, placement memsim.Placement, iters int) (memsim.Result, error) {
+	traces, err := Collect(f, nthreads)
+	if err != nil {
+		return memsim.Result{}, err
+	}
+	if placement == nil {
+		placement = memsim.ClosePlacement(len(traces))
+	}
+	if len(placement) != len(traces) {
+		// The split may produce fewer chunks than requested threads.
+		placement = placement[:len(traces)]
+	}
+	return memsim.Simulate(m, traces, placement, iters)
+}

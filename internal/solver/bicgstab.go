@@ -1,0 +1,95 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// BiCGSTAB solves A*x = b for general square A by the stabilized
+// bi-conjugate gradient method, overwriting x. It needs only y = A*x
+// (no transpose products), two matrix-vector products per iteration,
+// and converges smoothly where plain CG requires symmetry.
+func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
+	if err := checkDims(a, b, x); err != nil {
+		return Result{}, err
+	}
+	n := a.N
+	r := make([]float64, n)
+	rHat := make([]float64, n)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+
+	a.Mul(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	copy(rHat, r)
+	normB := norm(b)
+	if normB == 0 {
+		normB = 1
+	}
+	res := Result{Residual: norm(r) / normB}
+	if res.Residual <= tol {
+		res.Converged = true
+		return res, nil
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	for k := 0; k < maxIter; k++ {
+		rhoNew := dot(rHat, r)
+		if rhoNew == 0 {
+			return res, fmt.Errorf("solver: BiCGSTAB breakdown: rho = 0")
+		}
+		if k == 0 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		a.Mul(v, p)
+		res.Iterations++
+		den := dot(rHat, v)
+		if den == 0 {
+			return res, fmt.Errorf("solver: BiCGSTAB breakdown: rHat'v = 0")
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if sn := norm(s) / normB; sn <= tol {
+			axpy(alpha, p, x)
+			res.Residual = sn
+			res.Converged = true
+			return res, nil
+		}
+		a.Mul(t, s)
+		res.Iterations++
+		tt := dot(t, t)
+		if tt == 0 {
+			return res, fmt.Errorf("solver: BiCGSTAB breakdown: t = 0")
+		}
+		omega = dot(t, s) / tt
+		if omega == 0 {
+			return res, fmt.Errorf("solver: BiCGSTAB breakdown: omega = 0")
+		}
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		res.Residual = norm(r) / normB
+		if math.IsNaN(res.Residual) {
+			return res, fmt.Errorf("solver: BiCGSTAB diverged")
+		}
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

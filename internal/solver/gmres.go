@@ -1,0 +1,141 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// GMRES solves A*x = b for general (nonsymmetric) A by restarted
+// GMRES(m), overwriting x. restart is the Krylov subspace dimension
+// between restarts; maxIter bounds the total matrix-vector products.
+func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (Result, error) {
+	if err := checkDims(a, b, x); err != nil {
+		return Result{}, err
+	}
+	if restart <= 0 {
+		return Result{}, fmt.Errorf("solver: invalid restart %d", restart)
+	}
+	n := a.N
+	m := restart
+	if m > n {
+		m = n
+	}
+	normB := norm(b)
+	if normB == 0 {
+		normB = 1
+	}
+
+	// Krylov basis and Hessenberg matrix (column-major H[(m+1)×m]).
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	w := make([]float64, n)
+	r := make([]float64, n)
+
+	res := Result{}
+	for res.Iterations < maxIter {
+		// r = b - A*x
+		a.Mul(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		beta := norm(r)
+		res.Residual = beta / normB
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		for i := range r {
+			v[0][i] = r[i] / beta
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && res.Iterations < maxIter; k++ {
+			// Arnoldi step with modified Gram-Schmidt.
+			a.Mul(w, v[k])
+			res.Iterations++
+			for i := 0; i <= k; i++ {
+				h[i][k] = dot(w, v[i])
+				axpy(-h[i][k], v[i], w)
+			}
+			h[k+1][k] = norm(w)
+			if h[k+1][k] > 1e-300 {
+				for i := range w {
+					v[k+1][i] = w[i] / h[k+1][k]
+				}
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation to annihilate h[k+1][k].
+			cs[k], sn[k] = givens(h[k][k], h[k+1][k])
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			res.Residual = math.Abs(g[k+1]) / normB
+			if res.Residual <= tol {
+				k++
+				break
+			}
+		}
+		// Solve the upper triangular system H[:k,:k] y = g[:k].
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			sum := g[i]
+			for j := i + 1; j < k; j++ {
+				sum -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return res, fmt.Errorf("solver: GMRES breakdown: singular Hessenberg")
+			}
+			y[i] = sum / h[i][i]
+		}
+		for j := 0; j < k; j++ {
+			axpy(y[j], v[j], x)
+		}
+		if res.Residual <= tol {
+			// Recompute the true residual to confirm convergence.
+			a.Mul(r, x)
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+			res.Residual = norm(r) / normB
+			if res.Residual <= tol {
+				res.Converged = true
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// givens returns (c, s) with c*a + s*b = r, -s*a + c*b = 0.
+func givens(a, b float64) (c, s float64) {
+	if b == 0 {
+		return 1, 0
+	}
+	if math.Abs(b) > math.Abs(a) {
+		t := a / b
+		s = 1 / math.Sqrt(1+t*t)
+		return s * t, s
+	}
+	t := b / a
+	c = 1 / math.Sqrt(1+t*t)
+	return c, c * t
+}

@@ -1,0 +1,88 @@
+package solver
+
+import "fmt"
+
+// Preconditioner applies z = M^{-1} r.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// CGPrec is preconditioned conjugate gradients with a general
+// (symmetric positive definite) preconditioner. PCG's Jacobi variant is
+// the special case M = diag(A).
+func CGPrec(a Operator, m Preconditioner, b, x []float64, tol float64, maxIter int) (Result, error) {
+	if err := checkDims(a, b, x); err != nil {
+		return Result{}, err
+	}
+	if m == nil {
+		return Result{}, fmt.Errorf("solver: nil preconditioner")
+	}
+	n := a.N
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.Mul(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	m.Apply(z, r)
+	copy(p, z)
+	normB := norm(b)
+	if normB == 0 {
+		normB = 1
+	}
+	rz := dot(r, z)
+	res := Result{Residual: norm(r) / normB}
+	if res.Residual <= tol {
+		res.Converged = true
+		return res, nil
+	}
+	for k := 0; k < maxIter; k++ {
+		a.Mul(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("solver: CGPrec breakdown: p'Ap = %v", pap)
+		}
+		alpha := rz / pap
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		res.Iterations = k + 1
+		res.Residual = norm(r) / normB
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		m.Apply(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	return res, nil
+}
+
+// RightPreconditioned wraps a as A·M^{-1} for right-preconditioned
+// GMRES/BiCGSTAB: solve the returned operator for u, then call finish
+// on u to recover x = M^{-1} u. Right preconditioning keeps the
+// residual of the preconditioned system equal to the true residual, so
+// the solvers' stopping tests remain meaningful.
+func RightPreconditioned(a Operator, m Preconditioner) (Operator, func(u []float64) []float64) {
+	tmp := make([]float64, a.N)
+	op := Operator{
+		N: a.N,
+		Mul: func(y, u []float64) {
+			m.Apply(tmp, u)
+			a.Mul(y, tmp)
+		},
+	}
+	finish := func(u []float64) []float64 {
+		x := make([]float64, a.N)
+		m.Apply(x, u)
+		return x
+	}
+	return op, finish
+}

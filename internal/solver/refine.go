@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// Refine implements mixed-precision iterative refinement (Langou et
+// al., cited in the paper's §III-C): the bulk of the work — inner CG
+// solves — runs against a reduced-precision operator (e.g. a csr32 or
+// csr-vi matrix), while an outer loop computes true double-precision
+// residuals against the full operator and corrects. The inner operator
+// streams half the value bytes, so each inner iteration costs half the
+// bandwidth; the outer loop restores double-precision accuracy.
+//
+// aFull must be the accurate operator; aInner the cheap one (they may
+// be the same matrix in different formats). x holds the initial guess
+// and the solution.
+func Refine(aFull, aInner Operator, b, x []float64, tol float64, maxOuter, innerIter int) (Result, error) {
+	if err := checkDims(aFull, b, x); err != nil {
+		return Result{}, err
+	}
+	if aInner.N != aFull.N || aInner.Mul == nil {
+		return Result{}, fmt.Errorf("solver: inner operator mismatched")
+	}
+	n := aFull.N
+	r := make([]float64, n)
+	d := make([]float64, n)
+	normB := norm(b)
+	if normB == 0 {
+		normB = 1
+	}
+	var res Result
+	for outer := 0; outer < maxOuter; outer++ {
+		// True residual in full precision.
+		aFull.Mul(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res.Residual = norm(r) / normB
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		// Inner correction solve at reduced precision: loose tolerance —
+		// one digit of progress per outer iteration suffices.
+		for i := range d {
+			d[i] = 0
+		}
+		inner, err := CG(aInner, r, d, 1e-4, innerIter)
+		if err != nil {
+			return res, fmt.Errorf("solver: inner solve: %w", err)
+		}
+		res.Iterations += inner.Iterations + 1 // +1 for the residual SpMV
+		if inner.Residual > 0.9 && !inner.Converged {
+			return res, fmt.Errorf("solver: inner solve stagnated (residual %v)", inner.Residual)
+		}
+		axpy(1, d, x)
+		if math.IsNaN(res.Residual) || math.IsInf(res.Residual, 0) {
+			return res, fmt.Errorf("solver: refinement diverged")
+		}
+	}
+	return res, nil
+}

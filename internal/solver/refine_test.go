@@ -1,0 +1,85 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/csr"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+func TestRefineReachesDoublePrecision(t *testing.T) {
+	// Inner solves on float32 coefficients, outer residuals in double:
+	// the combination must reach a tolerance far below float32 epsilon.
+	c := matgen.Stencil2D(14)
+	full, _ := csr.FromCOO(c)
+	inner, err := csr.From32(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opFull, _ := FromFormat(full)
+	opInner, _ := FromFormat(inner)
+	rng := rand.New(rand.NewSource(1))
+	b := testmat.RandVec(rng, opFull.N)
+	x := make([]float64, opFull.N)
+	res, err := Refine(opFull, opInner, b, x, 1e-12, 60, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Residual > 1e-12 {
+		t.Errorf("residual = %v, beyond float32 epsilon it is not", res.Residual)
+	}
+}
+
+func TestRefineMatchesPlainCGSolution(t *testing.T) {
+	c := matgen.Stencil2D(10)
+	full, _ := csr.FromCOO(c)
+	inner, _ := csr.From32(c)
+	opFull, _ := FromFormat(full)
+	opInner, _ := FromFormat(inner)
+	rng := rand.New(rand.NewSource(2))
+	b := testmat.RandVec(rng, opFull.N)
+
+	x1 := make([]float64, opFull.N)
+	if _, err := CG(opFull, b, x1, 1e-12, 5000); err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, opFull.N)
+	if _, err := Refine(opFull, opInner, b, x2, 1e-12, 60, 2000); err != nil {
+		t.Fatal(err)
+	}
+	testmat.AssertClose(t, "refined vs direct", x2, x1, 1e-8)
+}
+
+func TestRefineSameOperatorDegeneratesToCG(t *testing.T) {
+	// With aInner == aFull refinement is just restarted CG: must work.
+	c := matgen.Stencil2D(8)
+	full, _ := csr.FromCOO(c)
+	op, _ := FromFormat(full)
+	b := make([]float64, op.N)
+	b[0] = 1
+	x := make([]float64, op.N)
+	res, err := Refine(op, op, b, x, 1e-10, 40, 1000)
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+}
+
+func TestRefineRejectsMismatchedOperators(t *testing.T) {
+	c := matgen.Stencil2D(6)
+	full, _ := csr.FromCOO(c)
+	op, _ := FromFormat(full)
+	bad := Operator{N: op.N + 1, Mul: op.Mul}
+	b := make([]float64, op.N)
+	x := make([]float64, op.N)
+	if _, err := Refine(op, bad, b, x, 1e-10, 10, 100); err == nil {
+		t.Error("mismatched inner operator accepted")
+	}
+	if _, err := Refine(op, Operator{}, b, x, 1e-10, 10, 100); err == nil {
+		t.Error("nil inner operator accepted")
+	}
+}

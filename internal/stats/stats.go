@@ -1,0 +1,82 @@
+// Package stats provides the small set of descriptive statistics the
+// paper's tables report: average, maximum, minimum over a matrix set,
+// plus geometric means and the "< 0.98" slowdown counter of Tables III
+// and IV.
+package stats
+
+import "math"
+
+// Summary holds the avg/max/min triple the paper's tables report.
+type Summary struct {
+	Avg, Max, Min float64
+	N             int
+}
+
+// Summarize computes the arithmetic mean, maximum and minimum of xs.
+// An empty slice yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Max: math.Inf(-1), Min: math.Inf(1), N: len(xs)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x > s.Max {
+			s.Max = x
+		}
+		if x < s.Min {
+			s.Min = x
+		}
+	}
+	s.Avg = sum / float64(len(xs))
+	return s
+}
+
+// GeoMean returns the geometric mean of xs (which must be positive).
+// An empty slice yields 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// SlowdownThreshold is the paper's "non-negligible slowdown" cutoff:
+// a speedup below 0.98 counts as a slowdown (Tables III/IV).
+const SlowdownThreshold = 0.98
+
+// CountBelow returns how many values fall strictly below t.
+func CountBelow(xs []float64, t float64) int {
+	n := 0
+	for _, x := range xs {
+		if x < t {
+			n++
+		}
+	}
+	return n
+}
+
+// Speedups divides base by each element of times: speedup_i =
+// base/times_i. Used for "relative to serial CSR" columns.
+func Speedups(base float64, times []float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		out[i] = base / t
+	}
+	return out
+}
+
+// MFLOPS converts an SpMV timing to the paper's serial-performance
+// metric: 2 floating-point operations per non-zero (multiply + add)
+// divided by seconds, in millions.
+func MFLOPS(nnz int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return 2 * float64(nnz) / seconds / 1e6
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 8, 5})
+	if s.Avg != 5 || s.Max != 8 || s.Min != 2 || s.N != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Avg != 0 || s.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Avg != 3.5 || s.Max != 3.5 || s.Min != 3.5 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip non-finite and overflow-prone inputs: the summary is
+			// specified only for values whose sum stays finite.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Avg+1e-9 && s.Avg <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	xs := []float64{0.5, 0.98, 0.979, 1.2}
+	if n := CountBelow(xs, SlowdownThreshold); n != 2 {
+		t.Errorf("CountBelow = %d, want 2", n)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	got := Speedups(10, []float64{5, 10, 20})
+	want := []float64{2, 1, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Speedups = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMFLOPS(t *testing.T) {
+	// 1M nnz in 1 second = 2 MFLOPS.
+	if got := MFLOPS(1_000_000, 1); got != 2 {
+		t.Errorf("MFLOPS = %v, want 2", got)
+	}
+	if MFLOPS(100, 0) != 0 {
+		t.Error("MFLOPS with zero time should be 0")
+	}
+}

@@ -1,0 +1,33 @@
+package varint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics and that successfully
+// decoded prefixes re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x80})
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n := Decode(data)
+		if n <= 0 {
+			return // truncated or overflowing: fine, just must not panic
+		}
+		re := Append(nil, v)
+		if !bytes.Equal(re, data[:n]) {
+			// The encoding is canonical, so a non-canonical input (e.g.
+			// redundant continuation bytes like 0x80 0x00) may decode to
+			// a value whose re-encoding is shorter. That is acceptable
+			// as long as the value round-trips.
+			v2, n2 := Decode(re)
+			if n2 <= 0 || v2 != v {
+				t.Fatalf("re-encode of %d failed: %v", v, re)
+			}
+		}
+	})
+}

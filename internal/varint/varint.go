@@ -1,0 +1,72 @@
+// Package varint implements the variable-length unsigned integer
+// encoding used for the ujmp field of the CSR-DU control stream
+// (paper §IV): LEB128-style base-128 groups, least significant first,
+// with the high bit of each byte marking continuation.
+//
+// The stdlib encoding/binary has Uvarint, but the CSR-DU decoder is the
+// innermost hot loop of the SpMV kernel, so this package provides an
+// append-style encoder and an inlined cursor-based decoder tuned for
+// that use, plus exact size accounting for the compression-ratio
+// reports.
+package varint
+
+// MaxLen is the maximum encoded length of a 64-bit value.
+const MaxLen = 10
+
+// Append appends the encoding of v to dst and returns the extended slice.
+func Append(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Decode reads a varint from buf and returns the value and the number of
+// bytes consumed. It returns n == 0 if buf is empty or the varint is
+// truncated, and n < 0 if the value overflows 64 bits.
+func Decode(buf []byte) (v uint64, n int) {
+	var shift uint
+	for i, b := range buf {
+		if i == MaxLen {
+			return 0, -(i + 1) // overflow
+		}
+		if b < 0x80 {
+			if i == MaxLen-1 && b > 1 {
+				return 0, -(i + 1) // overflow past 64 bits
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0 // truncated
+}
+
+// DecodeAt decodes a varint from buf starting at offset pos, returning
+// the value and the offset just past it. It is the hot-loop form used by
+// the CSR-DU kernel: no slicing, no error return — the encoder guarantees
+// well-formed streams, so malformed input is a programming error and
+// out-of-bounds access will panic via the bounds check.
+func DecodeAt(buf []byte, pos int) (v uint64, next int) {
+	var shift uint
+	for {
+		b := buf[pos]
+		pos++
+		if b < 0x80 {
+			return v | uint64(b)<<shift, pos
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}
+
+// Len returns the encoded length of v in bytes (1..MaxLen).
+func Len(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

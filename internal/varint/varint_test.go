@@ -1,0 +1,130 @@
+package varint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripKnownValues(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 129, 255, 256, 16383, 16384,
+		1<<21 - 1, 1 << 21, 1<<28 - 1, 1 << 28, 1<<35 - 1,
+		1<<63 - 1, math.MaxUint64}
+	for _, v := range cases {
+		buf := Append(nil, v)
+		got, n := Decode(buf)
+		if n != len(buf) || got != v {
+			t.Errorf("Decode(Append(%d)) = %d (n=%d, len=%d)", v, got, n, len(buf))
+		}
+		if Len(v) != len(buf) {
+			t.Errorf("Len(%d) = %d, encoded length %d", v, Len(v), len(buf))
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := Append(nil, v)
+		got, n := Decode(buf)
+		if n != len(buf) || got != v {
+			return false
+		}
+		got2, next := DecodeAt(buf, 0)
+		return got2 == v && next == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesStdlibUvarint(t *testing.T) {
+	f := func(v uint64) bool {
+		ours := Append(nil, v)
+		std := binary.AppendUvarint(nil, v)
+		return bytes.Equal(ours, std)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Append(nil, 1<<40)
+	for cut := 0; cut < len(full); cut++ {
+		if _, n := Decode(full[:cut]); n != 0 {
+			t.Errorf("Decode of %d-byte truncation returned n=%d, want 0", cut, n)
+		}
+	}
+}
+
+func TestDecodeOverflow(t *testing.T) {
+	// 11 continuation bytes: longer than any valid 64-bit varint.
+	buf := bytes.Repeat([]byte{0x80}, 11)
+	buf = append(buf, 0x01)
+	if _, n := Decode(buf); n >= 0 {
+		t.Errorf("Decode of overlong varint returned n=%d, want negative", n)
+	}
+	// 10 bytes but top value bits exceed 64.
+	buf2 := bytes.Repeat([]byte{0xff}, 9)
+	buf2 = append(buf2, 0x7f)
+	if _, n := Decode(buf2); n >= 0 {
+		t.Errorf("Decode of 64-bit-overflowing varint returned n=%d, want negative", n)
+	}
+}
+
+func TestDecodeAtSequence(t *testing.T) {
+	vals := []uint64{0, 300, 7, 1 << 50, 127, 128}
+	var buf []byte
+	for _, v := range vals {
+		buf = Append(buf, v)
+	}
+	pos := 0
+	for i, want := range vals {
+		var got uint64
+		got, pos = DecodeAt(buf, pos)
+		if got != want {
+			t.Errorf("value %d = %d, want %d", i, got, want)
+		}
+	}
+	if pos != len(buf) {
+		t.Errorf("final pos = %d, want %d", pos, len(buf))
+	}
+}
+
+func TestLenBoundaries(t *testing.T) {
+	for k := 1; k <= 9; k++ {
+		hi := uint64(1)<<(7*k) - 1
+		if Len(hi) != k {
+			t.Errorf("Len(2^%d-1) = %d, want %d", 7*k, Len(hi), k)
+		}
+		if Len(hi+1) != k+1 {
+			t.Errorf("Len(2^%d) = %d, want %d", 7*k, Len(hi+1), k+1)
+		}
+	}
+	if Len(math.MaxUint64) != MaxLen {
+		t.Errorf("Len(MaxUint64) = %d, want %d", Len(math.MaxUint64), MaxLen)
+	}
+}
+
+func BenchmarkDecodeAtSmall(b *testing.B) {
+	var buf []byte
+	for i := 0; i < 1024; i++ {
+		buf = Append(buf, uint64(i%128))
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := 0
+		var s uint64
+		for pos < len(buf) {
+			var v uint64
+			v, pos = DecodeAt(buf, pos)
+			s += v
+		}
+		sink = s
+	}
+}
+
+var sink uint64

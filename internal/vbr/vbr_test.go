@@ -1,0 +1,140 @@
+package vbr
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/matgen"
+	"spmv/internal/testmat"
+)
+
+// evenPart builds uniform group boundaries of width w.
+func evenPart(n, w int) []int32 {
+	var p []int32
+	for i := 0; i < n; i += w {
+		p = append(p, int32(i))
+	}
+	return append(p, int32(n))
+}
+
+func TestConformanceEvenGroups(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) {
+		return FromCOO(c, evenPart(c.Rows(), 2), evenPart(c.Cols(), 3))
+	})
+}
+
+func TestConformanceAuto(t *testing.T) {
+	testmat.CheckFormat(t, func(c *core.COO) (core.Format, error) {
+		return FromCOOAuto(c)
+	})
+}
+
+func TestAutoDetectsBlockStructure(t *testing.T) {
+	// Rows within a dense diagonal block share a pattern, so auto
+	// grouping must find the 6-row blocks exactly.
+	rng := rand.New(rand.NewSource(1))
+	c := matgen.BlockDiag(rng, 30, 6, matgen.Values{})
+	m, err := FromCOOAuto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.RowPart) - 1; got != 30 {
+		t.Errorf("row groups = %d, want 30", got)
+	}
+	if m.Fill() != 1.0 {
+		t.Errorf("Fill = %v on perfectly blocked matrix", m.Fill())
+	}
+	if m.Blocks() != 30 {
+		t.Errorf("Blocks = %d, want 30", m.Blocks())
+	}
+	// Per-block indexing: far less index data than CSR.
+	ref, _ := csr.FromCOO(c)
+	if m.SizeBytes() >= ref.SizeBytes() {
+		t.Errorf("vbr %d >= csr %d on blocky matrix", m.SizeBytes(), ref.SizeBytes())
+	}
+}
+
+func TestAutoDegeneratesGracefully(t *testing.T) {
+	// No repeated patterns: groups collapse to single rows and VBR is
+	// CSR-like with per-block bookkeeping (bigger, never wrong).
+	rng := rand.New(rand.NewSource(2))
+	c := matgen.RandomUniform(rng, 200, 300, 5, matgen.Values{})
+	m, err := FromCOOAuto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.DenseFromCOO(c)
+	x := testmat.RandVec(rng, 300)
+	want := make([]float64, 200)
+	got := make([]float64, 200)
+	d.SpMV(want, x)
+	m.SpMV(got, x)
+	testmat.AssertClose(t, "degenerate vbr", got, want, 1e-10)
+}
+
+func TestMultiDOFFEMBlocks(t *testing.T) {
+	// Simulated 3-dof FEM: each logical node expands to 3 rows with the
+	// same pattern — the structure VBR is built for.
+	rng := rand.New(rand.NewSource(3))
+	nodes := 80
+	dof := 3
+	node := matgen.FEMLike(rng, nodes, 4, matgen.Values{})
+	c := core.NewCOO(nodes*dof, nodes*dof)
+	for k := 0; k < node.Len(); k++ {
+		i, j, _ := node.At(k)
+		for di := 0; di < dof; di++ {
+			for dj := 0; dj < dof; dj++ {
+				c.Add(i*dof+di, j*dof+dj, rng.NormFloat64())
+			}
+		}
+	}
+	c.Finalize()
+	m, err := FromCOOAuto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.RowPart) - 1; got != nodes {
+		t.Errorf("row groups = %d, want %d (3-dof nodes)", got, nodes)
+	}
+	if m.Fill() != 1.0 {
+		t.Errorf("Fill = %v: dof blocks are dense", m.Fill())
+	}
+}
+
+func TestFromCOORejectsBadPartitions(t *testing.T) {
+	c := matgen.Stencil2D(3)
+	good := evenPart(9, 3)
+	for name, p := range map[string][]int32{
+		"missing zero": {1, 9},
+		"short":        {0},
+		"overshoot":    {0, 12},
+		"non-monotone": {0, 5, 3, 9},
+		"repeated":     {0, 5, 5, 9},
+	} {
+		if _, err := FromCOO(c, p, good); err == nil {
+			t.Errorf("%s row partition accepted", name)
+		}
+		if _, err := FromCOO(c, good, p); err == nil {
+			t.Errorf("%s col partition accepted", name)
+		}
+	}
+}
+
+func TestSplitBalancedByStoredValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := matgen.BlockDiag(rng, 64, 4, matgen.Values{})
+	m, _ := FromCOOAuto(c)
+	chunks := m.Split(4)
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	total := 0
+	for _, ch := range chunks {
+		total += ch.NNZ()
+	}
+	if total != m.NNZ() {
+		t.Errorf("chunk nnz sums to %d, want %d", total, m.NNZ())
+	}
+}

@@ -1,0 +1,119 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotBasic(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if Dot(nil, nil) != 0 {
+		t.Error("Dot(nil,nil) != 0")
+	}
+	// Mismatched lengths use the shorter.
+	if got := Dot([]float64{1, 2}, []float64{3}); got != 3 {
+		t.Errorf("Dot short = %v", got)
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, int(n))
+		b := make([]float64, int(n))
+		naive := 0.0
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		for i := range a {
+			naive += a[i] * b[i]
+		}
+		return math.Abs(Dot(a, b)-naive) < 1e-9*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := []float64{3, -4}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %v", Norm2(a))
+	}
+	if Norm1(a) != 7 {
+		t.Errorf("Norm1 = %v", Norm1(a))
+	}
+	if NormInf(a) != 4 {
+		t.Errorf("NormInf = %v", NormInf(a))
+	}
+	if NormInf(nil) != 0 || Norm1(nil) != 0 || Norm2(nil) != 0 {
+		t.Error("empty norms not 0")
+	}
+}
+
+func TestNormOrdering(t *testing.T) {
+	// ||x||_inf <= ||x||_2 <= ||x||_1 for all x.
+	f := func(xs []float64) bool {
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		inf, two, one := NormInf(xs), Norm2(xs), Norm1(xs)
+		return inf <= two*(1+1e-12) && two <= one*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleSubZero(t *testing.T) {
+	x := []float64{2, 4}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != 2 {
+		t.Errorf("Scale = %v", x)
+	}
+	dst := make([]float64, 2)
+	Sub(dst, []float64{5, 6}, []float64{1, 4})
+	if dst[0] != 4 || dst[1] != 2 {
+		t.Errorf("Sub = %v", dst)
+	}
+	Zero(dst)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Errorf("Zero = %v", dst)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	n := 1 << 16
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 3)
+		y[i] = float64(i % 5)
+	}
+	b.SetBytes(int64(16 * n))
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = Dot(x, y)
+	}
+	dotSink = s
+}
+
+var dotSink float64

@@ -1,0 +1,382 @@
+// Package spmv is a sparse matrix-vector multiplication library built
+// around working-set compression, reproducing Kourtis, Goumas and
+// Koziris, "Improving the Performance of Multithreaded Sparse
+// Matrix-Vector Multiplication Using Index and Value Compression"
+// (ICPP 2008).
+//
+// SpMV is bandwidth-bound on shared-memory multicores: every thread
+// streams the matrix from memory through a shared bus, so adding cores
+// stops helping once the bus saturates. The paper's two storage
+// formats shrink the stream itself:
+//
+//   - CSR-DU (delta units) compresses the column index data: column
+//     indices become per-unit delta sequences stored in the narrowest
+//     of 1/2/4/8-byte widths, decoded by one branch per unit.
+//   - CSR-VI (value indirection) compresses the numerical data of
+//     matrices with few distinct values: each value becomes a 1/2/4-byte
+//     index into a unique-value table.
+//
+// Both trade CPU cycles for bandwidth — a trade that improves as more
+// cores share the memory subsystem, even where the serial kernel gets
+// slower.
+//
+// # Quick start
+//
+//	c := spmv.NewCOO(rows, cols)
+//	c.Add(i, j, v) // ... assemble triplets
+//	m, err := spmv.NewCSRDU(c)
+//	e, err := spmv.NewExecutor(m, 8) // 8-way row-partitioned SpMV
+//	defer e.Close()
+//	e.Run(y, x) // y = A*x on 8 goroutines
+//
+// The package also provides the related-work comparator formats
+// (CSR16, CSR32, DCSR, BCSR, VBR, ELLPACK, JDS, CDS, symmetric CSR, a
+// per-region hybrid), row/column/block-partitioned parallel executors,
+// CG/PCG/GMRES/BiCGSTAB solvers with ILU(0) preconditioning and
+// mixed-precision refinement, RCM reordering, a structure analyzer with
+// analytic and empirical format advice, Matrix Market and binary
+// container I/O, FPC value-stream compression, synthetic matrix
+// generators, and a deterministic simulator of the paper's 8-core
+// Clovertown platform for reproducing its evaluation (see cmd/spmvsim
+// and EXPERIMENTS.md).
+package spmv
+
+import (
+	"io"
+
+	"spmv/internal/analyze"
+	"spmv/internal/bcsr"
+	"spmv/internal/cds"
+	"spmv/internal/core"
+	"spmv/internal/csc"
+	"spmv/internal/csr"
+	"spmv/internal/csrdu"
+	"spmv/internal/csrduvi"
+	"spmv/internal/csrvi"
+	"spmv/internal/dcsr"
+	"spmv/internal/ell"
+	"spmv/internal/formats"
+	"spmv/internal/fpc"
+	"spmv/internal/hybrid"
+	"spmv/internal/jds"
+	"spmv/internal/matfile"
+	"spmv/internal/mmio"
+	"spmv/internal/parallel"
+	"spmv/internal/precond"
+	"spmv/internal/reorder"
+	"spmv/internal/solver"
+	"spmv/internal/sym"
+	"spmv/internal/vbr"
+)
+
+// Core vocabulary, shared by every format.
+type (
+	// COO is the triplet assembly matrix all formats are built from.
+	COO = core.COO
+	// Format is any sparse storage scheme with an SpMV kernel.
+	Format = core.Format
+	// Chunk is a row-partitioned piece of a matrix.
+	Chunk = core.Chunk
+	// Splitter is a format supporting row partitioning.
+	Splitter = core.Splitter
+)
+
+// Concrete formats, usable through Format or directly.
+type (
+	// CSR is the baseline Compressed Sparse Row matrix (32-bit indices).
+	CSR = csr.Matrix
+	// CSR16 is CSR with 16-bit column indices (cols < 65536).
+	CSR16 = csr.Matrix16
+	// CSRDU is the paper's delta-unit index-compressed matrix.
+	CSRDU = csrdu.Matrix
+	// DUOptions controls the CSR-DU encoder (RLE units, unit splitting).
+	DUOptions = csrdu.Options
+	// CSRVI is the paper's value-indexed matrix.
+	CSRVI = csrvi.Matrix
+	// CSRDUVI combines CSR-DU index compression with CSR-VI values.
+	CSRDUVI = csrduvi.Matrix
+	// DCSR is the Willcock & Lumsdaine comparator format.
+	DCSR = dcsr.Matrix
+	// BCSR is the register-blocked comparator format.
+	BCSR = bcsr.Matrix
+	// CSC is the column-oriented format for column partitioning.
+	CSC = csc.Matrix
+	// CSR32 stores single-precision values (half the value stream);
+	// pair with Refine for double-precision solutions.
+	CSR32 = csr.Matrix32
+	// ELL is the ELLPACK-ITPACK padded format.
+	ELL = ell.Matrix
+	// JDS is the jagged-diagonal format for skewed row lengths.
+	JDS = jds.Matrix
+	// CDS is the compressed-diagonal format for banded matrices.
+	CDS = cds.Matrix
+	// SymCSR stores one triangle of a symmetric matrix.
+	SymCSR = sym.Matrix
+	// VBR is variable-block-row storage with auto-detected blocks.
+	VBR = vbr.Matrix
+	// Hybrid stores each row block in whichever format encodes it
+	// smallest (towards the authors' CSX follow-up work).
+	Hybrid = hybrid.Matrix
+)
+
+// NewCOO returns an empty rows×cols triplet matrix. Assemble with Add,
+// then pass to any format constructor (which finalizes it in place).
+func NewCOO(rows, cols int) *COO { return core.NewCOO(rows, cols) }
+
+// NewCSR builds the baseline CSR format (4-byte indices, 8-byte values).
+func NewCSR(c *COO) (*CSR, error) { return csr.FromCOO(c) }
+
+// NewCSR16 builds CSR with 2-byte column indices; errors if the matrix
+// has 2^16 or more columns.
+func NewCSR16(c *COO) (*CSR16, error) { return csr.From16(c) }
+
+// NewCSRDU builds the CSR-DU index-compressed format with default
+// encoder options.
+func NewCSRDU(c *COO) (*CSRDU, error) { return csrdu.FromCOO(c) }
+
+// NewCSRDUOpts builds CSR-DU with explicit encoder options (e.g. RLE
+// units for matrices with long constant-stride runs).
+func NewCSRDUOpts(c *COO, o DUOptions) (*CSRDU, error) { return csrdu.FromCOOOpts(c, o) }
+
+// NewCSRDUParallel builds CSR-DU with workers concurrent encoders
+// (0 = GOMAXPROCS); the stream is byte-identical to the serial encoder.
+func NewCSRDUParallel(c *COO, o DUOptions, workers int) (*CSRDU, error) {
+	return csrdu.FromCOOParallel(c, o, workers)
+}
+
+// NewCSRVI builds the CSR-VI value-indexed format. Worthwhile when the
+// matrix's total-to-unique values ratio exceeds ~5 (use TTU to check).
+func NewCSRVI(c *COO) (*CSRVI, error) { return csrvi.FromCOO(c) }
+
+// NewCSRDUVI builds the combined index+value compressed format.
+func NewCSRDUVI(c *COO) (*CSRDUVI, error) { return csrduvi.FromCOO(c) }
+
+// NewDCSR builds the DCSR comparator format (byte command stream).
+func NewDCSR(c *COO) (*DCSR, error) { return dcsr.FromCOO(c) }
+
+// NewBCSR builds blocked CSR with r×c register blocks.
+func NewBCSR(c *COO, r, cols int) (*BCSR, error) { return bcsr.FromCOO(c, r, cols) }
+
+// NewCSC builds the compressed sparse column format.
+func NewCSC(c *COO) (*CSC, error) { return csc.FromCOO(c) }
+
+// NewCSR32 builds CSR with single-precision values (values are rounded).
+func NewCSR32(c *COO) (*CSR32, error) { return csr.From32(c) }
+
+// NewELL builds the ELLPACK-ITPACK format; errors if padding would
+// exceed ell.DefaultMaxFill times the non-zero count.
+func NewELL(c *COO) (*ELL, error) { return ell.FromCOO(c) }
+
+// NewELLMaxFill builds ELLPACK with an explicit padding bound.
+func NewELLMaxFill(c *COO, maxFill float64) (*ELL, error) { return ell.FromCOOMaxFill(c, maxFill) }
+
+// NewJDS builds the jagged-diagonal format.
+func NewJDS(c *COO) (*JDS, error) { return jds.FromCOO(c) }
+
+// NewCDS builds the compressed-diagonal format; errors when the
+// diagonal count makes the fill unreasonable.
+func NewCDS(c *COO) (*CDS, error) { return cds.FromCOO(c) }
+
+// NewSymCSR builds symmetric (one-triangle) storage; the matrix must be
+// numerically symmetric within tol.
+func NewSymCSR(c *COO, tol float64) (*SymCSR, error) { return sym.FromCOO(c, tol) }
+
+// NewVBR builds variable-block-row storage with automatically detected
+// row/column groups (consecutive identical sparsity patterns merge).
+func NewVBR(c *COO) (*VBR, error) { return vbr.FromCOOAuto(c) }
+
+// NewVBRParts builds VBR with explicit row/column group boundaries.
+func NewVBRParts(c *COO, rowPart, colPart []int32) (*VBR, error) {
+	return vbr.FromCOO(c, rowPart, colPart)
+}
+
+// NewHybrid builds the per-row-block format selector: each block of
+// rows is stored in whichever of CSR/CSR-DU/CDS encodes it smallest.
+func NewHybrid(c *COO) (*Hybrid, error) { return hybrid.FromCOO(c) }
+
+// BuildFormat constructs any registered format by name ("csr",
+// "csr-du", "csr-vi", "csr-du-vi", "dcsr", "bcsr2x2", "ell", "jds",
+// "cds", "vbr", "sym-csr", ...); see FormatNames.
+func BuildFormat(name string, c *COO) (Format, error) { return formats.Build(name, c) }
+
+// FormatNames lists every format BuildFormat accepts.
+func FormatNames() []string { return formats.Names() }
+
+// Parallel runtime.
+type (
+	// Executor is the row-partitioned multithreaded SpMV driver.
+	Executor = parallel.Executor
+	// ColExecutor is the column-partitioned driver (private y vectors
+	// plus parallel reduction).
+	ColExecutor = parallel.ColExecutor
+	// BlockExecutor is the 2D block-partitioned driver.
+	BlockExecutor = parallel.BlockExecutor
+)
+
+// NewExecutor starts a row-partitioned executor with up to nthreads
+// workers over f. Close it when done.
+func NewExecutor(f Format, nthreads int) (*Executor, error) {
+	return parallel.NewExecutor(f, nthreads)
+}
+
+// NewColExecutor starts a column-partitioned executor (f must support
+// column splitting; see NewCSC).
+func NewColExecutor(f Format, nthreads int) (*ColExecutor, error) {
+	return parallel.NewColExecutor(f, nthreads)
+}
+
+// NewBlockExecutor starts a gridR×gridC block-partitioned executor
+// directly from triplets.
+func NewBlockExecutor(c *COO, gridR, gridC int) (*BlockExecutor, error) {
+	return parallel.NewBlockExecutor(c, gridR, gridC)
+}
+
+// Solvers.
+type (
+	// Operator is a square y = A*x operator for the solvers.
+	Operator = solver.Operator
+	// SolveResult reports solver convergence.
+	SolveResult = solver.Result
+)
+
+// NewOperator wraps a square format for the solvers.
+func NewOperator(f Format) (Operator, error) { return solver.FromFormat(f) }
+
+// NewParallelOperator wraps a parallel executor as an n×n operator.
+func NewParallelOperator(r solver.Runner, n int) Operator { return solver.FromRunner(r, n) }
+
+// CG solves A*x = b for SPD A by conjugate gradients; x holds the
+// initial guess and the solution.
+func CG(a Operator, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solver.CG(a, b, x, tol, maxIter)
+}
+
+// PCG is CG with a Jacobi preconditioner (invDiag = 1/diag(A); see
+// JacobiInvDiag).
+func PCG(a Operator, invDiag, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solver.PCG(a, invDiag, b, x, tol, maxIter)
+}
+
+// JacobiInvDiag extracts 1/diag(A) from triplets for PCG.
+func JacobiInvDiag(c *COO) ([]float64, error) { return solver.InvDiag(c) }
+
+// Preconditioner applies z = M^{-1} r for the preconditioned solvers.
+type Preconditioner = solver.Preconditioner
+
+// ILU0 is the zero-fill incomplete LU preconditioner.
+type ILU0 = precond.ILU0
+
+// NewILU0 factors a square matrix for use with CGPrec or
+// RightPreconditioned GMRES/BiCGSTAB.
+func NewILU0(c *COO) (*ILU0, error) { return precond.NewILU0(c) }
+
+// CGPrec is conjugate gradients with a general SPD preconditioner.
+func CGPrec(a Operator, m Preconditioner, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solver.CGPrec(a, m, b, x, tol, maxIter)
+}
+
+// RightPreconditioned wraps a as A·M^{-1}; solve the returned operator
+// for u with GMRES/BiCGSTAB, then call finish(u) to recover x.
+func RightPreconditioned(a Operator, m Preconditioner) (Operator, func(u []float64) []float64) {
+	return solver.RightPreconditioned(a, m)
+}
+
+// GMRES solves A*x = b for general A by restarted GMRES(restart).
+func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (SolveResult, error) {
+	return solver.GMRES(a, b, x, restart, tol, maxIter)
+}
+
+// BiCGSTAB solves A*x = b for general A by stabilized bi-conjugate
+// gradients (no transpose products needed).
+func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solver.BiCGSTAB(a, b, x, tol, maxIter)
+}
+
+// Refine runs mixed-precision iterative refinement: inner solves on the
+// cheap (e.g. CSR32) operator, outer double-precision residual
+// correction on the accurate one (Langou et al., paper §III-C).
+func Refine(aFull, aInner Operator, b, x []float64, tol float64, maxOuter, innerIter int) (SolveResult, error) {
+	return solver.Refine(aFull, aInner, b, x, tol, maxOuter, innerIter)
+}
+
+// I/O.
+
+// ReadMatrixMarket parses a Matrix Market stream into triplets.
+func ReadMatrixMarket(r io.Reader) (*COO, error) { return mmio.Read(r) }
+
+// WriteMatrixMarket writes triplets as a general real coordinate
+// Matrix Market file.
+func WriteMatrixMarket(w io.Writer, c *COO) error { return mmio.Write(w, c) }
+
+// WriteMatrix serializes an encoded matrix (CSR, CSR-DU or CSR-VI) in
+// the library's binary container, so the O(nnz) encoding pass runs once
+// and solver processes load the compressed form directly.
+func WriteMatrix(w io.Writer, f Format) error { return matfile.Write(w, f) }
+
+// ReadMatrix loads a matrix written by WriteMatrix; the concrete type
+// matches the stored format.
+func ReadMatrix(r io.Reader) (Format, error) { return matfile.Read(r) }
+
+// Analysis helpers.
+
+// WorkingSet returns the CSR SpMV working set in bytes (matrix data
+// plus vectors), the quantity the compressed formats reduce.
+func WorkingSet(c *COO) int64 { return core.WorkingSet(c.Rows(), c.Cols(), c.Len()) }
+
+// CompressionRatio returns size(f)/size(CSR) for the same matrix;
+// below 1 means f is smaller.
+func CompressionRatio(f Format) float64 { return core.CompressionRatio(f) }
+
+// Structure analysis and format advice.
+type (
+	// Analysis summarizes a matrix's compression-relevant structure.
+	Analysis = analyze.Analysis
+	// Recommendation is one advised format with predicted size.
+	Recommendation = analyze.Recommendation
+)
+
+// Analyze inspects a matrix's structure (delta widths, ttu, diagonals,
+// symmetry, row skew); call Recommend on the result for format advice.
+func Analyze(c *COO) Analysis { return analyze.Analyze(c) }
+
+// Reordering (RCM bandwidth reduction, §III-A related work).
+
+// RCM returns a reverse Cuthill-McKee permutation (perm[new] = old) of
+// a square matrix. Reordering shrinks column deltas, improving both
+// x locality and CSR-DU compression.
+func RCM(c *COO) ([]int32, error) { return reorder.RCM(c) }
+
+// PermuteMatrix applies a symmetric permutation returned by RCM.
+func PermuteMatrix(c *COO, perm []int32) (*COO, error) { return reorder.Permute(c, perm) }
+
+// PermuteVec gathers a vector into permuted order; UnpermuteVec undoes it.
+func PermuteVec(x []float64, perm []int32) []float64 { return reorder.PermuteVec(x, perm) }
+
+// UnpermuteVec scatters a permuted vector back to original order.
+func UnpermuteVec(y []float64, perm []int32) []float64 { return reorder.UnpermuteVec(y, perm) }
+
+// Bandwidth returns max |i-j| over the non-zeros.
+func Bandwidth(c *COO) int { return reorder.Bandwidth(c) }
+
+// Value-stream compression (FPC, §III-C ref [23]): storage/transfer
+// side, not an SpMV format.
+
+// CompressValues losslessly compresses a float64 stream (FPC).
+func CompressValues(values []float64) []byte { return fpc.Compress(values) }
+
+// DecompressValues reverses CompressValues.
+func DecompressValues(data []byte) ([]float64, error) { return fpc.Decompress(data) }
+
+// ValueCompressibility returns the FPC compressed/raw ratio of a value
+// stream — a quick probe of value redundancy beyond exact duplicates.
+func ValueCompressibility(values []float64) float64 { return fpc.Ratio(values) }
+
+// PickFastest builds candidate formats (nil means the analytic
+// recommendations), times serial SpMV on each, and returns the fastest
+// with all measurements — empirical autotuning in the OSKI style.
+func PickFastest(c *COO, candidates []string, iters int) (string, []analyze.Timing, error) {
+	return analyze.PickFastest(c, candidates, iters)
+}
+
+// FormatTiming is one measured candidate of PickFastest.
+type FormatTiming = analyze.Timing
