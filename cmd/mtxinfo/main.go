@@ -20,8 +20,9 @@ import (
 )
 
 func main() {
+	verify := flag.Bool("verify", false, "structurally verify every format built from the matrix; any failure exits non-zero")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mtxinfo file.mtx [file2.mtx ...]")
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] file.mtx [file2.mtx ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,7 +32,7 @@ func main() {
 	}
 	status := 0
 	for _, path := range flag.Args() {
-		if err := report(path); err != nil {
+		if err := report(path, *verify); err != nil {
 			fmt.Fprintf(os.Stderr, "mtxinfo: %s: %v\n", path, err)
 			status = 1
 		}
@@ -39,7 +40,7 @@ func main() {
 	os.Exit(status)
 }
 
-func report(path string) error {
+func report(path string, verify bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -73,15 +74,32 @@ func report(path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-10s %12s %9s\n", "format", "bytes", "vs CSR")
+	hdr := ""
+	if verify {
+		hdr = "   verify"
+	}
+	fmt.Printf("  %-10s %12s %9s%s\n", "format", "bytes", "vs CSR", hdr)
+	var badFormats []string
 	for _, name := range spmv.FormatNames() {
 		f, err := spmv.BuildFormat(name, c)
 		if err != nil {
 			fmt.Printf("  %-10s %12s (%v)\n", name, "-", err)
 			continue
 		}
-		fmt.Printf("  %-10s %12d %8.1f%%\n", name, f.SizeBytes(),
-			100*float64(f.SizeBytes())/float64(base.SizeBytes()))
+		check := ""
+		if verify {
+			if verr := spmv.Verify(f); verr != nil {
+				check = fmt.Sprintf("   FAIL: %v", verr)
+				badFormats = append(badFormats, name)
+			} else {
+				check = "   ok"
+			}
+		}
+		fmt.Printf("  %-10s %12d %8.1f%%%s\n", name, f.SizeBytes(),
+			100*float64(f.SizeBytes())/float64(base.SizeBytes()), check)
+	}
+	if len(badFormats) > 0 {
+		return fmt.Errorf("verification failed for %v", badFormats)
 	}
 
 	du, err := spmv.NewCSRDU(c)

@@ -25,12 +25,14 @@ func main() {
 	iters := flag.Int("iters", 10, "timed iterations per configuration")
 	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	verbose := flag.Bool("v", false, "print per-matrix progress")
+	verify := flag.Bool("verify", false, "structurally verify every built format before timing it")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.Native = true
 	cfg.Scale = *scale
 	cfg.WarmIters = *iters
+	cfg.Verify = *verify
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

@@ -70,6 +70,11 @@ func run(path, method, format string, threads int, tol float64, maxIter, restart
 	if err != nil {
 		return fmt.Errorf("building %s: %w", format, err)
 	}
+	// O(nnz) structural check — negligible next to the solve, and a
+	// corrupt stream aborts here instead of mid-iteration.
+	if err := spmv.Verify(m); err != nil {
+		return fmt.Errorf("verifying %s: %w", format, err)
+	}
 	fmt.Printf("format: %s, %.1f%% of CSR\n", m.Name(), 100*spmv.CompressionRatio(m))
 
 	var op spmv.Operator

@@ -2,6 +2,7 @@ package spmv_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -44,6 +45,21 @@ func ExampleNewCSRVI() {
 	// Output:
 	// unique values: 2 (ttu 1499), index width 1 byte
 	// applicable per the paper's ttu>5 rule: true
+}
+
+func ExampleVerify() {
+	c := tridiag(1000)
+	m, _ := spmv.NewCSRDU(c)
+	fmt.Println("fresh matrix verifies:", spmv.Verify(m) == nil)
+
+	// Simulate bit rot: the encoded control stream loses its last byte,
+	// as a truncated download or torn mmap would produce.
+	m.Ctl = m.Ctl[:len(m.Ctl)-1]
+	err := spmv.Verify(m)
+	fmt.Println("truncated stream detected:", errors.Is(err, spmv.ErrTruncated))
+	// Output:
+	// fresh matrix verifies: true
+	// truncated stream detected: true
 }
 
 func ExampleNewExecutor() {

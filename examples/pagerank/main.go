@@ -79,7 +79,9 @@ func pagerank(m spmv.Format, d, tol float64, threads int) ([]float64, int, time.
 	}
 	start := time.Now()
 	for iter := 1; ; iter++ {
-		e.Run(next, r)
+		if err := e.Run(next, r); err != nil {
+			log.Fatal(err)
+		}
 		// Mass lost to dangling pages (all-zero columns) plus teleport.
 		var sum float64
 		for _, v := range next {

@@ -60,7 +60,9 @@ func main() {
 	for i := range x {
 		x[i] = 1
 	}
-	e.Run(y, x)
+	if err := e.Run(y, x); err != nil {
+		log.Fatal(err)
+	}
 	// For the tridiagonal Laplacian and x = 1: y = [1, 0, ..., 0, 1].
 	fmt.Printf("y[0]=%g y[1]=%g ... y[n-1]=%g (on %d threads)\n",
 		y[0], y[1], y[n-1], e.Threads())

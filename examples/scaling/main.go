@@ -66,9 +66,13 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			e.RunIters(3, y, x) // warm
+			if err := e.RunIters(3, y, x); err != nil { // warm
+				log.Fatal(err)
+			}
 			start := time.Now()
-			e.RunIters(*iters, y, x)
+			if err := e.RunIters(*iters, y, x); err != nil {
+				log.Fatal(err)
+			}
 			sec := time.Since(start).Seconds() / float64(*iters)
 			e.Close()
 			if th == 1 {

@@ -1,0 +1,45 @@
+package bcsr
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: block row pointer monotone and
+// spanning the block list, block columns inside the block grid, the
+// padded value array sized exactly R*C per block, and the logical-nnz
+// prefix (chunk weights) monotone and consistent. O(blocks + brows).
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("bcsr: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if m.R <= 0 || m.C <= 0 || m.R*m.C > 64 {
+		return core.Shapef("bcsr: invalid block size %dx%d", m.R, m.C)
+	}
+	brows := (m.rows + m.R - 1) / m.R
+	if len(m.BRowPtr) != brows+1 {
+		return core.Shapef("bcsr: block row pointer length %d, want %d", len(m.BRowPtr), brows+1)
+	}
+	if err := core.CheckRowPtr(m.BRowPtr, len(m.BColInd)); err != nil {
+		return err
+	}
+	bcols := (m.cols + m.C - 1) / m.C
+	if err := core.CheckColInd(m.BColInd, bcols); err != nil {
+		return err
+	}
+	if len(m.Values) != len(m.BColInd)*m.R*m.C {
+		return core.Shapef("bcsr: %d values for %d blocks of %dx%d", len(m.Values), len(m.BColInd), m.R, m.C)
+	}
+	if m.nnz < 0 || m.nnz > len(m.Values) {
+		return core.Shapef("bcsr: logical nnz %d outside [0,%d]", m.nnz, len(m.Values))
+	}
+	if len(m.logPrefix) != brows+1 {
+		return core.Shapef("bcsr: logical prefix length %d, want %d", len(m.logPrefix), brows+1)
+	}
+	if m.logPrefix[0] != 0 || m.logPrefix[brows] != int64(m.nnz) {
+		return core.Corruptf("bcsr: logical prefix spans [%d,%d], want [0,%d]", m.logPrefix[0], m.logPrefix[brows], m.nnz)
+	}
+	for i := 1; i <= brows; i++ {
+		if m.logPrefix[i] < m.logPrefix[i-1] {
+			return core.Corruptf("bcsr: logical prefix not monotone at block row %d", i-1)
+		}
+	}
+	return nil
+}

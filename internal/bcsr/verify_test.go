@@ -1,0 +1,53 @@
+package bcsr
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+func TestVerifyClean(t *testing.T) {
+	for _, bs := range [][2]int{{2, 2}, {3, 3}, {4, 2}} {
+		m, err := FromCOO(matgen.Stencil2D(5), bs[0], bs[1])
+		if err != nil {
+			t.Fatalf("FromCOO %dx%d: %v", bs[0], bs[1], err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Errorf("%dx%d blocks: %v", bs[0], bs[1], err)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	build := func(t *testing.T) *Matrix {
+		t.Helper()
+		m, err := FromCOO(matgen.Stencil2D(5), 2, 2)
+		if err != nil {
+			t.Fatalf("FromCOO: %v", err)
+		}
+		return m
+	}
+	t.Run("block column out of range", func(t *testing.T) {
+		m := build(t)
+		m.BColInd[0] = int32((m.Cols() + m.C - 1) / m.C)
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("non-monotone block row pointer", func(t *testing.T) {
+		m := build(t)
+		m.BRowPtr[1], m.BRowPtr[2] = m.BRowPtr[2], m.BRowPtr[1]
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("short value array", func(t *testing.T) {
+		m := build(t)
+		m.Values = m.Values[:len(m.Values)-1]
+		if err := m.Verify(); !errors.Is(err, core.ErrShape) {
+			t.Fatalf("got %v, want ErrShape", err)
+		}
+	})
+}

@@ -31,6 +31,9 @@ type Config struct {
 	Formats []string
 	// Native switches from simulation to wall-clock goroutine timing.
 	Native bool
+	// Verify structurally checks every built format (core.Verify) before
+	// it is timed, failing the run on corruption.
+	Verify bool
 	// Verbose, if non-nil, receives progress lines.
 	Verbose io.Writer
 }
@@ -129,6 +132,11 @@ func Collect(cfg Config) ([]*MatrixRuns, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
 		}
+		if cfg.Verify {
+			if err := core.Verify(base); err != nil {
+				return nil, fmt.Errorf("bench: %s/csr: verify: %w", spec.Name, err)
+			}
+		}
 		if err := measureFormat(cfg, r, base, true); err != nil {
 			return nil, fmt.Errorf("bench: %s/csr: %w", spec.Name, err)
 		}
@@ -136,6 +144,11 @@ func Collect(cfg Config) ([]*MatrixRuns, error) {
 			f, err := buildFormat(name, c)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, name, err)
+			}
+			if cfg.Verify {
+				if err := core.Verify(f); err != nil {
+					return nil, fmt.Errorf("bench: %s/%s: verify: %w", spec.Name, name, err)
+				}
 			}
 			r.SizeRatio[name] = float64(f.SizeBytes()) / float64(base.SizeBytes())
 			if err := measureFormat(cfg, r, f, false); err != nil {
@@ -214,12 +227,16 @@ func measureNative(cfg Config, f core.Format, threads int) (float64, error) {
 	for i := range x {
 		x[i] = float64(i%9) - 4
 	}
-	e.RunIters(3, y, x) // warm caches, page in
+	if err := e.RunIters(3, y, x); err != nil { // warm caches, page in
+		return 0, err
+	}
 	iters := cfg.WarmIters
 	if iters < 3 {
 		iters = 3
 	}
 	start := time.Now()
-	e.RunIters(iters, y, x)
+	if err := e.RunIters(iters, y, x); err != nil {
+		return 0, err
+	}
 	return time.Since(start).Seconds() / float64(iters), nil
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSentinelWrapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{Corruptf("bad opcode %d", 7), ErrCorrupt},
+		{Truncatedf("varint at %d", 3), ErrTruncated},
+		{Shapef("%d != %d", 1, 2), ErrShape},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Errorf("errors.Is(%v, %v) = false", c.err, c.want)
+		}
+	}
+	if errors.Is(Corruptf("x"), ErrTruncated) {
+		t.Error("ErrCorrupt matched ErrTruncated")
+	}
+}
+
+func TestCheckRowPtr(t *testing.T) {
+	if err := CheckRowPtr([]int32{0, 2, 2, 5}, 5); err != nil {
+		t.Errorf("valid row ptr rejected: %v", err)
+	}
+	if err := CheckRowPtr(nil, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty row ptr: got %v, want ErrTruncated", err)
+	}
+	if err := CheckRowPtr([]int32{1, 2}, 2); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nonzero start: got %v, want ErrCorrupt", err)
+	}
+	if err := CheckRowPtr([]int32{0, 3, 2}, 2); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-monotone: got %v, want ErrCorrupt", err)
+	}
+	if err := CheckRowPtr([]int32{0, 2, 4}, 5); !errors.Is(err, ErrShape) {
+		t.Errorf("wrong span: got %v, want ErrShape", err)
+	}
+}
+
+func TestCheckColInd(t *testing.T) {
+	if err := CheckColInd([]int32{0, 4, 2}, 5); err != nil {
+		t.Errorf("valid col ind rejected: %v", err)
+	}
+	if err := CheckColInd([]int32{0, 5}, 5); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("out-of-range col: got %v, want ErrCorrupt", err)
+	}
+	if err := CheckColInd([]int32{-1}, 5); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("negative col: got %v, want ErrCorrupt", err)
+	}
+}
+
+// verifierFake extends workingset_test's fakeFormat with a Verifier.
+type verifierFake struct {
+	fakeFormat
+	err error
+}
+
+func (v verifierFake) Verify() error { return v.err }
+
+func TestVerifyDispatch(t *testing.T) {
+	want := Corruptf("fake")
+	if got := Verify(verifierFake{err: want}); !errors.Is(got, ErrCorrupt) {
+		t.Errorf("Verify on Verifier = %v", got)
+	}
+	if got := Verify(fakeFormat{}); got != nil {
+		t.Errorf("Verify on non-Verifier = %v, want nil", got)
+	}
+}
+
+func TestCheckVectors(t *testing.T) {
+	f := fakeFormat{rows: 3, cols: 4}
+	if err := CheckVectors(f, make([]float64, 3), make([]float64, 4)); err != nil {
+		t.Errorf("exact lengths rejected: %v", err)
+	}
+	if err := CheckVectors(f, make([]float64, 2), make([]float64, 4)); !errors.Is(err, ErrShape) {
+		t.Errorf("short y: got %v, want ErrShape", err)
+	}
+	if err := CheckVectors(f, make([]float64, 3), make([]float64, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("short x: got %v, want ErrShape", err)
+	}
+}

@@ -1,0 +1,62 @@
+package csrduvi
+
+import (
+	"encoding/binary"
+
+	"spmv/internal/core"
+	"spmv/internal/csrdu"
+)
+
+// FromRaw reconstructs a Matrix from its serialized streams (used by
+// the matfile container): the CSR-DU ctl stream, the packed val_ind
+// array with its element width, and the unique value table. Everything
+// is validated — the ctl stream through csrdu's untrusting scan, the
+// value indices against the unique table — before a kernel can touch
+// it.
+func FromRaw(ctl []byte, viWidth int, vi []byte, unique []float64, rows, cols int) (*Matrix, error) {
+	if viWidth != 1 && viWidth != 2 && viWidth != 4 {
+		return nil, core.Corruptf("csrduvi: invalid val_ind width %d", viWidth)
+	}
+	if len(vi)%viWidth != 0 {
+		return nil, core.Shapef("csrduvi: val_ind size %d not a multiple of width %d", len(vi), viWidth)
+	}
+	nnz := len(vi) / viWidth
+	values := make([]float64, nnz)
+	ind := make([]uint32, nnz)
+	for k := 0; k < nnz; k++ {
+		var idx uint32
+		switch viWidth {
+		case 1:
+			idx = uint32(vi[k])
+		case 2:
+			idx = uint32(binary.LittleEndian.Uint16(vi[k*2:]))
+		default:
+			idx = binary.LittleEndian.Uint32(vi[k*4:])
+		}
+		if int(idx) >= len(unique) {
+			return nil, core.Corruptf("csrduvi: value index %d at position %d outside %d unique values", idx, k, len(unique))
+		}
+		ind[k] = idx
+		values[k] = unique[idx]
+	}
+	du, err := csrdu.FromRaw(ctl, values, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{du: du, marks: du.RowMarks(), Unique: unique}
+	switch viWidth {
+	case 1:
+		m.VI8 = make([]uint8, nnz)
+		for k, v := range ind {
+			m.VI8[k] = uint8(v)
+		}
+	case 2:
+		m.VI16 = make([]uint16, nnz)
+		for k, v := range ind {
+			m.VI16[k] = uint16(v)
+		}
+	default:
+		m.VI32 = ind
+	}
+	return m, nil
+}

@@ -1,0 +1,61 @@
+package csrduvi
+
+import "spmv/internal/core"
+
+// Ctl exposes the underlying CSR-DU control stream (read-only by
+// convention), so the binary container can serialize the combined
+// format without re-encoding.
+func (m *Matrix) Ctl() []byte { return m.du.Ctl }
+
+// Verify implements core.Verifier: the CSR-DU stream checks on the
+// index side (delegated to the embedded matrix) plus the CSR-VI
+// indirection invariants on the value side. O(nnz).
+func (m *Matrix) Verify() error {
+	if err := m.du.Verify(); err != nil {
+		return err
+	}
+	if len(m.marks) != len(m.du.RowMarks()) {
+		return core.Corruptf("csrduvi: %d row marks stored, index stream has %d", len(m.marks), len(m.du.RowMarks()))
+	}
+	nnz := m.du.NNZ()
+	uv := len(m.Unique)
+	narrays := 0
+	for _, present := range []bool{m.VI8 != nil, m.VI16 != nil, m.VI32 != nil} {
+		if present {
+			narrays++
+		}
+	}
+	if narrays != 1 && !(narrays == 0 && nnz == 0) {
+		return core.Corruptf("csrduvi: %d val_ind arrays present, want exactly one", narrays)
+	}
+	switch {
+	case m.VI8 != nil:
+		if len(m.VI8) != nnz {
+			return core.Shapef("csrduvi: %d val_ind entries for %d non-zeros", len(m.VI8), nnz)
+		}
+		for k, vi := range m.VI8 {
+			if int(vi) >= uv {
+				return core.Corruptf("csrduvi: value index %d at position %d outside %d unique values", vi, k, uv)
+			}
+		}
+	case m.VI16 != nil:
+		if len(m.VI16) != nnz {
+			return core.Shapef("csrduvi: %d val_ind entries for %d non-zeros", len(m.VI16), nnz)
+		}
+		for k, vi := range m.VI16 {
+			if int(vi) >= uv {
+				return core.Corruptf("csrduvi: value index %d at position %d outside %d unique values", vi, k, uv)
+			}
+		}
+	case m.VI32 != nil:
+		if len(m.VI32) != nnz {
+			return core.Shapef("csrduvi: %d val_ind entries for %d non-zeros", len(m.VI32), nnz)
+		}
+		for k, vi := range m.VI32 {
+			if int(vi) >= uv {
+				return core.Corruptf("csrduvi: value index %d at position %d outside %d unique values", vi, k, uv)
+			}
+		}
+	}
+	return nil
+}

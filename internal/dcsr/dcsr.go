@@ -297,7 +297,11 @@ func (c *chunk) SpMV(y, x []float64) {
 				vi++
 			}
 		default:
-			panic(fmt.Sprintf("dcsr: corrupt command stream: opcode %d at %d", op, pos-1))
+			// Typed-error panic: Verify rejects such streams before the
+			// kernel runs; if a stream corrupts after verification, the
+			// parallel executor recovers this into an error that
+			// satisfies errors.Is(err, core.ErrCorrupt).
+			panic(core.Corruptf("dcsr: corrupt command stream: opcode %d at offset %d", op, pos-1))
 		}
 	}
 	if !first {

@@ -1,6 +1,7 @@
 package dcsr
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -101,8 +102,18 @@ func TestCorruptStreamPanics(t *testing.T) {
 	m, _ := FromCOO(c)
 	m.Cmds[0] = 200 // invalid opcode
 	defer func() {
-		if recover() == nil {
-			t.Error("corrupt stream did not panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupt stream did not panic")
+		}
+		// The panic value is a typed error so the parallel executor
+		// can recover it into a returned error.
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("panic error %v does not wrap core.ErrCorrupt", err)
 		}
 	}()
 	m.SpMV(make([]float64, 2), make([]float64, 2))

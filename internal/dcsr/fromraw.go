@@ -1,0 +1,220 @@
+package dcsr
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/varint"
+)
+
+// scanCmds walks a DCSR command stream trusting nothing: opcode
+// validity, varint termination, per-element column bounds, row bounds,
+// and the total element count are all checked. It returns the row
+// marks the partitioner needs. Errors wrap core.ErrCorrupt /
+// core.ErrTruncated / core.ErrShape.
+func scanCmds(cmds []byte, nvals, rows, cols int) ([]mark, error) {
+	var marks []mark
+	pos := 0
+	vi := 0
+	yi := -1
+	xi := 0
+	element := func(d uint64, at int) error {
+		if d > uint64(cols) {
+			return core.Corruptf("dcsr: delta %d exceeds %d cols at offset %d", d, cols, at)
+		}
+		xi += int(d)
+		if xi >= cols {
+			return core.Corruptf("dcsr: column %d out of range (%d cols) at offset %d", xi, cols, at)
+		}
+		vi++
+		return nil
+	}
+	for pos < len(cmds) {
+		op := cmds[pos]
+		at := pos
+		pos++
+		if yi < 0 && op != opNewRow && op != opRowJmp {
+			return nil, core.Corruptf("dcsr: stream starts with opcode %d, want a row command", op)
+		}
+		switch op {
+		case opDelta8:
+			if pos+1 > len(cmds) {
+				return nil, core.Truncatedf("dcsr: DELTA8 operand at offset %d", at)
+			}
+			if err := element(uint64(cmds[pos]), at); err != nil {
+				return nil, err
+			}
+			pos++
+		case opDelta16:
+			if pos+2 > len(cmds) {
+				return nil, core.Truncatedf("dcsr: DELTA16 operand at offset %d", at)
+			}
+			d := uint64(cmds[pos]) | uint64(cmds[pos+1])<<8
+			if err := element(d, at); err != nil {
+				return nil, err
+			}
+			pos += 2
+		case opDelta32:
+			if pos+4 > len(cmds) {
+				return nil, core.Truncatedf("dcsr: DELTA32 operand at offset %d", at)
+			}
+			d := uint64(cmds[pos]) | uint64(cmds[pos+1])<<8 |
+				uint64(cmds[pos+2])<<16 | uint64(cmds[pos+3])<<24
+			if err := element(d, at); err != nil {
+				return nil, err
+			}
+			pos += 4
+		case opNewRow, opRowJmp:
+			var skip uint64 = 1
+			if op == opRowJmp {
+				var n int
+				skip, n = varint.Decode(cmds[pos:])
+				if n == 0 {
+					return nil, core.Truncatedf("dcsr: ROWJMP varint at offset %d", pos)
+				}
+				if n < 0 {
+					return nil, core.Corruptf("dcsr: ROWJMP varint overflow at offset %d", pos)
+				}
+				pos += n
+				if skip == 0 {
+					return nil, core.Corruptf("dcsr: zero row jump at offset %d", at)
+				}
+			}
+			if skip > uint64(rows) {
+				return nil, core.Corruptf("dcsr: row jump %d exceeds %d rows at offset %d", skip, rows, at)
+			}
+			yi += int(skip)
+			if yi >= rows {
+				return nil, core.Corruptf("dcsr: row %d out of range (%d rows)", yi, rows)
+			}
+			xi = 0
+			marks = append(marks, mark{row: yi, cmd: at, val: vi})
+		case opRun:
+			if pos+1 > len(cmds) {
+				return nil, core.Truncatedf("dcsr: RUN count at offset %d", at)
+			}
+			n := int(cmds[pos])
+			pos++
+			if n == 0 {
+				return nil, core.Corruptf("dcsr: empty RUN at offset %d", at)
+			}
+			if pos+n > len(cmds) {
+				return nil, core.Truncatedf("dcsr: RUN deltas at offset %d", pos)
+			}
+			for k := 0; k < n; k++ {
+				if err := element(uint64(cmds[pos]), at); err != nil {
+					return nil, err
+				}
+				pos++
+			}
+		default:
+			return nil, core.Corruptf("dcsr: invalid opcode %d at offset %d", op, at)
+		}
+		if vi > nvals {
+			return nil, core.Shapef("dcsr: command at %d overruns %d values", at, nvals)
+		}
+	}
+	if vi != nvals {
+		return nil, core.Shapef("dcsr: stream encodes %d elements, %d values given", vi, nvals)
+	}
+	return marks, nil
+}
+
+// FromRaw reconstructs a Matrix from a serialized command stream and
+// values array (used by the matfile container). The stream is scanned
+// once, trusting nothing, to validate its structure and rebuild the
+// row marks that partitioning needs.
+func FromRaw(cmds []byte, values []float64, rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, core.Shapef("dcsr: invalid dimensions %dx%d", rows, cols)
+	}
+	marks, err := scanCmds(cmds, len(values), rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{rows: rows, cols: cols, Cmds: cmds, Values: values, marks: marks}
+	return m, nil
+}
+
+// Verify implements core.Verifier: the full untrusting scan of the
+// command stream — if Verify passes, the SpMV kernel cannot hit its
+// corrupt-opcode panic or read out of bounds — plus a consistency
+// check of the stored row marks.
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("dcsr: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if len(m.Cmds) > 0 && (m.rows == 0 || m.cols == 0) {
+		return core.Shapef("dcsr: non-empty stream for %dx%d matrix", m.rows, m.cols)
+	}
+	marks, err := scanCmds(m.Cmds, len(m.Values), m.rows, m.cols)
+	if err != nil {
+		return err
+	}
+	if len(marks) != len(m.marks) {
+		return core.Corruptf("dcsr: %d row marks stored, stream has %d rows", len(m.marks), len(marks))
+	}
+	for i := range marks {
+		if marks[i] != m.marks[i] {
+			return core.Corruptf("dcsr: row mark %d (%+v) disagrees with stream (%+v)", i, m.marks[i], marks[i])
+		}
+	}
+	return nil
+}
+
+// ForEach decodes the command stream and calls fn for every non-zero
+// in row-major order. Like the kernel it trusts the stream; run Verify
+// first on untrusted input.
+func (m *Matrix) ForEach(fn func(i, j int, v float64)) {
+	cmds := m.Cmds
+	pos := 0
+	vi := 0
+	yi := -1
+	xi := 0
+	for pos < len(cmds) {
+		op := cmds[pos]
+		pos++
+		switch op {
+		case opDelta8:
+			xi += int(cmds[pos])
+			pos++
+			fn(yi, xi, m.Values[vi])
+			vi++
+		case opDelta16:
+			xi += int(uint16(cmds[pos]) | uint16(cmds[pos+1])<<8)
+			pos += 2
+			fn(yi, xi, m.Values[vi])
+			vi++
+		case opDelta32:
+			xi += int(uint32(cmds[pos]) | uint32(cmds[pos+1])<<8 |
+				uint32(cmds[pos+2])<<16 | uint32(cmds[pos+3])<<24)
+			pos += 4
+			fn(yi, xi, m.Values[vi])
+			vi++
+		case opNewRow:
+			yi++
+			xi = 0
+		case opRowJmp:
+			var skip uint64
+			skip, pos = varint.DecodeAt(cmds, pos)
+			yi += int(skip)
+			xi = 0
+		case opRun:
+			n := int(cmds[pos])
+			pos++
+			for k := 0; k < n; k++ {
+				xi += int(cmds[pos])
+				pos++
+				fn(yi, xi, m.Values[vi])
+				vi++
+			}
+		}
+	}
+}
+
+// Triplets decodes the matrix back to finalized COO form: the inverse
+// of FromCOO.
+func (m *Matrix) Triplets() *core.COO {
+	c := core.NewCOO(m.rows, m.cols)
+	m.ForEach(func(i, j int, v float64) { c.Add(i, j, v) })
+	c.Finalize()
+	return c
+}

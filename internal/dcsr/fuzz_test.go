@@ -1,4 +1,4 @@
-package csrdu
+package dcsr
 
 import (
 	"testing"
@@ -7,19 +7,18 @@ import (
 	"spmv/internal/matgen"
 )
 
-// FuzzFromRaw feeds arbitrary ctl streams to the validating
+// FuzzFromRaw feeds arbitrary command streams to the validating
 // deserializer: it must reject or accept without panicking, and for
-// anything it accepts the kernel must stay in bounds and agree with a
-// reference CSR built from the decoded triplets.
+// anything it accepts the kernel must stay in bounds — it can never
+// hit the corrupt-opcode panic — and agree with a reference CSR built
+// from the decoded triplets.
 func FuzzFromRaw(f *testing.F) {
-	// Seed with real streams.
 	m, _ := FromCOO(matgen.Stencil2D(5))
-	f.Add(m.Ctl, 25, 25, len(m.Values))
-	rle, _ := FromCOOOpts(matgen.Stencil2D(5), Options{RLE: true, RLEMin: 3})
-	f.Add(rle.Ctl, 25, 25, len(rle.Values))
-	f.Add([]byte{FlagNR | ClassU8, 1, 0}, 1, 1, 1)
+	f.Add(m.Cmds, 25, 25, len(m.Values))
+	f.Add([]byte{opNewRow, opDelta8, 0}, 1, 1, 1)
+	f.Add([]byte{opRowJmp, 3, opRun, 2, 1, 1}, 5, 5, 2)
 	f.Add([]byte{}, 3, 3, 0)
-	f.Fuzz(func(t *testing.T, ctl []byte, rows, cols, nvals int) {
+	f.Fuzz(func(t *testing.T, cmds []byte, rows, cols, nvals int) {
 		if rows <= 0 || cols <= 0 || rows > 1000 || cols > 1000 || nvals < 0 || nvals > 10000 {
 			return
 		}
@@ -27,17 +26,13 @@ func FuzzFromRaw(f *testing.F) {
 		for i := range values {
 			values[i] = float64(i + 1)
 		}
-		mat, err := FromRaw(ctl, values, rows, cols)
+		mat, err := FromRaw(cmds, values, rows, cols)
 		if err != nil {
 			return
 		}
-		// Accepted streams must also pass Verify — FromRaw and
-		// Verify share the same scan, so a divergence is a bug.
 		if verr := mat.Verify(); verr != nil {
 			t.Fatalf("FromRaw accepted but Verify rejects: %v", verr)
 		}
-		// The kernel must run in bounds and the decode walk must
-		// agree with nnz.
 		x := make([]float64, cols)
 		y := make([]float64, rows)
 		for i := range x {
@@ -51,11 +46,9 @@ func FuzzFromRaw(f *testing.F) {
 			}
 			count++
 		})
-		if count != len(values) {
-			t.Fatalf("decoded %d elements, expected %d", count, len(values))
+		if count != nvals {
+			t.Fatalf("decoded %d elements, expected %d", count, nvals)
 		}
-		// Accepted ⇒ the kernel result matches a reference CSR of
-		// the decoded triplets.
 		ref, err := csr.FromCOO(mat.Triplets())
 		if err != nil {
 			t.Fatalf("reference CSR: %v", err)

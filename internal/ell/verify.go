@@ -1,0 +1,41 @@
+package ell
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: both padded arrays sized exactly
+// rows×Width, every stored column index (padding included — the kernel
+// multiplies padding by x[col]) inside [0, cols), and the logical row
+// lengths within the width and summing to nnz. O(rows×Width).
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("ell: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if m.Width < 0 {
+		return core.Shapef("ell: negative width %d", m.Width)
+	}
+	n := m.rows * m.Width
+	if len(m.ColInd) != n || len(m.Values) != n {
+		return core.Shapef("ell: arrays %d/%d values, want %d (rows %d x width %d)",
+			len(m.ColInd), len(m.Values), n, m.rows, m.Width)
+	}
+	if n > 0 && m.cols == 0 {
+		return core.Shapef("ell: stored entries for a zero-column matrix")
+	}
+	if err := core.CheckColInd(m.ColInd, m.cols); err != nil {
+		return err
+	}
+	if len(m.rowLen) != m.rows {
+		return core.Shapef("ell: row length array %d, want %d", len(m.rowLen), m.rows)
+	}
+	total := 0
+	for i, l := range m.rowLen {
+		if l < 0 || int(l) > m.Width {
+			return core.Corruptf("ell: row %d length %d outside [0,%d]", i, l, m.Width)
+		}
+		total += int(l)
+	}
+	if total != m.nnz {
+		return core.Shapef("ell: row lengths sum to %d, nnz is %d", total, m.nnz)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package ell
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+func TestVerifyClean(t *testing.T) {
+	m, err := FromCOO(matgen.Stencil2D(5))
+	if err != nil {
+		t.Fatalf("FromCOO: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Errorf("Verify on freshly encoded matrix: %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	build := func(t *testing.T) *Matrix {
+		t.Helper()
+		m, err := FromCOO(matgen.Stencil2D(5))
+		if err != nil {
+			t.Fatalf("FromCOO: %v", err)
+		}
+		return m
+	}
+	t.Run("column out of range", func(t *testing.T) {
+		m := build(t)
+		m.ColInd[0] = int32(m.Cols())
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("row length exceeds width", func(t *testing.T) {
+		m := build(t)
+		m.rowLen[0] = int32(m.Width) + 1
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("short arrays", func(t *testing.T) {
+		m := build(t)
+		m.Values = m.Values[:len(m.Values)-1]
+		if err := m.Verify(); !errors.Is(err, core.ErrShape) {
+			t.Fatalf("got %v, want ErrShape", err)
+		}
+	})
+}

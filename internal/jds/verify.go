@@ -1,0 +1,51 @@
+package jds
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: Perm must be a permutation of the
+// rows (the kernel scatters through it), JdPtr monotone and spanning
+// the element arrays, every jagged diagonal no longer than the rows,
+// diagonal lengths non-increasing (rows are sorted by length), and
+// column indices in range. O(nnz + rows).
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("jds: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if len(m.Perm) != m.rows {
+		return core.Shapef("jds: permutation length %d, want %d", len(m.Perm), m.rows)
+	}
+	seen := make([]bool, m.rows)
+	for r, p := range m.Perm {
+		if p < 0 || int(p) >= m.rows {
+			return core.Corruptf("jds: permutation entry %d at position %d out of range [0,%d)", p, r, m.rows)
+		}
+		if seen[p] {
+			return core.Corruptf("jds: permutation repeats row %d", p)
+		}
+		seen[p] = true
+	}
+	if len(m.ColInd) != len(m.Values) {
+		return core.Shapef("jds: %d column indices for %d values", len(m.ColInd), len(m.Values))
+	}
+	if len(m.JdPtr) == 0 {
+		if len(m.Values) != 0 {
+			return core.Truncatedf("jds: empty jd pointer for %d values", len(m.Values))
+		}
+		return nil
+	}
+	if err := core.CheckRowPtr(m.JdPtr, len(m.Values)); err != nil {
+		return err
+	}
+	prevLen := int32(m.rows) + 1
+	for d := 0; d+1 < len(m.JdPtr); d++ {
+		l := m.JdPtr[d+1] - m.JdPtr[d]
+		if int(l) > m.rows {
+			return core.Corruptf("jds: diagonal %d has %d entries for %d rows", d, l, m.rows)
+		}
+		if l > prevLen {
+			return core.Corruptf("jds: diagonal %d longer than its predecessor (%d > %d)", d, l, prevLen)
+		}
+		prevLen = l
+	}
+	return core.CheckColInd(m.ColInd, m.cols)
+}

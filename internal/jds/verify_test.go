@@ -1,0 +1,61 @@
+package jds
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+func TestVerifyClean(t *testing.T) {
+	m, err := FromCOO(matgen.Stencil2D(5))
+	if err != nil {
+		t.Fatalf("FromCOO: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Errorf("Verify on freshly encoded matrix: %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	build := func(t *testing.T) *Matrix {
+		t.Helper()
+		m, err := FromCOO(matgen.Stencil2D(5))
+		if err != nil {
+			t.Fatalf("FromCOO: %v", err)
+		}
+		return m
+	}
+	t.Run("permutation repeats a row", func(t *testing.T) {
+		m := build(t)
+		m.Perm[0] = m.Perm[1]
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("permutation out of range", func(t *testing.T) {
+		m := build(t)
+		m.Perm[0] = int32(m.Rows())
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("column out of range", func(t *testing.T) {
+		m := build(t)
+		m.ColInd[0] = int32(m.Cols())
+		if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("non-monotone jd pointer", func(t *testing.T) {
+		m := build(t)
+		if len(m.JdPtr) < 3 {
+			t.Skip("not enough diagonals")
+		}
+		m.JdPtr[1], m.JdPtr[2] = m.JdPtr[2], m.JdPtr[1]
+		if err := m.Verify(); err == nil {
+			t.Fatal("non-monotone jd pointer passed Verify")
+		}
+	})
+}

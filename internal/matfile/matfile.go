@@ -10,27 +10,45 @@
 //	version 1 byte
 //	name    1-byte length + bytes (format name)
 //	rows, cols, nnz  8 bytes each
-//	sections: per format, a sequence of length-prefixed byte blobs
+//	header CRC32 (IEEE) over name + dims   [version >= 2]
+//	sections: per format, a sequence of length-prefixed byte blobs,
+//	          each followed by its CRC32   [version >= 2]
 //
-// Supported formats: csr, csr-du (incl. RLE streams), csr-vi.
+// Version 1 files (no checksums) are still readable. Writers always
+// produce version 2: with the section checksums, any single-byte
+// corruption of a stored stream is detected at load time — structural
+// validation alone cannot catch a flipped value byte or a flipped
+// index delta that still lands in range.
+//
+// All load-time failures wrap the core error sentinels: corrupt bytes
+// and checksum mismatches test true against core.ErrCorrupt, short
+// reads against core.ErrTruncated, and header/section size
+// inconsistencies against core.ErrShape.
+//
+// Supported formats: csr, csr16, csr-du (incl. RLE streams), csr-vi,
+// csr-du-vi, dcsr.
 package matfile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"spmv/internal/core"
 	"spmv/internal/csr"
 	"spmv/internal/csrdu"
+	"spmv/internal/csrduvi"
 	"spmv/internal/csrvi"
+	"spmv/internal/dcsr"
 )
 
 var magic = [4]byte{'S', 'P', 'M', 'V'}
 
-const version = 1
+const version = 2
 
 // Write serializes a supported format to w.
 func Write(w io.Writer, f core.Format) error {
@@ -43,22 +61,30 @@ func Write(w io.Writer, f core.Format) error {
 	if len(name) > 255 {
 		return fmt.Errorf("matfile: format name too long")
 	}
-	bw.WriteByte(byte(len(name)))
-	bw.WriteString(name)
+	var hdr bytes.Buffer
+	hdr.WriteByte(byte(len(name)))
+	hdr.WriteString(name)
 	for _, v := range []int64{int64(f.Rows()), int64(f.Cols()), int64(f.NNZ())} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
+		binary.Write(&hdr, binary.LittleEndian, v)
 	}
+	bw.Write(hdr.Bytes())
+	binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(hdr.Bytes()))
 	var err error
 	switch m := f.(type) {
 	case *csr.Matrix:
 		err = writeSections(bw, int32Bytes(m.RowPtr), int32Bytes(m.ColInd), floatBytes(m.Values))
+	case *csr.Matrix16:
+		err = writeSections(bw, int32Bytes(m.RowPtr), uint16Bytes(m.ColInd), floatBytes(m.Values))
 	case *csrdu.Matrix:
 		err = writeSections(bw, m.Ctl, floatBytes(m.Values))
+	case *dcsr.Matrix:
+		err = writeSections(bw, m.Cmds, floatBytes(m.Values))
 	case *csrvi.Matrix:
 		err = writeSections(bw, int32Bytes(m.RowPtr), int32Bytes(m.ColInd),
-			[]byte{byte(m.IndexWidth())}, viBytes(m), floatBytes(m.Unique))
+			[]byte{byte(m.IndexWidth())}, viBytes(m.VI8, m.VI16, m.VI32), floatBytes(m.Unique))
+	case *csrduvi.Matrix:
+		err = writeSections(bw, m.Ctl(),
+			[]byte{byte(m.IndexWidth())}, viBytes(m.VI8, m.VI16, m.VI32), floatBytes(m.Unique))
 	default:
 		return fmt.Errorf("matfile: unsupported format %q", name)
 	}
@@ -69,90 +95,192 @@ func Write(w io.Writer, f core.Format) error {
 }
 
 // Read deserializes a matrix written by Write. The concrete type of the
-// result matches the stored format name.
+// result matches the stored format name. Version 2 files are checksum-
+// verified section by section; the rebuilt matrix is additionally run
+// through its format verifier before being returned, so a matrix that
+// loads without error is safe to hand to the trusting SpMV kernels.
 func Read(r io.Reader) (core.Format, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("matfile: %w", err)
+		return nil, core.Truncatedf("matfile: magic: %v", err)
 	}
 	if m != magic {
-		return nil, fmt.Errorf("matfile: bad magic %q", m)
+		return nil, core.Corruptf("matfile: bad magic %q", m)
 	}
 	ver, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, core.Truncatedf("matfile: version: %v", err)
 	}
-	if ver != version {
+	if ver != 1 && ver != 2 {
 		return nil, fmt.Errorf("matfile: unsupported version %d", ver)
 	}
-	nlen, err := br.ReadByte()
-	if err != nil {
-		return nil, err
+	withCRC := ver >= 2
+	hsum := crc32.NewIEEE()
+	hr := io.TeeReader(br, hsum)
+	var nlen [1]byte
+	if _, err := io.ReadFull(hr, nlen[:]); err != nil {
+		return nil, core.Truncatedf("matfile: header: %v", err)
 	}
-	nameB := make([]byte, nlen)
-	if _, err := io.ReadFull(br, nameB); err != nil {
-		return nil, err
+	nameB := make([]byte, nlen[0])
+	if _, err := io.ReadFull(hr, nameB); err != nil {
+		return nil, core.Truncatedf("matfile: header: %v", err)
 	}
 	var rows, cols, nnz int64
 	for _, p := range []*int64{&rows, &cols, &nnz} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+		if err := binary.Read(hr, binary.LittleEndian, p); err != nil {
+			return nil, core.Truncatedf("matfile: header: %v", err)
+		}
+	}
+	if withCRC {
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return nil, core.Truncatedf("matfile: header checksum: %v", err)
+		}
+		if sum := hsum.Sum32(); sum != stored {
+			return nil, core.Corruptf("matfile: header checksum mismatch (%08x != %08x)", sum, stored)
 		}
 	}
 	if rows <= 0 || cols <= 0 || nnz < 0 || nnz > math.MaxInt32 {
-		return nil, fmt.Errorf("matfile: invalid shape %dx%d nnz %d", rows, cols, nnz)
+		return nil, core.Shapef("matfile: invalid shape %dx%d nnz %d", rows, cols, nnz)
 	}
 	name := string(nameB)
 	// Sections can never legitimately exceed this bound (the largest is
 	// 8 bytes per nnz); cap allocations so corrupt lengths fail cleanly
 	// instead of exhausting memory.
 	maxSection := (nnz+rows+cols+2)*8 + 1024
-	// The container stores raw streams; rebuilding through triplets
-	// revalidates all invariants at O(nnz) cost, which the encoders'
-	// construction already pays. That keeps the reader immune to
-	// malformed ctl streams.
+	// The container stores raw streams; rebuilding through triplets or a
+	// validating FromRaw revalidates all invariants at O(nnz) cost, which
+	// the encoders' construction already pays. That keeps the reader
+	// immune to malformed ctl/command streams.
+	f, err := readBody(br, name, rows, cols, nnz, maxSection, withCRC)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, core.Corruptf("matfile: trailing data after last section")
+	}
+	if err := core.Verify(f); err != nil {
+		return nil, fmt.Errorf("matfile: %w", err)
+	}
+	return f, nil
+}
+
+func readBody(br *bufio.Reader, name string, rows, cols, nnz, maxSection int64, withCRC bool) (core.Format, error) {
 	switch name {
-	case "csr":
-		rowPtr, colInd, values, err := readCSRSections(br, rows, nnz, maxSection)
+	case "csr", "csr16":
+		rp, err := readSection(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		return rebuildCSR(rowPtr, colInd, values, rows, cols)
+		ci, err := readSection(br, maxSection, withCRC)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := readSection(br, maxSection, withCRC)
+		if err != nil {
+			return nil, err
+		}
+		rowPtr, values := bytesInt32(rp), bytesFloat(vs)
+		var colInd []int32
+		if name == "csr16" {
+			if len(ci)%2 != 0 {
+				return nil, core.Shapef("matfile: csr16 column section size %d is odd", len(ci))
+			}
+			colInd = make([]int32, len(ci)/2)
+			for i := range colInd {
+				colInd[i] = int32(binary.LittleEndian.Uint16(ci[i*2:]))
+			}
+		} else {
+			colInd = bytesInt32(ci)
+		}
+		if int64(len(rowPtr)) != rows+1 || int64(len(colInd)) != nnz || int64(len(values)) != nnz {
+			return nil, core.Shapef("matfile: section sizes inconsistent with header")
+		}
+		return rebuildCSR(colInd, rowPtr, values, rows, cols, name == "csr16")
 	case "csr-du", "csr-du-rle":
-		ctl, err := readSection(br, maxSection)
+		ctl, err := readSection(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		vals, err := readSection(br, maxSection)
+		vals, err := readSection(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		return rebuildDU(ctl, bytesFloat(vals), rows, cols, nnz, name == "csr-du-rle")
+		values := bytesFloat(vals)
+		if int64(len(values)) != nnz {
+			return nil, core.Shapef("matfile: value count %d != header nnz %d", len(values), nnz)
+		}
+		// RLE is recorded in the stream itself; FromRaw detects RLE units.
+		return csrdu.FromRaw(ctl, values, int(rows), int(cols))
+	case "dcsr":
+		cmds, err := readSection(br, maxSection, withCRC)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := readSection(br, maxSection, withCRC)
+		if err != nil {
+			return nil, err
+		}
+		values := bytesFloat(vals)
+		if int64(len(values)) != nnz {
+			return nil, core.Shapef("matfile: value count %d != header nnz %d", len(values), nnz)
+		}
+		return dcsr.FromRaw(cmds, values, int(rows), int(cols))
 	case "csr-vi":
-		rowPtr, err := readSection(br, maxSection)
+		rowPtr, err := readSection(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		colInd, err := readSection(br, maxSection)
+		colInd, err := readSection(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := readSection(br, maxSection); err != nil { // width (informational)
-			return nil, err
-		}
-		vi, err := readSection(br, maxSection)
+		width, vi, uniq, err := readVISections(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		uniq, err := readSection(br, maxSection)
+		return rebuildVI(bytesInt32(rowPtr), bytesInt32(colInd), width, vi, uniq, rows, cols, nnz)
+	case "csr-du-vi":
+		ctl, err := readSection(br, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		return rebuildVI(bytesInt32(rowPtr), bytesInt32(colInd), vi, bytesFloat(uniq), rows, cols, nnz)
+		width, vi, uniq, err := readVISections(br, maxSection, withCRC)
+		if err != nil {
+			return nil, err
+		}
+		if width != 1 && width != 2 && width != 4 {
+			return nil, core.Corruptf("matfile: invalid val_ind width %d", width)
+		}
+		if int64(len(vi)) != nnz*int64(width) {
+			return nil, core.Shapef("matfile: val_ind size %d inconsistent with header nnz %d", len(vi), nnz)
+		}
+		return csrduvi.FromRaw(ctl, width, vi, uniq, int(rows), int(cols))
 	default:
 		return nil, fmt.Errorf("matfile: unsupported format %q", name)
 	}
+}
+
+// readVISections reads the width/val_ind/unique section triple shared
+// by the csr-vi and csr-du-vi layouts.
+func readVISections(r *bufio.Reader, maxSection int64, withCRC bool) (width int, vi []byte, uniq []float64, err error) {
+	wb, err := readSection(r, maxSection, withCRC)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(wb) != 1 {
+		return 0, nil, nil, core.Shapef("matfile: width section is %d bytes, want 1", len(wb))
+	}
+	vi, err = readSection(r, maxSection, withCRC)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	uq, err := readSection(r, maxSection, withCRC)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return int(wb[0]), vi, bytesFloat(uq), nil
 }
 
 func writeSections(w *bufio.Writer, sections ...[]byte) error {
@@ -163,60 +291,52 @@ func writeSections(w *bufio.Writer, sections ...[]byte) error {
 		if _, err := w.Write(s); err != nil {
 			return err
 		}
+		if err := binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(s)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func readSection(r io.Reader, maxLen int64) ([]byte, error) {
+func readSection(r io.Reader, maxLen int64, withCRC bool) ([]byte, error) {
 	var n int64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, core.Truncatedf("matfile: section length: %v", err)
 	}
 	if n < 0 || n > maxLen {
-		return nil, fmt.Errorf("matfile: invalid section length %d", n)
+		return nil, core.Corruptf("matfile: invalid section length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+		return nil, core.Truncatedf("matfile: section body: %v", err)
+	}
+	if withCRC {
+		var stored uint32
+		if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+			return nil, core.Truncatedf("matfile: section checksum: %v", err)
+		}
+		if sum := crc32.ChecksumIEEE(buf); sum != stored {
+			return nil, core.Corruptf("matfile: section checksum mismatch (%08x != %08x)", sum, stored)
+		}
 	}
 	return buf, nil
-}
-
-func readCSRSections(r io.Reader, rows, nnz, maxSection int64) ([]int32, []int32, []float64, error) {
-	rp, err := readSection(r, maxSection)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	ci, err := readSection(r, maxSection)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	vs, err := readSection(r, maxSection)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	rowPtr, colInd, values := bytesInt32(rp), bytesInt32(ci), bytesFloat(vs)
-	if int64(len(rowPtr)) != rows+1 || int64(len(colInd)) != nnz || int64(len(values)) != nnz {
-		return nil, nil, nil, fmt.Errorf("matfile: section sizes inconsistent with header")
-	}
-	return rowPtr, colInd, values, nil
 }
 
 // validRowPtr checks that a row pointer is monotone and spans exactly
 // [0, nnz] — a corrupt one would send the rebuild loops out of bounds.
 func validRowPtr(rowPtr []int32, nnz int64) error {
 	if len(rowPtr) == 0 || rowPtr[0] != 0 || int64(rowPtr[len(rowPtr)-1]) != nnz {
-		return fmt.Errorf("matfile: row pointer does not span nnz")
+		return core.Corruptf("matfile: row pointer does not span nnz")
 	}
 	for i := 1; i < len(rowPtr); i++ {
 		if rowPtr[i] < rowPtr[i-1] {
-			return fmt.Errorf("matfile: row pointer not monotone at %d", i)
+			return core.Corruptf("matfile: row pointer not monotone at %d", i)
 		}
 	}
 	return nil
 }
 
-func rebuildCSR(rowPtr, colInd []int32, values []float64, rows, cols int64) (core.Format, error) {
+func rebuildCSR(colInd, rowPtr []int32, values []float64, rows, cols int64, wide16 bool) (core.Format, error) {
 	if err := validRowPtr(rowPtr, int64(len(values))); err != nil {
 		return nil, err
 	}
@@ -224,35 +344,26 @@ func rebuildCSR(rowPtr, colInd []int32, values []float64, rows, cols int64) (cor
 	for i := int64(0); i < rows; i++ {
 		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
 			if colInd[k] < 0 || int64(colInd[k]) >= cols {
-				return nil, fmt.Errorf("matfile: column %d out of range", colInd[k])
+				return nil, core.Corruptf("matfile: column %d out of range", colInd[k])
 			}
 			c.Add(int(i), int(colInd[k]), values[k])
 		}
 	}
+	if wide16 {
+		return csr.From16(c)
+	}
 	return csr.FromCOO(c)
 }
 
-func rebuildDU(ctl []byte, values []float64, rows, cols, nnz int64, rle bool) (core.Format, error) {
-	if int64(len(values)) != nnz {
-		return nil, fmt.Errorf("matfile: value count %d != header nnz %d", len(values), nnz)
-	}
-	_ = rle // recorded in the stream itself; FromRaw detects RLE units
-	return csrdu.FromRaw(ctl, values, int(rows), int(cols))
-}
-
-func rebuildVI(rowPtr, colInd []int32, vi []byte, uniq []float64, rows, cols, nnz int64) (core.Format, error) {
+func rebuildVI(rowPtr, colInd []int32, width int, vi []byte, uniq []float64, rows, cols, nnz int64) (core.Format, error) {
 	if int64(len(rowPtr)) != rows+1 || int64(len(colInd)) != nnz {
-		return nil, fmt.Errorf("matfile: section sizes inconsistent with header")
+		return nil, core.Shapef("matfile: section sizes inconsistent with header")
 	}
-	width := 1
-	switch {
-	case len(uniq) > 1<<16:
-		width = 4
-	case len(uniq) > 1<<8:
-		width = 2
+	if width != 1 && width != 2 && width != 4 {
+		return nil, core.Corruptf("matfile: invalid val_ind width %d", width)
 	}
 	if int64(len(vi)) != nnz*int64(width) {
-		return nil, fmt.Errorf("matfile: val_ind size %d inconsistent with %d unique", len(vi), len(uniq))
+		return nil, core.Shapef("matfile: val_ind size %d inconsistent with header nnz %d", len(vi), nnz)
 	}
 	if err := validRowPtr(rowPtr, nnz); err != nil {
 		return nil, err
@@ -270,10 +381,10 @@ func rebuildVI(rowPtr, colInd []int32, vi []byte, uniq []float64, rows, cols, nn
 				idx = int(binary.LittleEndian.Uint32(vi[int(k)*4:]))
 			}
 			if idx >= len(uniq) {
-				return nil, fmt.Errorf("matfile: value index %d out of range", idx)
+				return nil, core.Corruptf("matfile: value index %d out of range", idx)
 			}
 			if colInd[k] < 0 || int64(colInd[k]) >= cols {
-				return nil, fmt.Errorf("matfile: column %d out of range", colInd[k])
+				return nil, core.Corruptf("matfile: column %d out of range", colInd[k])
 			}
 			c.Add(int(i), int(colInd[k]), uniq[idx])
 		}
@@ -297,6 +408,14 @@ func bytesInt32(b []byte) []int32 {
 	return out
 }
 
+func uint16Bytes(s []uint16) []byte {
+	out := make([]byte, 2*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint16(out[i*2:], v)
+	}
+	return out
+}
+
 func floatBytes(s []float64) []byte {
 	out := make([]byte, 8*len(s))
 	for i, v := range s {
@@ -313,19 +432,15 @@ func bytesFloat(b []byte) []float64 {
 	return out
 }
 
-func viBytes(m *csrvi.Matrix) []byte {
+func viBytes(vi8 []uint8, vi16 []uint16, vi32 []uint32) []byte {
 	switch {
-	case m.VI8 != nil:
-		return append([]byte(nil), m.VI8...)
-	case m.VI16 != nil:
-		out := make([]byte, 2*len(m.VI16))
-		for i, v := range m.VI16 {
-			binary.LittleEndian.PutUint16(out[i*2:], v)
-		}
-		return out
+	case vi8 != nil:
+		return append([]byte(nil), vi8...)
+	case vi16 != nil:
+		return uint16Bytes(vi16)
 	default:
-		out := make([]byte, 4*len(m.VI32))
-		for i, v := range m.VI32 {
+		out := make([]byte, 4*len(vi32))
+		for i, v := range vi32 {
 			binary.LittleEndian.PutUint32(out[i*4:], v)
 		}
 		return out

@@ -201,6 +201,57 @@ func TestReadStreamMatchesRead(t *testing.T) {
 	}
 }
 
+func TestReadCRLFLineEndings(t *testing.T) {
+	// Files written on Windows (or fetched in text mode) arrive with
+	// \r\n terminators; the reader must not choke on the trailing \r.
+	in := "%%MatrixMarket matrix coordinate real general\r\n" +
+		"% comment\r\n" +
+		"2 2 2\r\n" +
+		"1 1 1.5\r\n" +
+		"2 2 -3.0\r\n"
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("nnz = %d, want 2", c.Len())
+	}
+	_, _, v := c.At(1)
+	if v != -3 {
+		t.Errorf("value = %v, want -3", v)
+	}
+}
+
+func TestReadRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "infinity"} {
+		in := "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 " + bad + "\n"
+		_, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("value %q accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("value %q: error %v does not mention non-finite", bad, err)
+		}
+	}
+}
+
+func TestReadLongCommentLine(t *testing.T) {
+	// A 2 MiB comment line exceeds the old 1 MiB scanner cap; the raised
+	// limit must carry it.
+	in := "%%MatrixMarket matrix coordinate real general\n" +
+		"%" + strings.Repeat("x", 2<<20) + "\n" +
+		"1 1 1\n1 1 7\n"
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, v := c.At(0)
+	if v != 7 {
+		t.Errorf("value = %v, want 7", v)
+	}
+}
+
 func TestReadStreamNilOnSize(t *testing.T) {
 	in := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 3\n"
 	n := 0

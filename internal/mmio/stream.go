@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -22,7 +23,10 @@ type Size struct {
 // directly. Read is built on top of it.
 func ReadStream(r io.Reader, onSize func(Size), emit func(i, j int, v float64)) (Size, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	// Real-world Matrix Market files carry kilobyte-scale comment blocks
+	// and some generators emit very long lines; start small but allow
+	// lines up to 16 MiB before giving up (bufio.ErrTooLong otherwise).
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 
 	h, err := readHeader(sc)
 	if err != nil {
@@ -79,6 +83,11 @@ func ReadStream(r io.Reader, onSize func(Size), emit func(i, j int, v float64)) 
 			v, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
 				return size, fmt.Errorf("mmio: entry %d: bad value %q", k+1, fields[2])
+			}
+			// NaN/Inf would silently poison every downstream dot product
+			// and convergence test; fail at the door with a clear message.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return size, fmt.Errorf("mmio: entry %d: non-finite value %q", k+1, fields[2])
 			}
 		}
 		emit(i-1, j-1, v)

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -24,6 +25,7 @@ type BlockExecutor struct {
 	partial      [][]float64   // one per block
 
 	start []chan blockJob
+	errs  []error
 	wg    sync.WaitGroup
 	once  sync.Once
 }
@@ -69,6 +71,7 @@ func NewBlockExecutor(c *core.COO, gridR, gridC int) (*BlockExecutor, error) {
 		}
 	}
 	e.start = make([]chan blockJob, len(e.blocks))
+	e.errs = make([]error, len(e.blocks))
 	for i := range e.blocks {
 		e.start[i] = make(chan blockJob)
 		go e.worker(i)
@@ -84,47 +87,71 @@ func maxInt(a, b int) int {
 }
 
 func (e *BlockExecutor) worker(idx int) {
-	ri := idx / e.gridC
-	ci := idx % e.gridC
-	b := e.blocks[idx]
-	mine := e.partial[idx]
 	for j := range e.start[idx] {
-		if j.y == nil {
-			// Multiply phase: private partial over the block's columns.
-			// Zero first: an empty block skips the kernel and must not
-			// contribute stale values from the previous run.
-			for k := range mine {
-				mine[k] = 0
-			}
-			if e.rowB[ri+1] > e.rowB[ri] && e.colB[ci+1] > e.colB[ci] {
-				b.SpMV(mine, j.x[e.colB[ci]:e.colB[ci+1]])
-			}
-		} else if ci == 0 {
-			// Reduction phase: worker (ri, 0) sums its block row.
-			lo, hi := e.rowB[ri], e.rowB[ri+1]
-			for k := lo; k < hi; k++ {
-				sum := 0.0
-				for cj := 0; cj < e.gridC; cj++ {
-					sum += e.partial[ri*e.gridC+cj][k-lo]
-				}
-				j.y[k] = sum
-			}
-		}
+		e.errs[idx] = e.runBlockJob(idx, j)
 		e.wg.Done()
 	}
+}
+
+// runBlockJob executes one phase for one grid block with panic
+// containment; errors name the block's row range.
+func (e *BlockExecutor) runBlockJob(idx int, j blockJob) (err error) {
+	ri := idx / e.gridC
+	ci := idx % e.gridC
+	defer func() {
+		if r := recover(); r != nil {
+			err = chunkError(e.rowB[ri], e.rowB[ri+1], r)
+		}
+	}()
+	b := e.blocks[idx]
+	mine := e.partial[idx]
+	if j.y == nil {
+		// Multiply phase: private partial over the block's columns.
+		// Zero first: an empty block skips the kernel and must not
+		// contribute stale values from the previous run.
+		for k := range mine {
+			mine[k] = 0
+		}
+		if e.rowB[ri+1] > e.rowB[ri] && e.colB[ci+1] > e.colB[ci] {
+			b.SpMV(mine, j.x[e.colB[ci]:e.colB[ci+1]])
+		}
+	} else if ci == 0 {
+		// Reduction phase: worker (ri, 0) sums its block row.
+		lo, hi := e.rowB[ri], e.rowB[ri+1]
+		for k := lo; k < hi; k++ {
+			sum := 0.0
+			for cj := 0; cj < e.gridC; cj++ {
+				sum += e.partial[ri*e.gridC+cj][k-lo]
+			}
+			j.y[k] = sum
+		}
+	}
+	return nil
 }
 
 // Threads returns the worker count (gridR*gridC).
 func (e *BlockExecutor) Threads() int { return len(e.blocks) }
 
-// Run computes y = A*x.
-func (e *BlockExecutor) Run(y, x []float64) {
+// Run computes y = A*x. A failed multiply phase returns before the
+// reduction, leaving y untouched.
+func (e *BlockExecutor) Run(y, x []float64) error {
+	rows := e.rowB[e.gridR]
+	cols := e.colB[e.gridC]
+	if err := core.CheckVectorDims(rows, cols, y, x); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
 	n := len(e.blocks)
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
 	e.wg.Add(n)
 	for i := range e.start {
 		e.start[i] <- blockJob{x: x}
 	}
 	e.wg.Wait()
+	if err := errors.Join(e.errs...); err != nil {
+		return err
+	}
 	e.wg.Add(n)
 	for i := range e.start {
 		e.start[i] <- blockJob{x: x, y: y}
@@ -132,13 +159,18 @@ func (e *BlockExecutor) Run(y, x []float64) {
 	e.wg.Wait()
 	// Rows beyond the last grid boundary cannot exist (boundaries cover
 	// all rows), but zero-row grids leave y untouched; guard for safety.
+	return errors.Join(e.errs...)
 }
 
-// RunIters performs iters consecutive SpMV operations.
-func (e *BlockExecutor) RunIters(iters int, y, x []float64) {
+// RunIters performs iters consecutive SpMV operations. It stops at the
+// first failing iteration.
+func (e *BlockExecutor) RunIters(iters int, y, x []float64) error {
 	for k := 0; k < iters; k++ {
-		e.Run(y, x)
+		if err := e.Run(y, x); err != nil {
+			return fmt.Errorf("iteration %d: %w", k, err)
+		}
 	}
+	return nil
 }
 
 // Close stops the workers.

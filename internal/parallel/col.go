@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -16,9 +17,11 @@ import (
 type ColExecutor struct {
 	chunks  []core.ColChunk
 	rows    int
+	cols    int
 	private [][]float64
 
 	start []chan colJob
+	errs  []error
 	wg    sync.WaitGroup
 	once  sync.Once
 }
@@ -38,9 +41,10 @@ func NewColExecutor(f core.Format, nthreads int) (*ColExecutor, error) {
 	if nthreads <= 0 {
 		return nil, fmt.Errorf("parallel: invalid thread count %d", nthreads)
 	}
-	e := &ColExecutor{chunks: s.SplitCols(nthreads), rows: f.Rows()}
+	e := &ColExecutor{chunks: s.SplitCols(nthreads), rows: f.Rows(), cols: f.Cols()}
 	e.private = make([][]float64, len(e.chunks))
 	e.start = make([]chan colJob, len(e.chunks))
+	e.errs = make([]error, len(e.chunks))
 	for i := range e.chunks {
 		e.private[i] = make([]float64, e.rows)
 		e.start[i] = make(chan colJob)
@@ -53,39 +57,67 @@ func (e *ColExecutor) worker(i int) {
 	ch := e.chunks[i]
 	mine := e.private[i]
 	for j := range e.start[i] {
-		if j.y == nil {
-			// Phase 1: multiply into the private vector.
-			for k := range mine {
-				mine[k] = 0
-			}
-			ch.SpMVAdd(mine, j.x)
-		} else {
-			// Phase 2: reduce a row range across all private vectors.
-			lo, hi := j.reduce[0], j.reduce[1]
-			for k := lo; k < hi; k++ {
-				sum := 0.0
-				for _, p := range e.private {
-					sum += p[k]
-				}
-				j.y[k] = sum
-			}
-		}
+		e.errs[i] = e.runColJob(ch, mine, j)
 		e.wg.Done()
 	}
+}
+
+// runColJob executes one phase of a column-partitioned run with panic
+// containment. Multiply-phase errors are tagged with the chunk's
+// column range, reduce-phase errors with the reduced row range.
+func (e *ColExecutor) runColJob(ch core.ColChunk, mine []float64, j colJob) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if j.y == nil {
+				lo, hi := ch.ColRange()
+				err = fmt.Errorf("parallel: chunk cols [%d,%d): %w", lo, hi, core.PanicError(r))
+			} else {
+				err = fmt.Errorf("parallel: reduce rows [%d,%d): %w", j.reduce[0], j.reduce[1], core.PanicError(r))
+			}
+		}
+	}()
+	if j.y == nil {
+		// Phase 1: multiply into the private vector.
+		for k := range mine {
+			mine[k] = 0
+		}
+		ch.SpMVAdd(mine, j.x)
+	} else {
+		// Phase 2: reduce a row range across all private vectors.
+		lo, hi := j.reduce[0], j.reduce[1]
+		for k := lo; k < hi; k++ {
+			sum := 0.0
+			for _, p := range e.private {
+				sum += p[k]
+			}
+			j.y[k] = sum
+		}
+	}
+	return nil
 }
 
 // Threads returns the number of workers.
 func (e *ColExecutor) Threads() int { return len(e.chunks) }
 
 // Run computes y = A*x: a multiply phase over column chunks, a barrier,
-// then a parallel reduction over row ranges.
-func (e *ColExecutor) Run(y, x []float64) {
+// then a parallel reduction over row ranges. A failed multiply phase
+// returns before the reduction, leaving y untouched.
+func (e *ColExecutor) Run(y, x []float64) error {
+	if err := core.CheckVectorDims(e.rows, e.cols, y, x); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
 	n := len(e.chunks)
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
 	e.wg.Add(n)
 	for i := range e.start {
 		e.start[i] <- colJob{x: x}
 	}
 	e.wg.Wait()
+	if err := errors.Join(e.errs...); err != nil {
+		return err
+	}
 	e.wg.Add(n)
 	for i := range e.start {
 		lo := i * e.rows / n
@@ -93,13 +125,18 @@ func (e *ColExecutor) Run(y, x []float64) {
 		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}}
 	}
 	e.wg.Wait()
+	return errors.Join(e.errs...)
 }
 
-// RunIters performs iters consecutive SpMV operations.
-func (e *ColExecutor) RunIters(iters int, y, x []float64) {
+// RunIters performs iters consecutive SpMV operations. It stops at the
+// first failing iteration.
+func (e *ColExecutor) RunIters(iters int, y, x []float64) error {
 	for k := 0; k < iters; k++ {
-		e.Run(y, x)
+		if err := e.Run(y, x); err != nil {
+			return fmt.Errorf("iteration %d: %w", k, err)
+		}
 	}
+	return nil
 }
 
 // Close stops the workers.

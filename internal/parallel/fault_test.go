@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csc"
+	"spmv/internal/dcsr"
+	"spmv/internal/matgen"
+)
+
+// corruptDCSR builds a dcsr matrix whose command stream is corrupted
+// AFTER construction (so it bypasses FromCOO's validation), the way a
+// shared-memory or mmap'd stream would rot underneath a live executor.
+func corruptDCSR(t *testing.T) *dcsr.Matrix {
+	t.Helper()
+	m, err := dcsr.FromCOO(matgen.Stencil2D(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Cmds[len(m.Cmds)/2] = 200 // invalid opcode mid-stream
+	return m
+}
+
+func TestRunRecoversKernelPanic(t *testing.T) {
+	m := corruptDCSR(t)
+	e, err := NewExecutor(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	y := make([]float64, m.Rows())
+	x := make([]float64, m.Cols())
+	runErr := e.Run(y, x)
+	if runErr == nil {
+		t.Fatal("Run on corrupt stream returned nil")
+	}
+	if !errors.Is(runErr, core.ErrCorrupt) {
+		t.Fatalf("error %v does not wrap core.ErrCorrupt", runErr)
+	}
+	if !strings.Contains(runErr.Error(), "chunk rows [") {
+		t.Fatalf("error %v does not name the chunk row range", runErr)
+	}
+	// The executor survives the failure: it can run again (and fail
+	// again) without deadlocking on its worker pool.
+	if err := e.Run(y, x); err == nil {
+		t.Fatal("second Run on corrupt stream returned nil")
+	}
+	// And Verify would have caught the corruption up front.
+	if err := m.Verify(); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("Verify: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRunItersStopsOnError(t *testing.T) {
+	m := corruptDCSR(t)
+	e, err := NewExecutor(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	y := make([]float64, m.Rows())
+	x := make([]float64, m.Cols())
+	if err := e.RunIters(10, y, x); err == nil {
+		t.Fatal("RunIters on corrupt stream returned nil")
+	} else if !strings.Contains(err.Error(), "iteration 0") {
+		t.Fatalf("error %v does not name the failing iteration", err)
+	}
+}
+
+func TestRunRejectsShortVectors(t *testing.T) {
+	m, err := dcsr.FromCOO(matgen.Stencil2D(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecutor(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	y := make([]float64, m.Rows())
+	x := make([]float64, m.Cols())
+	if err := e.Run(y[:len(y)-1], x); !errors.Is(err, core.ErrShape) {
+		t.Fatalf("short y: got %v, want ErrShape", err)
+	}
+	if err := e.Run(y, x[:len(x)-1]); !errors.Is(err, core.ErrShape) {
+		t.Fatalf("short x: got %v, want ErrShape", err)
+	}
+	if err := e.Run(y, x); err != nil {
+		t.Fatalf("full-length vectors rejected: %v", err)
+	}
+}
+
+func TestColExecutorRejectsShortVectors(t *testing.T) {
+	c := matgen.Stencil2D(6)
+	m, err := csc.FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewColExecutor(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	y := make([]float64, m.Rows())
+	x := make([]float64, m.Cols())
+	if err := e.Run(y[:len(y)-1], x); !errors.Is(err, core.ErrShape) {
+		t.Fatalf("short y: got %v, want ErrShape", err)
+	}
+	if err := e.Run(y, x); err != nil {
+		t.Fatalf("full-length vectors rejected: %v", err)
+	}
+}
+
+func TestBlockExecutorRejectsShortVectors(t *testing.T) {
+	c := matgen.Stencil2D(6)
+	e, err := NewBlockExecutor(c, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	y := make([]float64, c.Rows())
+	x := make([]float64, c.Cols())
+	if err := e.Run(y[:len(y)-1], x); !errors.Is(err, core.ErrShape) {
+		t.Fatalf("short y: got %v, want ErrShape", err)
+	}
+	if err := e.Run(y, x); err != nil {
+		t.Fatalf("full-length vectors rejected: %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,12 +20,20 @@ import (
 // Executor runs row-partitioned multithreaded SpMV for one matrix.
 // Create with NewExecutor, use Run/RunIters any number of times
 // (not concurrently), and Close when done.
+//
+// The executor is fault-tolerant: operand lengths are validated before
+// any worker touches them, and a kernel panic inside a worker — the
+// compressed formats' kernels trust their streams and panic on corrupt
+// bytes — is recovered and returned as an error naming the offending
+// chunk's row range, instead of killing the process.
 type Executor struct {
 	chunks []core.Chunk
 	rows   int
+	cols   int
 	gaps   [][2]int // row ranges covered by no chunk (zeroed per run)
 
 	start []chan job
+	errs  []error // per-worker error slot for the current run
 	wg    sync.WaitGroup
 	once  sync.Once
 }
@@ -44,7 +53,7 @@ func NewExecutor(f core.Format, nthreads int) (*Executor, error) {
 	if nthreads <= 0 {
 		return nil, fmt.Errorf("parallel: invalid thread count %d", nthreads)
 	}
-	e := &Executor{chunks: s.Split(nthreads), rows: f.Rows()}
+	e := &Executor{chunks: s.Split(nthreads), rows: f.Rows(), cols: f.Cols()}
 	// Rows covered by no chunk hold no non-zeros; record them so Run
 	// can zero them (SpMV overwrites y).
 	next := 0
@@ -59,6 +68,7 @@ func NewExecutor(f core.Format, nthreads int) (*Executor, error) {
 		e.gaps = append(e.gaps, [2]int{next, e.rows})
 	}
 	e.start = make([]chan job, len(e.chunks))
+	e.errs = make([]error, len(e.chunks))
 	for i := range e.chunks {
 		e.start[i] = make(chan job)
 		go e.worker(i)
@@ -69,9 +79,30 @@ func NewExecutor(f core.Format, nthreads int) (*Executor, error) {
 func (e *Executor) worker(i int) {
 	ch := e.chunks[i]
 	for j := range e.start[i] {
-		ch.SpMV(j.y, j.x)
+		e.errs[i] = runChunk(ch, j.y, j.x)
 		e.wg.Done()
 	}
+}
+
+// runChunk executes one chunk kernel with panic containment, so a
+// corrupt stream takes down one Run call, not the process.
+func runChunk(ch core.Chunk, y, x []float64) (err error) {
+	lo, hi := ch.RowRange()
+	defer func() {
+		if r := recover(); r != nil {
+			err = chunkError(lo, hi, r)
+		}
+	}()
+	ch.SpMV(y, x)
+	return nil
+}
+
+// chunkError converts a recovered worker panic into an error naming
+// the row range the worker owned. core.PanicError preserves the typed
+// sentinel chain, so errors.Is(err, core.ErrCorrupt) holds for corrupt
+// streams.
+func chunkError(lo, hi int, r any) error {
+	return fmt.Errorf("parallel: chunk rows [%d,%d): %w", lo, hi, core.PanicError(r))
 }
 
 // Threads returns the number of workers (may be less than requested
@@ -79,25 +110,41 @@ func (e *Executor) worker(i int) {
 func (e *Executor) Threads() int { return len(e.chunks) }
 
 // Run computes y = A*x using all workers and blocks until complete.
-func (e *Executor) Run(y, x []float64) {
+// It returns an error if the operand lengths do not cover the matrix
+// dimensions, or if any worker's kernel panicked (the error names the
+// offending chunk's row range and wraps the core sentinels). On error
+// y is left partially written; the matrix itself is untouched, so the
+// caller can Verify it and retry or fail over.
+func (e *Executor) Run(y, x []float64) error {
+	if err := core.CheckVectorDims(e.rows, e.cols, y, x); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
 	for _, g := range e.gaps {
 		for i := g[0]; i < g[1]; i++ {
 			y[i] = 0
 		}
+	}
+	for i := range e.errs {
+		e.errs[i] = nil
 	}
 	e.wg.Add(len(e.chunks))
 	for i := range e.start {
 		e.start[i] <- job{y: y, x: x}
 	}
 	e.wg.Wait()
+	return errors.Join(e.errs...)
 }
 
 // RunIters performs iters consecutive SpMV operations (the paper's
-// measurement loop), reusing the same x and y.
-func (e *Executor) RunIters(iters int, y, x []float64) {
+// measurement loop), reusing the same x and y. It stops at the first
+// failing iteration.
+func (e *Executor) RunIters(iters int, y, x []float64) error {
 	for k := 0; k < iters; k++ {
-		e.Run(y, x)
+		if err := e.Run(y, x); err != nil {
+			return fmt.Errorf("iteration %d: %w", k, err)
+		}
 	}
+	return nil
 }
 
 // Close stops the workers. The Executor must not be used afterwards.

@@ -156,6 +156,67 @@ func TestSplitByCounts(t *testing.T) {
 	}
 }
 
+func TestEvenZeroItems(t *testing.T) {
+	// n == 0 (an empty matrix) must yield all-zero boundaries, not panic.
+	b := Even(0, 4)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("Even(0,4)[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestSplitPrefixMorePartsThanItems(t *testing.T) {
+	// parts > n: extra parts come out empty, boundaries stay monotone.
+	p := prefixOf([]int{5, 3})
+	b := SplitPrefix(p, 7)
+	if len(b) != 8 || b[0] != 0 || b[7] != 2 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := 0; i < 7; i++ {
+		if b[i+1] < b[i] {
+			t.Fatalf("boundaries decrease: %v", b)
+		}
+	}
+}
+
+func TestSplitPrefixEmpty(t *testing.T) {
+	// n == 0 with a valid prefix ({0}): every part is the empty range.
+	b := SplitPrefix([]int64{0}, 3)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("SplitPrefix(empty,3)[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestSplitRowsByNNZSingleRow(t *testing.T) {
+	// A single-row matrix split over many threads: one part gets the row,
+	// the rest are empty, and all weight is accounted for.
+	rowPtr := []int32{0, 9}
+	b := SplitRowsByNNZ(rowPtr, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 1 {
+		t.Fatalf("bounds = %v", b)
+	}
+	p := []int64{0, 9}
+	var rowParts int
+	for i := 0; i < 4; i++ {
+		if p[b[i+1]]-p[b[i]] == 9 {
+			rowParts++
+		}
+	}
+	if rowParts != 1 {
+		t.Errorf("expected exactly 1 part holding the row, bounds %v", b)
+	}
+}
+
+func TestSplitByCountsEmpty(t *testing.T) {
+	b := SplitByCounts(nil, 2)
+	if len(b) != 3 || b[0] != 0 || b[2] != 0 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
 func TestImbalanceZeroWeight(t *testing.T) {
 	p := []int64{0, 0, 0}
 	if got := Imbalance(p, []int{0, 1, 2}); got != 1 {

@@ -21,7 +21,9 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 	s := make([]float64, n)
 	t := make([]float64, n)
 
-	a.Mul(r, x)
+	if err := a.Mul(r, x); err != nil {
+		return Result{}, fmt.Errorf("solver: SpMV: %w", err)
+	}
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
@@ -50,7 +52,9 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 			}
 		}
 		rho = rhoNew
-		a.Mul(v, p)
+		if err := a.Mul(v, p); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		res.Iterations++
 		den := dot(rHat, v)
 		if den == 0 {
@@ -66,7 +70,9 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 			res.Converged = true
 			return res, nil
 		}
-		a.Mul(t, s)
+		if err := a.Mul(t, s); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		res.Iterations++
 		tt := dot(t, t)
 		if tt == 0 {

@@ -43,7 +43,9 @@ func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (R
 	res := Result{}
 	for res.Iterations < maxIter {
 		// r = b - A*x
-		a.Mul(r, x)
+		if err := a.Mul(r, x); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
@@ -64,7 +66,9 @@ func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (R
 		k := 0
 		for ; k < m && res.Iterations < maxIter; k++ {
 			// Arnoldi step with modified Gram-Schmidt.
-			a.Mul(w, v[k])
+			if err := a.Mul(w, v[k]); err != nil {
+				return res, fmt.Errorf("solver: SpMV: %w", err)
+			}
 			res.Iterations++
 			for i := 0; i <= k; i++ {
 				h[i][k] = dot(w, v[i])
@@ -111,7 +115,9 @@ func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (R
 		}
 		if res.Residual <= tol {
 			// Recompute the true residual to confirm convergence.
-			a.Mul(r, x)
+			if err := a.Mul(r, x); err != nil {
+				return res, fmt.Errorf("solver: SpMV: %w", err)
+			}
 			for i := range r {
 				r[i] = b[i] - r[i]
 			}

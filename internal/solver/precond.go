@@ -23,7 +23,9 @@ func CGPrec(a Operator, m Preconditioner, b, x []float64, tol float64, maxIter i
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	a.Mul(r, x)
+	if err := a.Mul(r, x); err != nil {
+		return Result{}, fmt.Errorf("solver: SpMV: %w", err)
+	}
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
@@ -40,7 +42,9 @@ func CGPrec(a Operator, m Preconditioner, b, x []float64, tol float64, maxIter i
 		return res, nil
 	}
 	for k := 0; k < maxIter; k++ {
-		a.Mul(ap, p)
+		if err := a.Mul(ap, p); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		pap := dot(p, ap)
 		if pap <= 0 {
 			return res, fmt.Errorf("solver: CGPrec breakdown: p'Ap = %v", pap)
@@ -74,9 +78,9 @@ func RightPreconditioned(a Operator, m Preconditioner) (Operator, func(u []float
 	tmp := make([]float64, a.N)
 	op := Operator{
 		N: a.N,
-		Mul: func(y, u []float64) {
+		Mul: func(y, u []float64) error {
 			m.Apply(tmp, u)
-			a.Mul(y, tmp)
+			return a.Mul(y, tmp)
 		},
 	}
 	finish := func(u []float64) []float64 {

@@ -33,7 +33,9 @@ func Refine(aFull, aInner Operator, b, x []float64, tol float64, maxOuter, inner
 	var res Result
 	for outer := 0; outer < maxOuter; outer++ {
 		// True residual in full precision.
-		aFull.Mul(r, x)
+		if err := aFull.Mul(r, x); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}

@@ -15,24 +15,30 @@ import (
 	"spmv/internal/vec"
 )
 
-// Operator is a square linear operator y = A*x.
+// Operator is a square linear operator y = A*x. Mul reports failures —
+// short vectors, corrupt compressed streams caught by an executor —
+// as errors, which the solvers propagate instead of crashing mid-solve.
 type Operator struct {
 	N   int
-	Mul func(y, x []float64)
+	Mul func(y, x []float64) error
 }
 
-// FromFormat wraps a square Format as an Operator.
+// FromFormat wraps a square Format as an Operator. The multiply runs
+// through core.SafeSpMV, so operand lengths are validated and kernel
+// panics on corrupt streams surface as solver errors.
 func FromFormat(f core.Format) (Operator, error) {
 	if f.Rows() != f.Cols() {
 		return Operator{}, fmt.Errorf("solver: operator must be square, got %dx%d", f.Rows(), f.Cols())
 	}
-	return Operator{N: f.Rows(), Mul: f.SpMV}, nil
+	return Operator{N: f.Rows(), Mul: func(y, x []float64) error {
+		return core.SafeSpMV(f, y, x)
+	}}, nil
 }
 
 // Runner abstracts the multithreaded executors (they all have
-// Run(y, x)).
+// Run(y, x) error).
 type Runner interface {
-	Run(y, x []float64)
+	Run(y, x []float64) error
 }
 
 // FromRunner wraps a parallel executor as an n×n Operator.
@@ -60,7 +66,9 @@ func CG(a Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	a.Mul(r, x)
+	if err := a.Mul(r, x); err != nil {
+		return Result{}, fmt.Errorf("solver: SpMV: %w", err)
+	}
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
@@ -76,7 +84,9 @@ func CG(a Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
 		return res, nil
 	}
 	for k := 0; k < maxIter; k++ {
-		a.Mul(ap, p)
+		if err := a.Mul(ap, p); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		pap := dot(p, ap)
 		if pap <= 0 {
 			return res, fmt.Errorf("solver: CG breakdown: p'Ap = %v (matrix not SPD?)", pap)
@@ -116,7 +126,9 @@ func PCG(a Operator, invDiag, b, x []float64, tol float64, maxIter int) (Result,
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	a.Mul(r, x)
+	if err := a.Mul(r, x); err != nil {
+		return Result{}, fmt.Errorf("solver: SpMV: %w", err)
+	}
 	for i := range r {
 		r[i] = b[i] - r[i]
 		z[i] = invDiag[i] * r[i]
@@ -133,7 +145,9 @@ func PCG(a Operator, invDiag, b, x []float64, tol float64, maxIter int) (Result,
 		return res, nil
 	}
 	for k := 0; k < maxIter; k++ {
-		a.Mul(ap, p)
+		if err := a.Mul(ap, p); err != nil {
+			return res, fmt.Errorf("solver: SpMV: %w", err)
+		}
 		pap := dot(p, ap)
 		if pap <= 0 {
 			return res, fmt.Errorf("solver: PCG breakdown: p'Ap = %v", pap)

@@ -27,7 +27,26 @@
 //	m, err := spmv.NewCSRDU(c)
 //	e, err := spmv.NewExecutor(m, 8) // 8-way row-partitioned SpMV
 //	defer e.Close()
-//	e.Run(y, x) // y = A*x on 8 goroutines
+//	if err := e.Run(y, x); err != nil { // y = A*x on 8 goroutines
+//		log.Fatal(err)
+//	}
+//
+// # Validation
+//
+// The compressed formats are bytecodes, and a corrupt stream is a wild
+// pointer waiting to happen. Every format implements Verify, an O(nnz)
+// structural self-check; run it on any matrix whose bytes crossed a
+// trust boundary (files, sockets, shared memory):
+//
+//	m, err := spmv.ReadMatrix(f) // already CRC-checked and verified
+//	if err := spmv.Verify(m); err != nil {
+//		// errors.Is(err, spmv.ErrCorrupt / ErrTruncated / ErrShape)
+//		log.Fatal(err)
+//	}
+//
+// The parallel executors additionally recover kernel panics into errors
+// naming the failing chunk's row range, so one rotten stream cannot
+// take down the process.
 //
 // The package also provides the related-work comparator formats
 // (CSR16, CSR32, DCSR, BCSR, VBR, ELLPACK, JDS, CDS, symmetric CSR, a
@@ -201,6 +220,34 @@ func BuildFormat(name string, c *COO) (Format, error) { return formats.Build(nam
 
 // FormatNames lists every format BuildFormat accepts.
 func FormatNames() []string { return formats.Names() }
+
+// Validation. All format constructors produce internally consistent
+// matrices; Verify matters when the encoded bytes arrived from outside
+// (ReadMatrix runs it automatically) or may have been tampered with.
+
+// Verifier is a format that can structurally self-check its encoded
+// streams in O(nnz). Every format in this package implements it.
+type Verifier = core.Verifier
+
+// Sentinel classes for validation failures; test with errors.Is.
+var (
+	// ErrCorrupt reports structurally invalid encoded data (bad opcode,
+	// out-of-range index, checksum mismatch).
+	ErrCorrupt = core.ErrCorrupt
+	// ErrTruncated reports data that ends mid-structure.
+	ErrTruncated = core.ErrTruncated
+	// ErrShape reports dimension mismatches (matrix/vector/section sizes).
+	ErrShape = core.ErrShape
+)
+
+// Verify structurally checks f if it implements Verifier and returns
+// nil otherwise.
+func Verify(f Format) error { return core.Verify(f) }
+
+// SafeSpMV runs one serial y = f*x with vector-length validation and
+// kernel-panic containment — the single-threaded analogue of
+// Executor.Run's error handling.
+func SafeSpMV(f Format, y, x []float64) error { return core.SafeSpMV(f, y, x) }
 
 // Parallel runtime.
 type (

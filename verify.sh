@@ -1,0 +1,35 @@
+#!/bin/sh
+# Repo verification gate: static checks, the full test suite under the
+# race detector, and a short fuzz smoke over the decode-hardening
+# targets. Set FUZZTIME to lengthen the fuzz phase (default 30s per
+# target); FUZZTIME=0 skips it.
+set -eu
+
+cd "$(dirname "$0")"
+
+FUZZTIME="${FUZZTIME:-30s}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+	# Each fuzz target asserts: if the decoder accepts the input, the
+	# matrix verifies clean and its SpMV matches the reference CSR.
+	for target in \
+		"spmv/internal/csrdu FuzzFromRaw" \
+		"spmv/internal/dcsr FuzzFromRaw" \
+		"spmv/internal/matfile FuzzRead"; do
+		pkg=${target% *}
+		fn=${target#* }
+		echo "== go test -fuzz=$fn -fuzztime=$FUZZTIME $pkg"
+		go test -run "^$fn\$" -fuzz "^$fn\$" -fuzztime "$FUZZTIME" "$pkg"
+	done
+fi
+
+echo "verify.sh: all checks passed"
