@@ -36,17 +36,25 @@ func main() {
 	}
 }
 
-func run(inPath, outPath, format string, fromBinary bool) error {
+func run(inPath, outPath, format string, fromBinary bool) (err error) {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return err
 	}
-	defer in.Close()
+	defer func() {
+		if cerr := in.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	out, err := os.Create(outPath)
 	if err != nil {
 		return err
 	}
-	defer out.Close()
+	defer func() {
+		if cerr := out.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	if fromBinary {
 		f, err := spmv.ReadMatrix(in)

@@ -70,12 +70,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mtxgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := spmv.WriteMatrixMarket(w, c); err != nil {
 		fmt.Fprintln(os.Stderr, "mtxgen:", err)
 		os.Exit(1)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mtxgen:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "mtxgen: %s %dx%d nnz=%d ws=%.2fMB ttu=%.1f\n",
 		*kind, c.Rows(), c.Cols(), c.Len(), float64(spmv.WorkingSet(c))/(1<<20), matgen.TTU(c))

@@ -40,12 +40,16 @@ func main() {
 	os.Exit(status)
 }
 
-func report(path string, verify bool) error {
+func report(path string, verify bool) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	c, err := spmv.ReadMatrixMarket(f)
 	if err != nil {
 		return err

@@ -64,26 +64,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	emit := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+	}
 	if need["table2"] {
-		bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout)
+		emit(bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout))
 		fmt.Println()
 	}
 	if need["table3"] {
-		bench.BuildRelTable(runs, "csr-du", cfg.Threads, 0).Print(os.Stdout, "Table III")
+		emit(bench.BuildRelTable(runs, "csr-du", cfg.Threads, 0).Print(os.Stdout, "Table III"))
 		fmt.Println()
 	}
 	if need["table4"] {
-		bench.BuildRelTable(runs, "csr-vi", cfg.Threads, 5).Print(os.Stdout, "Table IV")
+		emit(bench.BuildRelTable(runs, "csr-vi", cfg.Threads, 5).Print(os.Stdout, "Table IV"))
 		fmt.Println()
 	}
 	if need["fig7"] {
-		bench.PrintFig(os.Stdout, "Fig 7: CSR-DU per-matrix",
-			bench.BuildFig(runs, "csr-du", cfg.Threads, 0), cfg.Threads)
+		emit(bench.PrintFig(os.Stdout, "Fig 7: CSR-DU per-matrix",
+			bench.BuildFig(runs, "csr-du", cfg.Threads, 0), cfg.Threads))
 		fmt.Println()
 	}
 	if need["fig8"] {
-		bench.PrintFig(os.Stdout, "Fig 8: CSR-VI per-matrix (ttu > 5)",
-			bench.BuildFig(runs, "csr-vi", cfg.Threads, 5), cfg.Threads)
+		emit(bench.PrintFig(os.Stdout, "Fig 8: CSR-VI per-matrix (ttu > 5)",
+			bench.BuildFig(runs, "csr-vi", cfg.Threads, 5), cfg.Threads))
 		fmt.Println()
 	}
 }

@@ -1,0 +1,238 @@
+// Command spmvlint runs the project's static-analysis gate: the
+// source-level rule suite of internal/srccheck (layer 1) and the
+// compiled-code BCE/escape regression gate of internal/srccheck/compile
+// (layer 2).
+//
+// Usage:
+//
+//	spmvlint [flags] [./...]
+//
+// With no package arguments (or "./..."), the whole module is checked.
+// Exit status is 1 when any rule fires or the compile gate regresses,
+// 2 on internal errors, 0 otherwise.
+//
+// Flags:
+//
+//	-json             machine-readable output
+//	-update-baseline  rewrite the compile-gate baselines from current diagnostics
+//	-disable=LIST     comma-separated rule names to skip ("compile" skips layer 2)
+//	-root=DIR         module root (default: nearest go.mod at or above the cwd)
+//	-allowlist=FILE   allowlist path (default: <root>/.spmvlint)
+//
+// The allowlist lives at <root>/.spmvlint; see internal/srccheck's
+// Allowlist for the format. Keep it nearly empty: fix findings instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spmv/internal/srccheck"
+	"spmv/internal/srccheck/compile"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+type jsonReport struct {
+	Issues       []srccheck.Issue `json:"issues"`
+	Regressions  []compile.Delta  `json:"regressions,omitempty"`
+	Improvements []compile.Delta  `json:"improvements,omitempty"`
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("spmvlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	update := fs.Bool("update-baseline", false, "rewrite compile-gate baselines from current diagnostics")
+	disable := fs.String("disable", "", "comma-separated rule names to skip (\"compile\" skips the BCE/escape gate)")
+	rootFlag := fs.String("root", "", "module root (default: nearest go.mod at or above the cwd)")
+	allowFlag := fs.String("allowlist", "", "allowlist file (default: <root>/.spmvlint)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spmvlint [flags] [./...]\n\nrules:\n")
+		for _, r := range srccheck.DefaultRules() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.Name(), r.Doc())
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", "compile", "BCE/escape diagnostics must not regress against internal/srccheck/baseline")
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+			return 2
+		}
+	}
+	disabled := map[string]bool{}
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	prefixes, err := packagePrefixes(fs.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+		return 2
+	}
+
+	// Layer 1: source rules.
+	var rules []srccheck.Rule
+	for _, r := range srccheck.DefaultRules() {
+		if !disabled[r.Name()] {
+			rules = append(rules, r)
+		}
+	}
+	var issues []srccheck.Issue
+	if len(rules) > 0 {
+		mod, err := srccheck.Load(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+			return 2
+		}
+		allowPath := *allowFlag
+		if allowPath == "" {
+			allowPath = filepath.Join(root, ".spmvlint")
+		}
+		allow, err := srccheck.LoadAllowlist(allowPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+			return 2
+		}
+		issues = filterIssues(srccheck.Run(mod, rules, allow), prefixes)
+	}
+
+	// Layer 2: compile gate.
+	var regressions, improvements []compile.Delta
+	gateErr := false
+	if !disabled["compile"] {
+		cfg := &compile.Config{Root: root}
+		byPkg, err := cfg.Collect()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+			return 2
+		}
+		baselineDir := filepath.Join(root, "internal", "srccheck", "baseline")
+		pkgs := make([]string, 0, len(byPkg))
+		for pkg := range byPkg {
+			pkgs = append(pkgs, pkg)
+		}
+		for _, pkg := range pkgs {
+			if *update {
+				if err := compile.WriteBaseline(baselineDir, pkg, byPkg[pkg]); err != nil {
+					fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+					return 2
+				}
+				continue
+			}
+			base, err := compile.LoadBaseline(baselineDir, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+				return 2
+			}
+			reg, imp := compile.Compare(base, byPkg[pkg], srccheck.IsHotFunc)
+			regressions = append(regressions, reg...)
+			improvements = append(improvements, imp...)
+		}
+	}
+
+	// Report. Hot-function regressions fail the gate; cold ones and
+	// stale baseline entries are advisory.
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		report := jsonReport{Issues: issues, Regressions: regressions, Improvements: improvements}
+		if report.Issues == nil {
+			report.Issues = []srccheck.Issue{}
+		}
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, issue := range issues {
+			fmt.Println(issue.String())
+		}
+		for _, d := range regressions {
+			verdict := "warning: new compiler diagnostic (cold path)"
+			if d.Hot {
+				verdict = "compile gate: new diagnostic in hot kernel"
+			}
+			fmt.Printf("%s: %s\n", verdict, d.String())
+		}
+		for _, d := range improvements {
+			fmt.Printf("stale baseline entry (diagnostics improved — lock in with -update-baseline): %s\n", d.String())
+		}
+	}
+	for _, d := range regressions {
+		if d.Hot {
+			gateErr = true
+		}
+	}
+	if len(issues) > 0 || gateErr {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from the cwd to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod at or above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// packagePrefixes converts package arguments ("./...",
+// "./internal/...", "internal/csr") into module-relative path
+// prefixes; empty means the whole module.
+func packagePrefixes(args []string) ([]string, error) {
+	var prefixes []string
+	for _, arg := range args {
+		p := strings.TrimPrefix(filepath.ToSlash(arg), "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" {
+			return nil, nil // ./... covers everything
+		}
+		prefixes = append(prefixes, p)
+	}
+	return prefixes, nil
+}
+
+// filterIssues keeps issues whose file falls under one of the
+// prefixes (all issues when prefixes is empty).
+func filterIssues(issues []srccheck.Issue, prefixes []string) []srccheck.Issue {
+	if len(prefixes) == 0 {
+		return issues
+	}
+	var out []srccheck.Issue
+	for _, issue := range issues {
+		for _, p := range prefixes {
+			if strings.HasPrefix(issue.File, p+"/") || strings.HasPrefix(issue.File, p) {
+				out = append(out, issue)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -53,6 +53,13 @@ func main() {
 		}
 	}
 
+	emit := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Printf("# spmvsim: simulated %s, scale=%.3g, %d warm iterations\n\n",
 		cfg.Machine.Name, cfg.Scale, cfg.WarmIters)
 
@@ -64,7 +71,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spmvsim:", err)
 			os.Exit(1)
 		}
-		bench.PrintSweep(os.Stdout, points, cfg.Formats, "banded-l-q128", 8)
+		emit(bench.PrintSweep(os.Stdout, points, cfg.Formats, "banded-l-q128", 8))
 		fmt.Println()
 		delete(need, "sweep")
 	}
@@ -75,7 +82,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spmvsim:", err)
 			os.Exit(1)
 		}
-		bench.PrintMachines(os.Stdout, points, cfg.Formats, "banded-l-q128", cfg.Threads)
+		emit(bench.PrintMachines(os.Stdout, points, cfg.Formats, "banded-l-q128", cfg.Threads))
 		fmt.Println()
 		delete(need, "machines")
 	}
@@ -87,7 +94,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spmvsim:", err)
 			os.Exit(1)
 		}
-		bench.PrintFreq(os.Stdout, points, cfg.Formats, "banded-l-q128")
+		emit(bench.PrintFreq(os.Stdout, points, cfg.Formats, "banded-l-q128"))
 		fmt.Println()
 		delete(need, "freq")
 	}
@@ -103,7 +110,7 @@ func main() {
 	}
 
 	if need["table2"] {
-		bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout)
+		emit(bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout))
 		fmt.Println()
 	}
 	valueFormats := map[string]bool{"csr-vi": true, "csr-du-vi": true}
@@ -113,7 +120,7 @@ func main() {
 			if valueFormats[f] {
 				continue
 			}
-			bench.BuildRelTable(runs, f, cfg.Threads, 0).Print(os.Stdout, "Table III ("+f+")")
+			emit(bench.BuildRelTable(runs, f, cfg.Threads, 0).Print(os.Stdout, "Table III ("+f+")"))
 			fmt.Println()
 		}
 	}
@@ -123,18 +130,18 @@ func main() {
 			if !valueFormats[f] {
 				continue
 			}
-			bench.BuildRelTable(runs, f, cfg.Threads, 5).Print(os.Stdout, "Table IV ("+f+")")
+			emit(bench.BuildRelTable(runs, f, cfg.Threads, 5).Print(os.Stdout, "Table IV ("+f+")"))
 			fmt.Println()
 		}
 	}
 	if need["fig7"] {
-		bench.PrintFig(os.Stdout, "Fig 7: CSR-DU per-matrix",
-			bench.BuildFig(runs, "csr-du", cfg.Threads, 0), cfg.Threads)
+		emit(bench.PrintFig(os.Stdout, "Fig 7: CSR-DU per-matrix",
+			bench.BuildFig(runs, "csr-du", cfg.Threads, 0), cfg.Threads))
 		fmt.Println()
 	}
 	if need["fig8"] {
-		bench.PrintFig(os.Stdout, "Fig 8: CSR-VI per-matrix (ttu > 5)",
-			bench.BuildFig(runs, "csr-vi", cfg.Threads, 5), cfg.Threads)
+		emit(bench.PrintFig(os.Stdout, "Fig 8: CSR-VI per-matrix (ttu > 5)",
+			bench.BuildFig(runs, "csr-vi", cfg.Threads, 5), cfg.Threads))
 		fmt.Println()
 	}
 }

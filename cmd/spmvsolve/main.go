@@ -44,12 +44,16 @@ func main() {
 	}
 }
 
-func run(path, method, format string, threads int, tol float64, maxIter, restart int, useILU bool) error {
+func run(path, method, format string, threads int, tol float64, maxIter, restart int, useILU bool) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	c, err := spmv.ReadMatrixMarket(f)
 	if err != nil {
 		return err

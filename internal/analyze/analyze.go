@@ -119,7 +119,7 @@ func isSymmetric(c *core.COO) bool {
 	for k := 0; k < c.Len(); k++ {
 		i1, j1, v1 := c.At(k)
 		i2, j2, v2 := t.At(k)
-		if i1 != i2 || j1 != j2 || v1 != v2 {
+		if i1 != i2 || j1 != j2 || !core.SameBits(v1, v2) {
 			return false
 		}
 	}

@@ -26,7 +26,7 @@ var _ core.Tracer = (*chunk)(nil)
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.browBase == 0 {
-		panic("bcsr: TraceSpMV before Place")
+		panic(core.Usagef("bcsr: TraceSpMV before Place"))
 	}
 	r, cw := m.R, m.C
 	bp := core.NewStreamCursor(m.browBase)

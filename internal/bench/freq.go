@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 
 	"spmv/internal/memsim"
@@ -103,18 +102,20 @@ func FrequencyStudy(cfg Config, matrix string, freqsGHz []float64) ([]FreqPoint,
 }
 
 // PrintFreq writes the frequency study as a text series.
-func PrintFreq(w io.Writer, points []FreqPoint, formats []string, matrix string) {
-	fmt.Fprintf(w, "Frequency study (§VI-D): %s, serial speedup vs serial CSR\n", matrix)
-	fmt.Fprintf(w, "%10s", "core GHz")
+func PrintFreq(w io.Writer, points []FreqPoint, formats []string, matrix string) error {
+	pr := &printer{w: w}
+	pr.f("Frequency study (§VI-D): %s, serial speedup vs serial CSR\n", matrix)
+	pr.f("%10s", "core GHz")
 	for _, f := range formats {
-		fmt.Fprintf(w, "%12s", f)
+		pr.f("%12s", f)
 	}
-	fmt.Fprintln(w)
+	pr.ln()
 	for _, p := range points {
-		fmt.Fprintf(w, "%10.1f", p.FreqGHz)
+		pr.f("%10.1f", p.FreqGHz)
 		for _, f := range formats {
-			fmt.Fprintf(w, "%12.2f", p.RelSpeed[f])
+			pr.f("%12.2f", p.RelSpeed[f])
 		}
-		fmt.Fprintln(w)
+		pr.ln()
 	}
+	return pr.err
 }

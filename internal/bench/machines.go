@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 
 	"spmv/internal/memsim"
@@ -115,26 +114,28 @@ func MachineStudy(cfg Config, matrix string, machines []memsim.Machine, threads 
 }
 
 // PrintMachines writes the machine study as text.
-func PrintMachines(w io.Writer, points []MachinePoint, formats []string, matrix string, threads []int) {
-	fmt.Fprintf(w, "Machine study: %s (CSR scaling vs own serial; formats vs CSR at equal threads)\n", matrix)
+func PrintMachines(w io.Writer, points []MachinePoint, formats []string, matrix string, threads []int) error {
+	pr := &printer{w: w}
+	pr.f("Machine study: %s (CSR scaling vs own serial; formats vs CSR at equal threads)\n", matrix)
 	for _, p := range points {
-		fmt.Fprintf(w, "-- %s --\n", p.Name)
-		fmt.Fprintf(w, "  %-10s", "threads")
+		pr.f("-- %s --\n", p.Name)
+		pr.f("  %-10s", "threads")
 		for _, th := range threads {
-			fmt.Fprintf(w, "%8d", th)
+			pr.f("%8d", th)
 		}
-		fmt.Fprintln(w)
-		fmt.Fprintf(w, "  %-10s", "csr")
+		pr.ln()
+		pr.f("  %-10s", "csr")
 		for _, th := range threads {
-			fmt.Fprintf(w, "%8.2f", p.CSRSpeedup[th])
+			pr.f("%8.2f", p.CSRSpeedup[th])
 		}
-		fmt.Fprintln(w)
+		pr.ln()
 		for _, f := range formats {
-			fmt.Fprintf(w, "  %-10s", f)
+			pr.f("  %-10s", f)
 			for _, th := range threads {
-				fmt.Fprintf(w, "%8.2f", p.RelSpeed[f][th])
+				pr.f("%8.2f", p.RelSpeed[f][th])
 			}
-			fmt.Fprintln(w)
+			pr.ln()
 		}
 	}
+	return pr.err
 }

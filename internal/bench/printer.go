@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// printer lets the report emitters format freely while accumulating
+// the first write error, which they surface once via their return
+// value instead of checking every Fprintf.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) f(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *printer) ln() {
+	if p.err == nil {
+		_, p.err = fmt.Fprintln(p.w)
+	}
+}

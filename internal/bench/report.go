@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"spmv/internal/core"
 	"spmv/internal/stats"
 )
 
@@ -48,7 +49,7 @@ func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
 		var sS, sL, sAll []float64
 		for _, r := range runs {
 			sp := get(r)
-			if sp == 0 {
+			if core.IsZero(sp) {
 				continue
 			}
 			sAll = append(sAll, sp)
@@ -71,7 +72,7 @@ func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
 		if th == 2 {
 			addRow("2 (1xL2)", func(r *MatrixRuns) float64 { return r.Speedup("csr", 2) })
 			addRow("2 (2xL2)", func(r *MatrixRuns) float64 {
-				if r.CSRSpread2 == 0 {
+				if core.IsZero(r.CSRSpread2) {
 					return 0
 				}
 				return r.Secs["csr"][1] / r.CSRSpread2
@@ -83,19 +84,22 @@ func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
 	return t
 }
 
-// Print writes the table in the paper's layout.
-func (t Table2) Print(w io.Writer) {
-	fmt.Fprintf(w, "Table II: overall CSR SpMxV performance (M_S: %d matrices, M_L: %d matrices)\n", t.NS, t.NL)
-	fmt.Fprintf(w, "%-10s | %8s %8s %8s | %8s %8s %8s | %8s\n",
+// Print writes the table in the paper's layout, returning the first
+// write error.
+func (t Table2) Print(w io.Writer) error {
+	p := &printer{w: w}
+	p.f("Table II: overall CSR SpMxV performance (M_S: %d matrices, M_L: %d matrices)\n", t.NS, t.NL)
+	p.f("%-10s | %8s %8s %8s | %8s %8s %8s | %8s\n",
 		"core(s)", "S.avg", "S.max", "S.min", "L.avg", "L.max", "L.min", "M0.avg")
-	fmt.Fprintf(w, "%-10s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %8.1f   (MFLOPS)\n",
+	p.f("%-10s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %8.1f   (MFLOPS)\n",
 		"1", t.SerialS.Avg, t.SerialS.Max, t.SerialS.Min,
 		t.SerialL.Avg, t.SerialL.Max, t.SerialL.Min, t.Serial0)
 	for _, row := range t.Rows {
-		fmt.Fprintf(w, "%-10s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %8.2f\n",
+		p.f("%-10s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %8.2f\n",
 			row.Label, row.S.Avg, row.S.Max, row.S.Min,
 			row.L.Avg, row.L.Max, row.L.Min, row.AllAvg)
 	}
+	return p.err
 }
 
 // RelTable reproduces Tables III/IV: a compressed format's speedup over
@@ -131,7 +135,7 @@ func BuildRelTable(runs []*MatrixRuns, format string, threads []int, minTTU floa
 		var sS, sL, sAll []float64
 		for _, r := range sel {
 			sp := r.RelSpeedup(format, th)
-			if sp == 0 {
+			if core.IsZero(sp) {
 				continue
 			}
 			sAll = append(sAll, sp)
@@ -165,17 +169,20 @@ func selectRuns(runs []*MatrixRuns, minTTU float64) []*MatrixRuns {
 	return sel
 }
 
-// Print writes the table in the paper's layout.
-func (t RelTable) Print(w io.Writer, title string) {
-	fmt.Fprintf(w, "%s: %s vs CSR at equal thread count (M_S: %d, M_L: %d)\n",
+// Print writes the table in the paper's layout, returning the first
+// write error.
+func (t RelTable) Print(w io.Writer, title string) error {
+	p := &printer{w: w}
+	p.f("%s: %s vs CSR at equal thread count (M_S: %d, M_L: %d)\n",
 		title, t.Format, t.NS, t.NL)
-	fmt.Fprintf(w, "%-8s | %6s %6s %6s %6s | %6s %6s %6s %6s | %6s\n",
+	p.f("%-8s | %6s %6s %6s %6s | %6s %6s %6s %6s | %6s\n",
 		"core(s)", "S.avg", "S.max", "S.min", "<0.98", "L.avg", "L.max", "L.min", "<0.98", "M0.avg")
 	for _, row := range t.Rows {
-		fmt.Fprintf(w, "%-8d | %6.2f %6.2f %6.2f %6d | %6.2f %6.2f %6.2f %6d | %6.2f\n",
+		p.f("%-8d | %6.2f %6.2f %6.2f %6d | %6.2f %6.2f %6.2f %6d | %6.2f\n",
 			row.Threads, row.S.Avg, row.S.Max, row.S.Min, row.SlowS,
 			row.L.Avg, row.L.Max, row.L.Min, row.SlowL, row.AllAvg)
 	}
+	return p.err
 }
 
 // FigEntry is one matrix of Fig 7/8: the compressed format's speedup
@@ -215,18 +222,20 @@ func BuildFig(runs []*MatrixRuns, format string, threads []int, minTTU float64) 
 
 // PrintFig writes the per-matrix series as text (one block per thread
 // count, matrices sorted by speedup, as in the paper's bar charts).
-func PrintFig(w io.Writer, title string, entries []FigEntry, threads []int) {
-	fmt.Fprintf(w, "%s (speedup vs serial CSR; [squares] = CSR same threads; %%= size reduction)\n", title)
+func PrintFig(w io.Writer, title string, entries []FigEntry, threads []int) error {
+	p := &printer{w: w}
+	p.f("%s (speedup vs serial CSR; [squares] = CSR same threads; %%= size reduction)\n", title)
 	for _, th := range threads {
 		if th == 1 {
 			continue
 		}
-		fmt.Fprintf(w, "-- %d threads --\n", th)
+		p.f("-- %d threads --\n", th)
 		sorted := append([]FigEntry(nil), entries...)
 		sort.Slice(sorted, func(a, b int) bool { return sorted[a].Fmt[th] < sorted[b].Fmt[th] })
 		for _, e := range sorted {
-			fmt.Fprintf(w, "  %-18s %s  %5.2fx  [%5.2fx]  %5.1f%%\n",
+			p.f("  %-18s %s  %5.2fx  [%5.2fx]  %5.1f%%\n",
 				e.Name, e.Class, e.Fmt[th], e.CSR[th], e.SizeReduction)
 		}
 	}
+	return p.err
 }

@@ -74,7 +74,7 @@ type MatrixRuns struct {
 func (r *MatrixRuns) Speedup(format string, threads int) float64 {
 	base := r.Secs["csr"][1]
 	t := r.Secs[format][threads]
-	if t == 0 {
+	if core.IsZero(t) {
 		return 0
 	}
 	return base / t
@@ -85,7 +85,7 @@ func (r *MatrixRuns) Speedup(format string, threads int) float64 {
 func (r *MatrixRuns) RelSpeedup(format string, threads int) float64 {
 	base := r.Secs["csr"][threads]
 	t := r.Secs[format][threads]
-	if t == 0 {
+	if core.IsZero(t) {
 		return 0
 	}
 	return base / t
@@ -156,8 +156,10 @@ func Collect(cfg Config) ([]*MatrixRuns, error) {
 			}
 		}
 		if cfg.Verbose != nil {
-			fmt.Fprintf(cfg.Verbose, "%-16s class=%s nnz=%-9d ws=%5.1fMB ttu=%8.1f csr1=%.4gs\n",
-				r.Name, r.Class, r.NNZ, float64(r.WS)/(1<<20), r.TTU, r.Secs["csr"][1])
+			if _, err := fmt.Fprintf(cfg.Verbose, "%-16s class=%s nnz=%-9d ws=%5.1fMB ttu=%8.1f csr1=%.4gs\n",
+				r.Name, r.Class, r.NNZ, float64(r.WS)/(1<<20), r.TTU, r.Secs["csr"][1]); err != nil {
+				return nil, fmt.Errorf("bench: verbose output: %w", err)
+			}
 		}
 		out = append(out, r)
 	}

@@ -107,18 +107,20 @@ func findSpec(name string) (Spec, error) {
 }
 
 // PrintSweep writes the sweep as a text series.
-func PrintSweep(w io.Writer, points []SweepPoint, formats []string, matrix string, threads int) {
-	fmt.Fprintf(w, "Bandwidth sweep: %s, %d threads (speedup vs CSR at equal threads)\n", matrix, threads)
-	fmt.Fprintf(w, "%10s", "bus GB/s")
+func PrintSweep(w io.Writer, points []SweepPoint, formats []string, matrix string, threads int) error {
+	pr := &printer{w: w}
+	pr.f("Bandwidth sweep: %s, %d threads (speedup vs CSR at equal threads)\n", matrix, threads)
+	pr.f("%10s", "bus GB/s")
 	for _, f := range formats {
-		fmt.Fprintf(w, "%12s", f)
+		pr.f("%12s", f)
 	}
-	fmt.Fprintln(w)
+	pr.ln()
 	for _, p := range points {
-		fmt.Fprintf(w, "%10.2f", p.BusGBs)
+		pr.f("%10.2f", p.BusGBs)
 		for _, f := range formats {
-			fmt.Fprintf(w, "%12.2f", p.RelSpeed[f])
+			pr.f("%12.2f", p.RelSpeed[f])
 		}
-		fmt.Fprintln(w)
+		pr.ln()
 	}
+	return pr.err
 }

@@ -23,7 +23,7 @@ var _ core.Tracer = (*chunk)(nil)
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if len(m.Diags) > 0 && m.diagBase == nil {
-		panic("cds: TraceSpMV before Place")
+		panic(core.Usagef("cds: TraceSpMV before Place"))
 	}
 	for k, d := range m.Offsets {
 		dg := core.NewStreamCursor(m.diagBase[k])

@@ -1,0 +1,41 @@
+package cds
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: offsets strictly increasing and
+// inside the band range, one rows-length dense diagonal per offset,
+// and per-row logical counts consistent with the total. O(diagonals +
+// rows).
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("cds: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if len(m.Diags) != len(m.Offsets) {
+		return core.Shapef("cds: %d diagonals for %d offsets", len(m.Diags), len(m.Offsets))
+	}
+	if len(m.rowNNZ) != m.rows {
+		return core.Shapef("cds: row count slice length %d, want %d", len(m.rowNNZ), m.rows)
+	}
+	for k, d := range m.Offsets {
+		if k > 0 && d <= m.Offsets[k-1] {
+			return core.Corruptf("cds: offsets not strictly increasing at %d (%d after %d)", k, d, m.Offsets[k-1])
+		}
+		if int(d) <= -m.rows || int(d) >= m.cols {
+			return core.Corruptf("cds: offset %d outside band range (-%d, %d)", d, m.rows, m.cols)
+		}
+		if len(m.Diags[k]) != m.rows {
+			return core.Shapef("cds: diagonal %d has length %d, want %d", k, len(m.Diags[k]), m.rows)
+		}
+	}
+	var total int64
+	for i, c := range m.rowNNZ {
+		if c < 0 {
+			return core.Corruptf("cds: negative non-zero count %d at row %d", c, i)
+		}
+		total += int64(c)
+	}
+	if total != int64(m.nnz) {
+		return core.Corruptf("cds: per-row counts sum to %d, want nnz %d", total, m.nnz)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package cds
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+)
+
+func buildVerifyFixture(t *testing.T) *Matrix {
+	t.Helper()
+	c := core.NewCOO(6, 6)
+	for i := 0; i < 6; i++ {
+		c.Add(i, i, 2)
+		if i+1 < 6 {
+			c.Add(i, i+1, -1)
+			c.Add(i+1, i, -1)
+		}
+	}
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVerifyClean(t *testing.T) {
+	if err := buildVerifyFixture(t).Verify(); err != nil {
+		t.Fatalf("Verify on valid matrix: %v", err)
+	}
+}
+
+func TestVerifyCorrupt(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Matrix)
+		want    error
+	}{
+		{"offsets-unsorted", func(m *Matrix) { m.Offsets[0], m.Offsets[2] = m.Offsets[2], m.Offsets[0] }, core.ErrCorrupt},
+		{"offset-out-of-band", func(m *Matrix) { m.Offsets[2] = 99 }, core.ErrCorrupt},
+		{"short-diagonal", func(m *Matrix) { m.Diags[1] = m.Diags[1][:3] }, core.ErrShape},
+		{"count-mismatch", func(m *Matrix) { m.rowNNZ[0] += 5 }, core.ErrCorrupt},
+		{"negative-count", func(m *Matrix) { m.rowNNZ[0] = -1; m.rowNNZ[1]++ }, core.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildVerifyFixture(t)
+			tc.corrupt(m)
+			err := m.Verify()
+			if err == nil {
+				t.Fatal("Verify accepted corrupted matrix")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Verify = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}

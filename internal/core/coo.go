@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -27,7 +26,7 @@ type COO struct {
 func NewCOO(rows, cols int) *COO {
 	const maxDim = 1 << 31
 	if rows <= 0 || cols <= 0 || rows >= maxDim || cols >= maxDim {
-		panic(fmt.Sprintf("core: invalid COO dimensions %dx%d", rows, cols))
+		panic(Usagef("core: invalid COO dimensions %dx%d", rows, cols))
 	}
 	return &COO{rows: rows, cols: cols}
 }
@@ -50,7 +49,7 @@ func (c *COO) Finalized() bool { return c.finalized }
 // Add panics if the coordinate is out of range.
 func (c *COO) Add(i, j int, v float64) {
 	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
-		panic(fmt.Sprintf("core: COO.Add(%d, %d) out of range for %dx%d matrix", i, j, c.rows, c.cols))
+		panic(Usagef("core: COO.Add(%d, %d) out of range for %dx%d matrix", i, j, c.rows, c.cols))
 	}
 	c.I = append(c.I, int32(i))
 	c.J = append(c.J, int32(j))
@@ -127,7 +126,7 @@ func (c *COO) AddCOO(other *COO) *COO {
 	c.mustFinal("AddCOO")
 	other.mustFinal("AddCOO")
 	if c.rows != other.rows || c.cols != other.cols {
-		panic(fmt.Sprintf("core: AddCOO shape mismatch: %dx%d vs %dx%d", c.rows, c.cols, other.rows, other.cols))
+		panic(Usagef("core: AddCOO shape mismatch: %dx%d vs %dx%d", c.rows, c.cols, other.rows, other.cols))
 	}
 	out := NewCOO(c.rows, c.cols)
 	for k := range c.V {
@@ -178,7 +177,7 @@ func (c *COO) Equal(other *COO) bool {
 		return false
 	}
 	for k := range c.V {
-		if c.I[k] != other.I[k] || c.J[k] != other.J[k] || c.V[k] != other.V[k] {
+		if c.I[k] != other.I[k] || c.J[k] != other.J[k] || !SameBits(c.V[k], other.V[k]) {
 			return false
 		}
 	}
@@ -192,7 +191,7 @@ func (c *COO) Equal(other *COO) bool {
 func (c *COO) Slice(r0, r1, c0, c1 int) *COO {
 	c.mustFinal("Slice")
 	if r0 < 0 || r1 > c.rows || r0 > r1 || c0 < 0 || c1 > c.cols || c0 > c1 {
-		panic(fmt.Sprintf("core: COO.Slice(%d,%d,%d,%d) out of range for %dx%d", r0, r1, c0, c1, c.rows, c.cols))
+		panic(Usagef("core: COO.Slice(%d,%d,%d,%d) out of range for %dx%d", r0, r1, c0, c1, c.rows, c.cols))
 	}
 	if r0 == r1 || c0 == c1 {
 		out := NewCOO(max(r1-r0, 1), max(c1-c0, 1))
@@ -225,7 +224,7 @@ func (c *COO) SpMV(y, x []float64) {
 
 func (c *COO) mustFinal(op string) {
 	if !c.finalized {
-		panic("core: COO." + op + " requires a finalized COO; call Finalize first")
+		panic(Usagef("core: COO.%s requires a finalized COO; call Finalize first", op))
 	}
 }
 

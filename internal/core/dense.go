@@ -1,7 +1,5 @@
 package core
 
-import "fmt"
-
 // Dense is a row-major dense matrix used as the correctness reference
 // for every sparse kernel in the library's tests. It is deliberately
 // simple and unoptimized.
@@ -13,7 +11,7 @@ type Dense struct {
 // NewDense returns a zeroed r×c dense matrix.
 func NewDense(r, c int) *Dense {
 	if r <= 0 || c <= 0 {
-		panic(fmt.Sprintf("core: invalid Dense dimensions %dx%d", r, c))
+		panic(Usagef("core: invalid Dense dimensions %dx%d", r, c))
 	}
 	return &Dense{R: r, C: c, V: make([]float64, r*c)}
 }

@@ -1,0 +1,20 @@
+package core
+
+import "math"
+
+// IsZero reports whether x is exactly ±0. Spelled on the bit pattern
+// rather than x == 0 so the intent — exact zero sentinel, not "small"
+// — is explicit at every call site; NaN is not zero. Use this for
+// division guards and unset-value sentinels; use a tolerance for
+// numerical closeness.
+func IsZero(x float64) bool {
+	return math.Float64bits(x)<<1 == 0
+}
+
+// SameBits reports bit-identical equality. Unlike ==, NaN equals
+// itself and +0 differs from -0: this is the distinctness relation the
+// value-compression schemes (CSR-VI's unique-value table) are built
+// on, and the right equality for structural matrix comparison.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

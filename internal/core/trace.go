@@ -58,7 +58,7 @@ func NewArena() *Arena {
 // share a cache line.
 func (a *Arena) Alloc(n int64) uint64 {
 	if n < 0 {
-		panic("core: Arena.Alloc with negative size")
+		panic(Usagef("core: Arena.Alloc with negative size"))
 	}
 	base := a.next
 	a.next += uint64(n)

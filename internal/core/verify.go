@@ -42,6 +42,12 @@ var (
 	// shorter than the matrix dimensions, section sizes inconsistent
 	// with the declared shape.
 	ErrShape = errors.New("matrix shape mismatch")
+	// ErrUsage marks API misuse by the caller: invalid constructor
+	// arguments, operations on an unfinalized COO, tracing before
+	// placement. Library code panics with Usagef for these — they are
+	// programmer errors, not data errors — and the typed value lets
+	// recovering executors distinguish them from corruption traps.
+	ErrUsage = errors.New("api misuse")
 )
 
 // Corruptf returns an error wrapping ErrCorrupt.
@@ -57,6 +63,12 @@ func Truncatedf(format string, args ...any) error {
 // Shapef returns an error wrapping ErrShape.
 func Shapef(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrShape)...)
+}
+
+// Usagef returns an error wrapping ErrUsage, for panicking on
+// programmer misuse of the API.
+func Usagef(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrUsage)...)
 }
 
 // Verify checks f's structural invariants if it implements Verifier;

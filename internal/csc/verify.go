@@ -1,0 +1,27 @@
+package csc
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: column pointer monotone and
+// spanning exactly nnz, row indices inside [0, rows), index and value
+// arrays the same length. O(nnz).
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("csc: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if len(m.ColPtr) != m.cols+1 {
+		return core.Shapef("csc: column pointer length %d, want %d", len(m.ColPtr), m.cols+1)
+	}
+	if len(m.RowInd) != len(m.Values) {
+		return core.Shapef("csc: %d row indices for %d values", len(m.RowInd), len(m.Values))
+	}
+	if err := core.CheckRowPtr(m.ColPtr, len(m.Values)); err != nil {
+		return err
+	}
+	for k, i := range m.RowInd {
+		if i < 0 || int(i) >= m.rows {
+			return core.Corruptf("csc: row index %d at position %d out of range [0,%d)", i, k, m.rows)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package csc
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+)
+
+func buildVerifyFixture(t *testing.T) *Matrix {
+	t.Helper()
+	c := core.NewCOO(5, 4)
+	c.Add(0, 0, 1)
+	c.Add(2, 0, 2)
+	c.Add(1, 1, 3)
+	c.Add(4, 2, 4)
+	c.Add(3, 3, 5)
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVerifyClean(t *testing.T) {
+	if err := buildVerifyFixture(t).Verify(); err != nil {
+		t.Fatalf("Verify on valid matrix: %v", err)
+	}
+}
+
+func TestVerifyCorrupt(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Matrix)
+	}{
+		{"colptr-short", func(m *Matrix) { m.ColPtr = m.ColPtr[:3] }},
+		{"colptr-decreasing", func(m *Matrix) { m.ColPtr[1] = 4; m.ColPtr[2] = 1 }},
+		{"rowind-out-of-range", func(m *Matrix) { m.RowInd[0] = 99 }},
+		{"rowind-negative", func(m *Matrix) { m.RowInd[0] = -1 }},
+		{"length-mismatch", func(m *Matrix) { m.Values = m.Values[:len(m.Values)-1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildVerifyFixture(t)
+			tc.corrupt(m)
+			err := m.Verify()
+			if err == nil {
+				t.Fatal("Verify accepted corrupted matrix")
+			}
+			if !errors.Is(err, core.ErrCorrupt) && !errors.Is(err, core.ErrShape) {
+				t.Fatalf("Verify error %v is not typed", err)
+			}
+		})
+	}
+}

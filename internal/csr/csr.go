@@ -95,9 +95,16 @@ func (m *Matrix) SpMVAdd(y, x []float64) {
 
 func spmvRange(y, x []float64, rowPtr, colInd []int32, values []float64, lo, hi int, add bool) {
 	for i := lo; i < hi; i++ {
+		// Subslice the row once so the inner loop indexes two
+		// equal-length slices: the compiler drops the per-nnz bounds
+		// checks on vals and cols, leaving only the data-dependent
+		// gather x[cols[k]].
+		vals := values[rowPtr[i]:rowPtr[i+1]]
+		cols := colInd[rowPtr[i]:rowPtr[i+1]]
+		cols = cols[:len(vals)]
 		sum := 0.0
-		for j := rowPtr[i]; j < rowPtr[i+1]; j++ {
-			sum += values[j] * x[colInd[j]]
+		for k, v := range vals {
+			sum += v * x[cols[k]]
 		}
 		if add {
 			y[i] += sum
@@ -147,7 +154,7 @@ func (m *Matrix) SpMVT(y, x []float64) {
 // workload side when the application has multiple vectors.
 func (m *Matrix) SpMM(y, x []float64, k int) {
 	if k <= 0 {
-		panic("csr: SpMM with non-positive vector count")
+		panic(core.Usagef("csr: SpMM with non-positive vector count"))
 	}
 	switch k {
 	case 4:

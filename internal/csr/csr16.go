@@ -133,7 +133,7 @@ func (c *chunk16) SpMV(y, x []float64)  { c.m.spmvRange(y, x, c.lo, c.hi, false)
 func (c *chunk16) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.rowPtrBase == 0 {
-		panic("csr: TraceSpMV before Place")
+		panic(core.Usagef("csr: TraceSpMV before Place"))
 	}
 	rp := core.NewStreamCursor(m.rowPtrBase)
 	ci := core.NewStreamCursor(m.colIndBase)

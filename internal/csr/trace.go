@@ -26,7 +26,7 @@ func (m *Matrix) Place(a *core.Arena) {
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.rowPtrBase == 0 {
-		panic("csr: TraceSpMV before Place")
+		panic(core.Usagef("csr: TraceSpMV before Place"))
 	}
 	rp := core.NewStreamCursor(m.rowPtrBase)
 	ci := core.NewStreamCursor(m.colIndBase)

@@ -70,49 +70,63 @@ func (c *chunk) SpMV(y, x []float64) {
 		sum += values[vi] * x[xi]
 		vi++
 
+		// Subslice the unit's remaining values (and delta bytes) once
+		// so the per-nnz loops index equal-length slices: the bounds
+		// checks inside the loops collapse to the data-dependent
+		// gather x[xi] plus one check per multi-byte delta load.
+		n := size - 1
 		if flags&FlagRLE != 0 {
 			var d uint64
 			d, pos = varint.DecodeAt(ctl, pos)
 			delta := int(d)
-			for k := 1; k < size; k++ {
+			for _, v := range values[vi : vi+n] {
 				xi += delta
-				sum += values[vi] * x[xi]
-				vi++
+				sum += v * x[xi]
 			}
+			vi += n
 			continue
 		}
+		vals := values[vi : vi+n]
+		vi += n
 		switch flags & TypeMask {
 		case ClassU8:
-			for k := 1; k < size; k++ {
-				xi += int(ctl[pos])
-				pos++
-				sum += values[vi] * x[xi]
-				vi++
+			deltas := ctl[pos : pos+n]
+			pos += n
+			deltas = deltas[:len(vals)]
+			for k, v := range vals {
+				xi += int(deltas[k])
+				sum += v * x[xi]
 			}
 		case ClassU16:
-			for k := 1; k < size; k++ {
-				xi += int(uint16(ctl[pos]) | uint16(ctl[pos+1])<<8)
-				pos += 2
-				sum += values[vi] * x[xi]
-				vi++
+			b := ctl[pos : pos+2*n]
+			pos += 2 * n
+			for k, v := range vals {
+				d := b[2*k:]
+				_ = d[1]
+				xi += int(uint16(d[0]) | uint16(d[1])<<8)
+				sum += v * x[xi]
 			}
 		case ClassU32:
-			for k := 1; k < size; k++ {
-				xi += int(uint32(ctl[pos]) | uint32(ctl[pos+1])<<8 |
-					uint32(ctl[pos+2])<<16 | uint32(ctl[pos+3])<<24)
-				pos += 4
-				sum += values[vi] * x[xi]
-				vi++
+			b := ctl[pos : pos+4*n]
+			pos += 4 * n
+			for k, v := range vals {
+				d := b[4*k:]
+				_ = d[3]
+				xi += int(uint32(d[0]) | uint32(d[1])<<8 |
+					uint32(d[2])<<16 | uint32(d[3])<<24)
+				sum += v * x[xi]
 			}
 		default:
-			for k := 1; k < size; k++ {
-				xi += int(uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
-					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
-					uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
-					uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56)
-				pos += 8
-				sum += values[vi] * x[xi]
-				vi++
+			b := ctl[pos : pos+8*n]
+			pos += 8 * n
+			for k, v := range vals {
+				d := b[8*k:]
+				_ = d[7]
+				xi += int(uint64(d[0]) | uint64(d[1])<<8 |
+					uint64(d[2])<<16 | uint64(d[3])<<24 |
+					uint64(d[4])<<32 | uint64(d[5])<<40 |
+					uint64(d[6])<<48 | uint64(d[7])<<56)
+				sum += v * x[xi]
 			}
 		}
 	}

@@ -29,7 +29,7 @@ func (m *Matrix) Place(a *core.Arena) {
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.ctlBase == 0 && len(m.Ctl) > 0 {
-		panic("csrdu: TraceSpMV before Place")
+		panic(core.Usagef("csrdu: TraceSpMV before Place"))
 	}
 	if c.startMark < 0 {
 		return

@@ -28,7 +28,7 @@ var _ core.Tracer = (*chunk)(nil)
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.ctlBase == 0 && len(m.du.Ctl) > 0 {
-		panic("csrduvi: TraceSpMV before Place")
+		panic(core.Usagef("csrduvi: TraceSpMV before Place"))
 	}
 	if c.startMark < 0 {
 		return

@@ -146,29 +146,41 @@ func (m *Matrix) SizeBytes() int64 {
 func (m *Matrix) SpMV(y, x []float64) { m.spmvRange(y, x, 0, m.rows) }
 
 func (m *Matrix) spmvRange(y, x []float64, lo, hi int) {
-	// One loop per index width keeps the inner loop monomorphic.
+	// One loop per index width keeps the inner loop monomorphic. Each
+	// row subslices the value-index and column streams once so the
+	// per-nnz bounds checks collapse to the two data-dependent table
+	// lookups (Unique[id] and x[col]).
 	switch {
 	case m.VI8 != nil:
 		for i := lo; i < hi; i++ {
+			vi := m.VI8[m.RowPtr[i]:m.RowPtr[i+1]]
+			cols := m.ColInd[m.RowPtr[i]:m.RowPtr[i+1]]
+			cols = cols[:len(vi)]
 			sum := 0.0
-			for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
-				sum += m.Unique[m.VI8[j]] * x[m.ColInd[j]]
+			for k, id := range vi {
+				sum += m.Unique[id] * x[cols[k]]
 			}
 			y[i] = sum
 		}
 	case m.VI16 != nil:
 		for i := lo; i < hi; i++ {
+			vi := m.VI16[m.RowPtr[i]:m.RowPtr[i+1]]
+			cols := m.ColInd[m.RowPtr[i]:m.RowPtr[i+1]]
+			cols = cols[:len(vi)]
 			sum := 0.0
-			for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
-				sum += m.Unique[m.VI16[j]] * x[m.ColInd[j]]
+			for k, id := range vi {
+				sum += m.Unique[id] * x[cols[k]]
 			}
 			y[i] = sum
 		}
 	default:
 		for i := lo; i < hi; i++ {
+			vi := m.VI32[m.RowPtr[i]:m.RowPtr[i+1]]
+			cols := m.ColInd[m.RowPtr[i]:m.RowPtr[i+1]]
+			cols = cols[:len(vi)]
 			sum := 0.0
-			for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
-				sum += m.Unique[m.VI32[j]] * x[m.ColInd[j]]
+			for k, id := range vi {
+				sum += m.Unique[id] * x[cols[k]]
 			}
 			y[i] = sum
 		}

@@ -20,7 +20,7 @@ func (m *Matrix) Place(a *core.Arena) {
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.rowPtrBase == 0 {
-		panic("csrvi: TraceSpMV before Place")
+		panic(core.Usagef("csrvi: TraceSpMV before Place"))
 	}
 	w := int64(m.IndexWidth())
 	rp := core.NewStreamCursor(m.rowPtrBase)

@@ -26,7 +26,7 @@ var _ core.Tracer = (*chunk)(nil)
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.cmdBase == 0 && len(m.Cmds) > 0 {
-		panic("dcsr: TraceSpMV before Place")
+		panic(core.Usagef("dcsr: TraceSpMV before Place"))
 	}
 	if c.startMark < 0 {
 		return

@@ -26,7 +26,7 @@ var _ core.Tracer = (*chunk)(nil)
 func (c *chunk) TraceSpMV(xBase, yBase uint64, emit core.EmitFunc) {
 	m := c.m
 	if m.valBase == 0 && len(m.Values) > 0 {
-		panic("ell: TraceSpMV before Place")
+		panic(core.Usagef("ell: TraceSpMV before Place"))
 	}
 	for k := 0; k < m.Width; k++ {
 		ci := core.NewStreamCursor(m.colBase)

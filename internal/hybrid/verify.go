@@ -1,0 +1,42 @@
+package hybrid
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: blocks tile [0, rows) contiguously,
+// each sub-format has the block's shape, the logical non-zeros add up,
+// and every sub-format that can verify itself does. Cost is the sum of
+// the sub-format verifications.
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("hybrid: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if len(m.blocks) == 0 && m.rows > 0 {
+		return core.Shapef("hybrid: no blocks for %d rows", m.rows)
+	}
+	next := 0
+	total := 0
+	for k, b := range m.blocks {
+		if b.f == nil {
+			return core.Corruptf("hybrid: block %d has no sub-format", k)
+		}
+		if b.lo != next || b.hi <= b.lo {
+			return core.Corruptf("hybrid: block %d spans [%d,%d), want start %d", k, b.lo, b.hi, next)
+		}
+		if b.f.Rows() != b.hi-b.lo || b.f.Cols() != m.cols {
+			return core.Shapef("hybrid: block %d sub-format is %dx%d, want %dx%d",
+				k, b.f.Rows(), b.f.Cols(), b.hi-b.lo, m.cols)
+		}
+		if err := core.Verify(b.f); err != nil {
+			return core.Corruptf("hybrid: block %d (%s): %w", k, b.f.Name(), err)
+		}
+		total += b.f.NNZ()
+		next = b.hi
+	}
+	if next != m.rows {
+		return core.Shapef("hybrid: blocks cover %d rows, want %d", next, m.rows)
+	}
+	if total != m.nnz {
+		return core.Corruptf("hybrid: block non-zeros sum to %d, want %d", total, m.nnz)
+	}
+	return nil
+}

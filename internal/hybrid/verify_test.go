@@ -1,0 +1,78 @@
+package hybrid
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+)
+
+func buildVerifyFixture(t *testing.T) *Matrix {
+	t.Helper()
+	c := core.NewCOO(64, 64)
+	for i := 0; i < 64; i++ {
+		c.Add(i, i, 2)
+		c.Add(i, (i+7)%64, -1)
+	}
+	m, err := FromCOOBlock(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVerifyClean(t *testing.T) {
+	if err := buildVerifyFixture(t).Verify(); err != nil {
+		t.Fatalf("Verify on valid matrix: %v", err)
+	}
+}
+
+func TestVerifyCorrupt(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Matrix)
+	}{
+		{"nil-subformat", func(m *Matrix) { m.blocks[1].f = nil }},
+		{"gap-between-blocks", func(m *Matrix) { m.blocks[1].lo++ }},
+		{"short-coverage", func(m *Matrix) { m.blocks = m.blocks[:len(m.blocks)-1] }},
+		{"nnz-mismatch", func(m *Matrix) { m.nnz += 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildVerifyFixture(t)
+			tc.corrupt(m)
+			err := m.Verify()
+			if err == nil {
+				t.Fatal("Verify accepted corrupted matrix")
+			}
+			if !errors.Is(err, core.ErrCorrupt) && !errors.Is(err, core.ErrShape) {
+				t.Fatalf("Verify error %v is not typed", err)
+			}
+		})
+	}
+}
+
+// TestVerifyRecursesIntoBlocks swaps one block's sub-format for a
+// corrupted CSR of the same shape and expects the hybrid Verify to
+// surface it.
+func TestVerifyRecursesIntoBlocks(t *testing.T) {
+	m := buildVerifyFixture(t)
+	b := &m.blocks[0]
+	sub := core.NewCOO(b.hi-b.lo, m.cols)
+	for i := 0; i < b.hi-b.lo; i++ {
+		sub.Add(i, i, 1)
+		sub.Add(i, (i+7)%m.cols, 1)
+	}
+	bad, err := csr.FromCOO(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.ColInd[0] = int32(m.cols + 40) // out of range
+	b.f = bad
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify accepted matrix with corrupt block")
+	} else if !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("Verify error %v is not ErrCorrupt", err)
+	}
+}

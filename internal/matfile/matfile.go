@@ -56,7 +56,9 @@ func Write(w io.Writer, f core.Format) error {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	bw.WriteByte(version)
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
 	name := f.Name()
 	if len(name) > 255 {
 		return fmt.Errorf("matfile: format name too long")
@@ -65,10 +67,18 @@ func Write(w io.Writer, f core.Format) error {
 	hdr.WriteByte(byte(len(name)))
 	hdr.WriteString(name)
 	for _, v := range []int64{int64(f.Rows()), int64(f.Cols()), int64(f.NNZ())} {
-		binary.Write(&hdr, binary.LittleEndian, v)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		hdr.Write(tmp[:])
 	}
-	bw.Write(hdr.Bytes())
-	binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(hdr.Bytes()))
+	if _, err := bw.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hdr.Bytes()))
+	if _, err := bw.Write(crc[:]); err != nil {
+		return err
+	}
 	var err error
 	switch m := f.(type) {
 	case *csr.Matrix:

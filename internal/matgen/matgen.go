@@ -43,7 +43,7 @@ func (v Values) pool(rng *rand.Rand) []float64 {
 	for i := range p {
 		for {
 			x := math.Round(rng.NormFloat64()*1e4) / 1e3
-			if x != 0 && !seen[x] {
+			if !core.IsZero(x) && !seen[x] {
 				seen[x] = true
 				p[i] = x
 				break
@@ -67,7 +67,7 @@ func (s *valueSource) next() float64 {
 		return s.pool[s.rng.Intn(len(s.pool))]
 	}
 	for {
-		if v := s.rng.NormFloat64(); v != 0 {
+		if v := s.rng.NormFloat64(); !core.IsZero(v) {
 			return v
 		}
 	}

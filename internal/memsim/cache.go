@@ -16,7 +16,7 @@
 // the paper's effects live in the memory system.
 package memsim
 
-import "fmt"
+import "spmv/internal/core"
 
 // cacheLine holds the per-way state of one set.
 type cacheLine struct {
@@ -42,11 +42,11 @@ type Cache struct {
 func NewCache(sizeBytes, ways, lineSize int) *Cache {
 	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 ||
 		lineSize&(lineSize-1) != 0 || sizeBytes%(ways*lineSize) != 0 {
-		panic(fmt.Sprintf("memsim: invalid cache geometry size=%d ways=%d line=%d", sizeBytes, ways, lineSize))
+		panic(core.Usagef("memsim: invalid cache geometry size=%d ways=%d line=%d", sizeBytes, ways, lineSize))
 	}
 	sets := sizeBytes / (ways * lineSize)
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("memsim: set count %d not a power of two", sets))
+		panic(core.Usagef("memsim: set count %d not a power of two", sets))
 	}
 	var lb uint
 	for 1<<lb < lineSize {

@@ -90,10 +90,14 @@ func Write(w io.Writer, c *core.COO) error {
 	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
 		return err
 	}
-	fmt.Fprintf(bw, "%d %d %d\n", c.Rows(), c.Cols(), c.Len())
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", c.Rows(), c.Cols(), c.Len()); err != nil {
+		return err
+	}
 	for k := 0; k < c.Len(); k++ {
 		i, j, v := c.At(k)
-		fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, v)
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, v); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

@@ -6,8 +6,8 @@
 package partition
 
 import (
-	"fmt"
 	"sort"
+	"spmv/internal/core"
 )
 
 // Even returns parts+1 boundaries splitting [0, n) into parts nearly
@@ -15,10 +15,10 @@ import (
 // empty when parts > n.
 func Even(n, parts int) []int {
 	if parts <= 0 {
-		panic(fmt.Sprintf("partition: Even with parts=%d", parts))
+		panic(core.Usagef("partition: Even with parts=%d", parts))
 	}
 	if n < 0 {
-		panic(fmt.Sprintf("partition: Even with n=%d", n))
+		panic(core.Usagef("partition: Even with n=%d", n))
 	}
 	b := make([]int, parts+1)
 	for i := 0; i <= parts; i++ {
@@ -35,10 +35,10 @@ func Even(n, parts int) []int {
 // is assigned approximately the same number of elements" rule.
 func SplitPrefix(prefix []int64, parts int) []int {
 	if parts <= 0 {
-		panic(fmt.Sprintf("partition: SplitPrefix with parts=%d", parts))
+		panic(core.Usagef("partition: SplitPrefix with parts=%d", parts))
 	}
 	if len(prefix) == 0 || prefix[0] != 0 {
-		panic("partition: SplitPrefix needs prefix with prefix[0]==0")
+		panic(core.Usagef("partition: SplitPrefix needs prefix with prefix[0]==0"))
 	}
 	n := len(prefix) - 1
 	total := prefix[n]

@@ -80,7 +80,7 @@ func NewILU0(c *core.COO) (*ILU0, error) {
 				break // columns are sorted: L part exhausted
 			}
 			piv := p.vals[p.diagPos[j]]
-			if piv == 0 || math.IsNaN(piv) {
+			if core.IsZero(piv) || math.IsNaN(piv) {
 				clear32(pos, p.colInd[p.rowPtr[i]:p.rowPtr[i+1]])
 				return nil, fmt.Errorf("precond: ILU0 zero pivot at row %d", j)
 			}
@@ -95,7 +95,7 @@ func NewILU0(c *core.COO) (*ILU0, error) {
 				}
 			}
 		}
-		if p.vals[p.diagPos[i]] == 0 {
+		if core.IsZero(p.vals[p.diagPos[i]]) {
 			clear32(pos, p.colInd[p.rowPtr[i]:p.rowPtr[i+1]])
 			return nil, fmt.Errorf("precond: ILU0 zero pivot at row %d", i)
 		}

@@ -3,6 +3,8 @@ package solver
 import (
 	"fmt"
 	"math"
+
+	"spmv/internal/core"
 )
 
 // BiCGSTAB solves A*x = b for general square A by the stabilized
@@ -29,7 +31,7 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 	}
 	copy(rHat, r)
 	normB := norm(b)
-	if normB == 0 {
+	if core.IsZero(normB) {
 		normB = 1
 	}
 	res := Result{Residual: norm(r) / normB}
@@ -40,7 +42,7 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for k := 0; k < maxIter; k++ {
 		rhoNew := dot(rHat, r)
-		if rhoNew == 0 {
+		if core.IsZero(rhoNew) {
 			return res, fmt.Errorf("solver: BiCGSTAB breakdown: rho = 0")
 		}
 		if k == 0 {
@@ -57,7 +59,7 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 		}
 		res.Iterations++
 		den := dot(rHat, v)
-		if den == 0 {
+		if core.IsZero(den) {
 			return res, fmt.Errorf("solver: BiCGSTAB breakdown: rHat'v = 0")
 		}
 		alpha = rho / den
@@ -75,11 +77,11 @@ func BiCGSTAB(a Operator, b, x []float64, tol float64, maxIter int) (Result, err
 		}
 		res.Iterations++
 		tt := dot(t, t)
-		if tt == 0 {
+		if core.IsZero(tt) {
 			return res, fmt.Errorf("solver: BiCGSTAB breakdown: t = 0")
 		}
 		omega = dot(t, s) / tt
-		if omega == 0 {
+		if core.IsZero(omega) {
 			return res, fmt.Errorf("solver: BiCGSTAB breakdown: omega = 0")
 		}
 		for i := range x {

@@ -3,6 +3,8 @@ package solver
 import (
 	"fmt"
 	"math"
+
+	"spmv/internal/core"
 )
 
 // GMRES solves A*x = b for general (nonsymmetric) A by restarted
@@ -21,7 +23,7 @@ func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (R
 		m = n
 	}
 	normB := norm(b)
-	if normB == 0 {
+	if core.IsZero(normB) {
 		normB = 1
 	}
 
@@ -105,7 +107,7 @@ func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (R
 			for j := i + 1; j < k; j++ {
 				sum -= h[i][j] * y[j]
 			}
-			if h[i][i] == 0 {
+			if core.IsZero(h[i][i]) {
 				return res, fmt.Errorf("solver: GMRES breakdown: singular Hessenberg")
 			}
 			y[i] = sum / h[i][i]
@@ -133,7 +135,7 @@ func GMRES(a Operator, b, x []float64, restart int, tol float64, maxIter int) (R
 
 // givens returns (c, s) with c*a + s*b = r, -s*a + c*b = 0.
 func givens(a, b float64) (c, s float64) {
-	if b == 0 {
+	if core.IsZero(b) {
 		return 1, 0
 	}
 	if math.Abs(b) > math.Abs(a) {

@@ -1,6 +1,10 @@
 package solver
 
-import "fmt"
+import (
+	"fmt"
+
+	"spmv/internal/core"
+)
 
 // Preconditioner applies z = M^{-1} r.
 type Preconditioner interface {
@@ -32,7 +36,7 @@ func CGPrec(a Operator, m Preconditioner, b, x []float64, tol float64, maxIter i
 	m.Apply(z, r)
 	copy(p, z)
 	normB := norm(b)
-	if normB == 0 {
+	if core.IsZero(normB) {
 		normB = 1
 	}
 	rz := dot(r, z)

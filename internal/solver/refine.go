@@ -3,6 +3,8 @@ package solver
 import (
 	"fmt"
 	"math"
+
+	"spmv/internal/core"
 )
 
 // Refine implements mixed-precision iterative refinement (Langou et
@@ -27,7 +29,7 @@ func Refine(aFull, aInner Operator, b, x []float64, tol float64, maxOuter, inner
 	r := make([]float64, n)
 	d := make([]float64, n)
 	normB := norm(b)
-	if normB == 0 {
+	if core.IsZero(normB) {
 		normB = 1
 	}
 	var res Result

@@ -74,7 +74,7 @@ func CG(a Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
 	}
 	copy(p, r)
 	normB := norm(b)
-	if normB == 0 {
+	if core.IsZero(normB) {
 		normB = 1
 	}
 	rr := dot(r, r)
@@ -135,7 +135,7 @@ func PCG(a Operator, invDiag, b, x []float64, tol float64, maxIter int) (Result,
 	}
 	copy(p, z)
 	normB := norm(b)
-	if normB == 0 {
+	if core.IsZero(normB) {
 		normB = 1
 	}
 	rz := dot(r, z)
@@ -188,7 +188,7 @@ func InvDiag(c *core.COO) ([]float64, error) {
 		}
 	}
 	for i, v := range d {
-		if v == 0 {
+		if core.IsZero(v) {
 			return nil, fmt.Errorf("solver: zero diagonal at row %d", i)
 		}
 		d[i] = 1 / v

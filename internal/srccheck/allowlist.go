@@ -1,0 +1,105 @@
+package srccheck
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strings"
+)
+
+// Allowlist suppresses specific rule findings. Each entry is one line
+//
+//	rule path-glob [func-glob]
+//
+// where path-glob matches the module-relative file path (path.Match
+// syntax, so "internal/*/trace.go" covers one file per package) and the
+// optional func-glob matches the enclosing function name (default "*").
+// Blank lines and #-comments are ignored. The intent is for this file
+// to stay nearly empty: fix findings instead of allowlisting them, and
+// justify every entry with a comment.
+type Allowlist struct {
+	entries []allowEntry
+}
+
+type allowEntry struct {
+	rule, pathGlob, funcGlob string
+}
+
+// ParseAllowlist reads allowlist entries from r.
+func ParseAllowlist(r io.Reader) (*Allowlist, error) {
+	a := &Allowlist{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("allowlist line %d: want \"rule path-glob [func-glob]\", got %q", line, text)
+		}
+		e := allowEntry{rule: fields[0], pathGlob: fields[1], funcGlob: "*"}
+		if len(fields) == 3 {
+			e.funcGlob = fields[2]
+		}
+		// Validate the patterns eagerly so a bad glob fails loudly here
+		// rather than silently never matching.
+		if _, err := path.Match(e.pathGlob, "x"); err != nil {
+			return nil, fmt.Errorf("allowlist line %d: bad path glob %q", line, e.pathGlob)
+		}
+		if _, err := path.Match(e.funcGlob, "x"); err != nil {
+			return nil, fmt.Errorf("allowlist line %d: bad func glob %q", line, e.funcGlob)
+		}
+		a.entries = append(a.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LoadAllowlist reads the allowlist at the given path; a missing file
+// yields an empty allowlist.
+func LoadAllowlist(filename string) (*Allowlist, error) {
+	data, err := os.ReadFile(filename)
+	if os.IsNotExist(err) {
+		return &Allowlist{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	a, err := ParseAllowlist(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filename, err)
+	}
+	return a, nil
+}
+
+// Len returns the number of entries.
+func (a *Allowlist) Len() int { return len(a.entries) }
+
+// Match reports whether a finding of the given rule, at the given
+// module-relative file and enclosing function, is suppressed.
+func (a *Allowlist) Match(rule, relpath, fn string) bool {
+	for _, e := range a.entries {
+		if e.rule != rule && e.rule != "*" {
+			continue
+		}
+		if matchGlob(e.pathGlob, relpath) && matchGlob(e.funcGlob, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchGlob wraps path.Match for patterns already validated at parse
+// time; a pattern error (impossible here) counts as no match.
+func matchGlob(pattern, name string) bool {
+	ok, err := path.Match(pattern, name)
+	return err == nil && ok
+}

@@ -1,0 +1,79 @@
+package compile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline files live one per gated package, named by the package's
+// module-relative dir with slashes flattened ("internal/csr" →
+// "internal_csr.txt"). Each line is
+//
+//	count<TAB>file<TAB>func<TAB>category
+//
+// sorted, with #-comment headers. Line numbers are deliberately
+// absent: the identity of a diagnostic is (file, function, category),
+// so reformatting a file does not churn the baseline.
+
+// BaselineFile returns the baseline filename for a package dir.
+func BaselineFile(dir, pkg string) string {
+	return filepath.Join(dir, strings.ReplaceAll(pkg, "/", "_")+".txt")
+}
+
+// LoadBaseline reads a package baseline; a missing file is an empty
+// baseline (useful for brand-new packages, and what makes a first
+// -update-baseline run bootstrap the gate).
+func LoadBaseline(dir, pkg string) (map[string]int, error) {
+	data, err := os.ReadFile(BaselineFile(dir, pkg))
+	if os.IsNotExist(err) {
+		return map[string]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	base := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want \"count\\tfile\\tfunc\\tcategory\", got %q", BaselineFile(dir, pkg), i+1, line)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%s:%d: bad count %q", BaselineFile(dir, pkg), i+1, fields[0])
+		}
+		key := fields[1] + "|" + fields[2] + "|" + fields[3]
+		base[key] += n
+	}
+	return base, nil
+}
+
+// WriteBaseline writes the baseline for a package from its current
+// diagnostics, overwriting any previous file.
+func WriteBaseline(dir, pkg string, diags []Diag) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	counts := Counts(diags)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# spmvlint compile-gate baseline for %s\n", pkg)
+	fmt.Fprintf(&buf, "# count\tfile\tfunc\tcategory — regenerate with: go run ./cmd/spmvlint -update-baseline\n")
+	for _, k := range keys {
+		parts := strings.SplitN(k, "|", 3)
+		fmt.Fprintf(&buf, "%d\t%s\t%s\t%s\n", counts[k], parts[0], parts[1], parts[2])
+	}
+	return os.WriteFile(BaselineFile(dir, pkg), buf.Bytes(), 0o644)
+}

@@ -1,0 +1,269 @@
+package compile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseDiagnostics covers the exact -gcflags='-m=1
+// -d=ssa/check_bce' output format: package headers, gated and
+// non-gated messages, malformed lines.
+func TestParseDiagnostics(t *testing.T) {
+	output := strings.Join([]string{
+		"# spmv/internal/csr",
+		"internal/csr/csr.go:99:18: Found IsInBounds",
+		"internal/csr/csr.go:101:4: Found IsSliceInBounds",
+		"internal/csr/csr.go:47:78: ~r0 escapes to heap",
+		"internal/csr/csr.go:52:9: moved to heap: acc",
+		"internal/csr/csr.go:30:6: can inline (*Matrix).Rows", // not gated
+		"internal/csr/csr.go:83:25: y does not escape",        // not gated
+		"internal/csr/csr.go:84:2: x does not escape to heap", // not gated (defensive)
+		"not a diagnostic line",
+		"bad:position:here: Found IsInBounds",
+		"",
+	}, "\n")
+	diags := ParseDiagnostics(output)
+	if len(diags) != 4 {
+		t.Fatalf("parsed %d diagnostics, want 4: %+v", len(diags), diags)
+	}
+	want := []struct {
+		line int
+		cat  string
+	}{
+		{99, "IsInBounds"},
+		{101, "IsSliceInBounds"},
+		{47, "escapes to heap"},
+		{52, "moved to heap"},
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.File != "internal/csr/csr.go" || d.Line != w.line || d.Category != w.cat {
+			t.Errorf("diag %d = %+v, want line %d category %q", i, d, w.line, w.cat)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := map[string]int{
+		"a.go|SpMV|IsInBounds":  2,
+		"a.go|SpMV|moved":       1, // will vanish: improvement
+		"a.go|Build|IsInBounds": 1, // cold, will grow
+	}
+	diags := []Diag{
+		{File: "a.go", Func: "SpMV", Category: "IsInBounds"},
+		{File: "a.go", Func: "SpMV", Category: "IsInBounds"},
+		{File: "a.go", Func: "SpMV", Category: "escapes to heap"}, // new hot regression
+		{File: "a.go", Func: "Build", Category: "IsInBounds"},
+		{File: "a.go", Func: "Build", Category: "IsInBounds"},
+	}
+	isHot := func(fn string) bool { return fn == "SpMV" }
+	reg, imp := Compare(baseline, diags, isHot)
+	if len(reg) != 2 {
+		t.Fatalf("regressions = %+v, want 2", reg)
+	}
+	var hotCount int
+	for _, d := range reg {
+		if d.Hot {
+			hotCount++
+			if !strings.Contains(d.Key, "escapes to heap") {
+				t.Errorf("hot regression on %q, want the new escape", d.Key)
+			}
+		}
+	}
+	if hotCount != 1 {
+		t.Fatalf("hot regressions = %d, want 1 (Build growth is cold)", hotCount)
+	}
+	if len(imp) != 1 || !strings.Contains(imp[0].Key, "moved") {
+		t.Fatalf("improvements = %+v, want the vanished moved-to-heap entry", imp)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	diags := []Diag{
+		{File: "internal/csr/csr.go", Func: "(*Matrix).SpMV", Category: "IsInBounds"},
+		{File: "internal/csr/csr.go", Func: "(*Matrix).SpMV", Category: "IsInBounds"},
+		{File: "internal/csr/csr.go", Func: "spmvRange", Category: "escapes to heap"},
+	}
+	if err := WriteBaseline(dir, "internal/csr", diags); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(dir, "internal/csr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Counts(diags)
+	if len(got) != len(want) {
+		t.Fatalf("round trip = %v, want %v", got, want)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("key %q = %d, want %d", k, got[k], n)
+		}
+	}
+	// Missing baseline file = empty baseline.
+	empty, err := LoadBaseline(dir, "internal/nonexistent")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing baseline: %v, %v", empty, err)
+	}
+}
+
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := BaselineFile(dir, "internal/x")
+	if err := os.WriteFile(path, []byte("not\ttab\tseparated\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(dir, "internal/x"); err == nil {
+		t.Fatal("LoadBaseline accepted a malformed line")
+	}
+	if err := os.WriteFile(path, []byte("zero\ta\tb\tc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(dir, "internal/x"); err == nil {
+		t.Fatal("LoadBaseline accepted a bad count")
+	}
+}
+
+// sandboxKernel is a minimal module whose SpMV kernel is clean: local
+// accumulation over equal-length slices the compiler can bounds-check
+// away after the explicit re-slice.
+const sandboxCleanKernel = `package kernel
+
+// SpMV is a hot function by the gate's naming convention.
+func SpMV(y, x []float64, ind []int32) {
+	x = x[:len(ind)]
+	for k, j := range ind {
+		y[j] += x[k]
+	}
+}
+`
+
+// sandboxDirtyKernel adds what the gate must catch: a heap allocation
+// (escaping slice) inside the kernel.
+const sandboxDirtyKernel = `package kernel
+
+var sink []float64
+
+// SpMV now allocates per call and leaks it: the gate must flag the
+// escape as a hot regression.
+func SpMV(y, x []float64, ind []int32) {
+	tmp := make([]float64, len(y))
+	x = x[:len(ind)]
+	for k, j := range ind {
+		tmp[j] += x[k]
+	}
+	copy(y, tmp)
+	sink = tmp
+}
+`
+
+// TestGateCatchesNewAllocation is the acceptance test for the compile
+// gate: baseline a clean kernel, introduce a heap allocation, and
+// expect a hot regression.
+func TestGateCatchesNewAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	root := t.TempDir()
+	pkgDir := filepath.Join(root, "kernel")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module sandbox\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	write := func(src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(pkgDir, "kernel.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := &Config{Root: root, Packages: []string{"kernel"}}
+	isHot := func(fn string) bool { return fn == "SpMV" }
+
+	write(sandboxCleanKernel)
+	before, err := cfg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDir := filepath.Join(root, "baseline")
+	if err := WriteBaseline(baseDir, "kernel", before["kernel"]); err != nil {
+		t.Fatal(err)
+	}
+
+	write(sandboxDirtyKernel)
+	after, err := cfg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(baseDir, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := Compare(base, after["kernel"], isHot)
+	var hot []Delta
+	for _, d := range reg {
+		if d.Hot {
+			hot = append(hot, d)
+		}
+	}
+	if len(hot) == 0 {
+		t.Fatalf("gate missed the planted allocation; regressions = %+v, diags = %+v", reg, after["kernel"])
+	}
+	found := false
+	for _, d := range hot {
+		if strings.Contains(d.Key, "heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hot regressions %+v do not include a heap diagnostic", hot)
+	}
+}
+
+// TestCollectAttributesFunctions checks end-to-end that Collect maps
+// diagnostics to their enclosing functions via the func locator.
+func TestCollectAttributesFunctions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	root := t.TempDir()
+	pkgDir := filepath.Join(root, "kernel")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module sandbox\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package kernel
+
+var sink *int
+
+// Leak forces a moved-to-heap diagnostic.
+func Leak() *int {
+	v := 41
+	sink = &v
+	return sink
+}
+`
+	if err := os.WriteFile(filepath.Join(pkgDir, "kernel.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Root: root, Packages: []string{"kernel"}}
+	byPkg, err := cfg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLeak bool
+	for _, d := range byPkg["kernel"] {
+		if d.Func == "Leak" && d.Category == "moved to heap" {
+			sawLeak = true
+		}
+	}
+	if !sawLeak {
+		t.Fatalf("no moved-to-heap diagnostic attributed to Leak: %+v", byPkg["kernel"])
+	}
+}

@@ -1,0 +1,62 @@
+package srccheck
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// verifierRule enforces registry exhaustiveness for the validation
+// layer: every exported type that implements core.Format must also
+// implement core.Verifier, so no storage scheme can be registered
+// whose on-disk or in-memory form escapes the Verify gate. The check
+// is a go/types method-set comparison, not a naming convention.
+type verifierRule struct{}
+
+func (verifierRule) Name() string { return "verifier" }
+func (verifierRule) Doc() string {
+	return "every exported core.Format implementation must also implement core.Verifier"
+}
+
+func (verifierRule) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	core := m.LookupSuffix("internal/core")
+	if core == nil || core.Types == nil {
+		return
+	}
+	format := lookupInterface(core.Types, "Format")
+	verifier := lookupInterface(core.Types, "Verifier")
+	if format == nil || verifier == nil {
+		return
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || obj.IsAlias() {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, format) && !types.Implements(ptr, format) {
+			continue
+		}
+		if types.Implements(named, verifier) || types.Implements(ptr, verifier) {
+			continue
+		}
+		report(obj.Pos(), "%s implements core.Format but not core.Verifier; add a Verify() error method checking its structural invariants", name)
+	}
+}
+
+// lookupInterface resolves a package-scope interface type by name.
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}

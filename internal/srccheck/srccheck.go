@@ -1,0 +1,278 @@
+// Package srccheck is the source layer of spmvlint, the project's
+// static-analysis gate. It loads every non-test package of the module
+// with the standard library's go/parser and go/types (no external
+// tooling), then runs a suite of project-specific rules over the typed
+// ASTs: no panics in library code, registry exhaustiveness (every
+// exported Format implements core.Verifier), no dropped errors, no
+// float equality outside the quantization code, and no formatting or
+// interface-boxing calls inside the hot SpMV/decode kernels.
+//
+// The companion package srccheck/compile adds the second layer: a
+// bounds-check-elimination and escape-analysis regression gate over the
+// compiler's -m / -d=ssa/check_bce diagnostics.
+package srccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked non-test package of the
+// module under analysis.
+type Package struct {
+	ImportPath string // full import path, e.g. "spmv/internal/csr"
+	RelPath    string // module-relative dir ("" for the root package)
+	Dir        string // absolute directory
+	Filenames  []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the analysis unit: the whole module rooted at Root.
+type Module struct {
+	Root string // absolute module root (directory of go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the module package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// LookupSuffix returns the unique module package whose import path ends
+// with the given suffix (e.g. "internal/core"), or nil. It lets rules
+// find well-known packages without hard-coding the module path, so the
+// same rules run against test fixture modules.
+func (m *Module) LookupSuffix(suffix string) *Package {
+	var found *Package
+	for _, p := range m.Pkgs {
+		if p.ImportPath == suffix || strings.HasSuffix(p.ImportPath, "/"+suffix) {
+			if found != nil {
+				return nil // ambiguous
+			}
+			found = p
+		}
+	}
+	return found
+}
+
+// skipDir reports whether a directory is excluded from the walk.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "testdata" || name == "vendor" || name == "node_modules"
+}
+
+// Load parses and type-checks every non-test package under root, which
+// must contain a go.mod. Test files (_test.go) are excluded: the rules
+// govern library and command code, not tests.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: map[string]*Package{},
+	}
+	if err := m.parseAll(); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheckAll(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("srccheck: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("srccheck: no module directive in %s", gomod)
+}
+
+// parseAll walks the module tree and parses every non-test .go file,
+// grouping files into one package per directory.
+func (m *Module) parseAll() error {
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != m.Root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(m.Root, dir)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		importPath := m.Path
+		if rel != "" {
+			importPath = m.Path + "/" + rel
+		}
+		pkg := m.byPath[importPath]
+		if pkg == nil {
+			pkg = &Package{ImportPath: importPath, RelPath: rel, Dir: dir}
+			m.byPath[importPath] = pkg
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+		file, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("srccheck: %w", err)
+		}
+		pkg.Filenames = append(pkg.Filenames, path)
+		pkg.Files = append(pkg.Files, file)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].ImportPath < m.Pkgs[j].ImportPath })
+	return nil
+}
+
+// moduleImports returns the module-internal import paths of a package.
+func (m *Module) moduleImports(p *Package) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (path == m.Path || strings.HasPrefix(path, m.Path+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeCheckAll type-checks the module packages in dependency order.
+// Module-internal imports resolve to the packages checked here;
+// everything else (the standard library) goes through the source
+// importer, keeping the analyzer free of compiled export data.
+func (m *Module) typeCheckAll() error {
+	order, err := m.topoOrder()
+	if err != nil {
+		return err
+	}
+	imp := &moduleImporter{
+		mod: m,
+		std: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, p := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		cfg := types.Config{Importer: imp}
+		tpkg, err := cfg.Check(p.ImportPath, m.Fset, p.Files, info)
+		if err != nil {
+			return fmt.Errorf("srccheck: type-checking %s: %w", p.ImportPath, err)
+		}
+		p.Types = tpkg
+		p.Info = info
+	}
+	return nil
+}
+
+// topoOrder sorts the module packages so that every package follows its
+// module-internal dependencies.
+func (m *Module) topoOrder() ([]*Package, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("srccheck: import cycle through %s", p.ImportPath)
+		}
+		state[p.ImportPath] = visiting
+		for _, dep := range m.moduleImports(p) {
+			if dp := m.byPath[dep]; dp != nil && dp != p {
+				if err := visit(dp); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal paths from the packages being
+// checked and defers to the source importer for the rest.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := i.mod.byPath[path]; p != nil {
+		if p.Types == nil {
+			return nil, fmt.Errorf("srccheck: %s imported before it was checked", path)
+		}
+		return p.Types, nil
+	}
+	return i.std.Import(path)
+}

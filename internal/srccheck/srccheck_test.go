@@ -1,0 +1,140 @@
+package srccheck
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	m, err := Load(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatalf("Load fixture: %v", err)
+	}
+	return m
+}
+
+func TestLoadFixtureModule(t *testing.T) {
+	m := loadFixture(t)
+	if m.Path != "fixture" {
+		t.Fatalf("module path = %q, want fixture", m.Path)
+	}
+	want := []string{"cmd/tool", "internal/core", "internal/csrvi", "internal/sample"}
+	var got []string
+	for _, p := range m.Pkgs {
+		got = append(got, p.RelPath)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("packages = %v, want %v", got, want)
+	}
+}
+
+// TestRulesOnFixture runs the whole default suite over the fixture
+// module and asserts the exact finding set: every planted violation
+// fires, every planted non-violation stays silent.
+func TestRulesOnFixture(t *testing.T) {
+	m := loadFixture(t)
+	issues := Run(m, DefaultRules(), &Allowlist{})
+	var got []string
+	for _, is := range issues {
+		got = append(got, fmt.Sprintf("%s %s %s", is.Rule, is.File, is.Func))
+	}
+	sort.Strings(got)
+	want := []string{
+		"droppederr cmd/tool/main.go main",
+		"droppederr internal/sample/sample.go DropsErrors",
+		"droppederr internal/sample/sample.go DropsErrors",
+		"droppederr internal/sample/sample.go DropsErrors",
+		"droppederr internal/sample/sample.go DropsErrors",
+		"droppederr internal/sample/sample.go DropsErrors",
+		"floateq internal/sample/sample.go FloatCompares",
+		"hotpath internal/sample/sample.go spmvBody",
+		"hotpath internal/sample/sample.go spmvBody",
+		"panics internal/sample/sample.go BadPanic",
+		"verifier internal/sample/sample.go ",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("findings:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestRuleMessages spot-checks that each rule's message names the
+// offending construct.
+func TestRuleMessages(t *testing.T) {
+	m := loadFixture(t)
+	issues := Run(m, DefaultRules(), &Allowlist{})
+	wantSubstrings := map[string]string{
+		"panics":     "typed error",
+		"verifier":   "BadFormat",
+		"droppederr": "dropped",
+		"floateq":    "epsilon",
+		"hotpath":    "hot kernel",
+	}
+	seen := map[string]bool{}
+	for _, is := range issues {
+		if sub, ok := wantSubstrings[is.Rule]; ok && strings.Contains(is.Msg, sub) {
+			seen[is.Rule] = true
+		}
+	}
+	for rule := range wantSubstrings {
+		if !seen[rule] {
+			t.Errorf("no %s finding mentions %q", rule, wantSubstrings[rule])
+		}
+	}
+}
+
+func TestAllowlistSuppression(t *testing.T) {
+	m := loadFixture(t)
+	allow, err := ParseAllowlist(strings.NewReader(`
+# suppress the planted bare panic only
+panics internal/sample/*.go BadPanic
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range Run(m, DefaultRules(), allow) {
+		if is.Rule == "panics" {
+			t.Fatalf("allowlisted panic still reported: %+v", is)
+		}
+	}
+
+	allowAll, err := ParseAllowlist(strings.NewReader("* internal/sample/*.go\n* cmd/tool/*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := Run(m, DefaultRules(), allowAll); len(issues) != 0 {
+		t.Fatalf("wildcard allowlist left %d findings: %+v", len(issues), issues[0])
+	}
+}
+
+func TestParseAllowlistErrors(t *testing.T) {
+	for _, bad := range []string{
+		"panics",                       // too few fields
+		"panics a b c",                 // too many fields
+		"panics internal/[ *",          // bad path glob
+		"panics internal/sample.go [x", // bad func glob
+	} {
+		if _, err := ParseAllowlist(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseAllowlist(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestIsHotFunc(t *testing.T) {
+	hot := []string{"SpMV", "SpMVAdd", "Mul", "Dot", "spmvRange", "decodeUnit", "addRange", "(*Matrix).SpMV"}
+	cold := []string{"FromCOO", "Verify", "Name", "String", "Split", "Print"}
+	for _, name := range hot {
+		if !IsHotFunc(name) {
+			t.Errorf("IsHotFunc(%q) = false, want true", name)
+		}
+	}
+	for _, name := range cold {
+		if IsHotFunc(name) {
+			t.Errorf("IsHotFunc(%q) = true, want false", name)
+		}
+	}
+}

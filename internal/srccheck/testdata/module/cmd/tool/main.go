@@ -1,0 +1,15 @@
+// Command tool exercises the cmd/ scope of the droppederr rule and
+// the panic rule's main-package exemption.
+package main
+
+import "errors"
+
+func fallible() error { return errors.New("x") }
+
+func main() {
+	fallible() // want: droppederr fires in cmd/ too
+	// A panic in package main is not library code: no panics finding.
+	if len("x") == 0 {
+		panic("unreachable")
+	}
+}

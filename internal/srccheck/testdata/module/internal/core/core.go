@@ -1,0 +1,31 @@
+// Package core mirrors the real module's core interfaces so the rule
+// fixtures can exercise the verifier rule's method-set analysis.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Format mirrors spmv/internal/core.Format.
+type Format interface {
+	Name() string
+	Rows() int
+	Cols() int
+	NNZ() int
+	SizeBytes() int64
+	SpMV(y, x []float64)
+}
+
+// Verifier mirrors spmv/internal/core.Verifier.
+type Verifier interface {
+	Verify() error
+}
+
+// ErrCorrupt mirrors the real sentinel.
+var ErrCorrupt = errors.New("corrupt")
+
+// Corruptf mirrors the real typed-panic helper.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}

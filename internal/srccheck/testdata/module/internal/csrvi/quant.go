@@ -1,0 +1,7 @@
+// Package csrvi stands in for the real quantization package: exact
+// float comparison is its business, so the floateq rule must stay
+// silent here.
+package csrvi
+
+// SameValue compares exactly, as the unique-value table requires.
+func SameValue(a, b float64) bool { return a == b }

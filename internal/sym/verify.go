@@ -1,0 +1,39 @@
+package sym
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: the stored triangle is a valid CSR
+// whose column indices are strictly below the diagonal, and the
+// logical count is consistent with the stored data. O(stored).
+func (m *Matrix) Verify() error {
+	if m.n < 0 {
+		return core.Shapef("sym: negative dimension %d", m.n)
+	}
+	if len(m.Diag) != m.n {
+		return core.Shapef("sym: diagonal length %d, want %d", len(m.Diag), m.n)
+	}
+	if len(m.RowPtr) != m.n+1 {
+		return core.Shapef("sym: row pointer length %d, want %d", len(m.RowPtr), m.n+1)
+	}
+	if len(m.ColInd) != len(m.Values) {
+		return core.Shapef("sym: %d column indices for %d values", len(m.ColInd), len(m.Values))
+	}
+	if err := core.CheckRowPtr(m.RowPtr, len(m.Values)); err != nil {
+		return err
+	}
+	for i := 0; i < m.n; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if j := m.ColInd[k]; j < 0 || int(j) >= i {
+				return core.Corruptf("sym: column index %d at row %d not strictly lower-triangular", j, i)
+			}
+		}
+	}
+	// nnzFull counts lower + mirrored upper entries plus whichever
+	// diagonal entries the assembly actually stored.
+	lo, hi := 2*len(m.Values), 2*len(m.Values)+m.n
+	if m.nnzFull < lo || m.nnzFull > hi {
+		return core.Corruptf("sym: logical nnz %d outside [%d,%d] implied by %d stored off-diagonals",
+			m.nnzFull, lo, hi, len(m.Values))
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package sym
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+)
+
+func buildVerifyFixture(t *testing.T) *Matrix {
+	t.Helper()
+	c := core.NewCOO(6, 6)
+	for i := 0; i < 6; i++ {
+		c.Add(i, i, 4)
+		if i+1 < 6 {
+			c.Add(i, i+1, -1)
+			c.Add(i+1, i, -1)
+		}
+	}
+	m, err := FromCOO(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVerifyClean(t *testing.T) {
+	if err := buildVerifyFixture(t).Verify(); err != nil {
+		t.Fatalf("Verify on valid matrix: %v", err)
+	}
+}
+
+func TestVerifyCorrupt(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Matrix)
+	}{
+		{"diag-short", func(m *Matrix) { m.Diag = m.Diag[:4] }},
+		{"upper-triangle-index", func(m *Matrix) { m.ColInd[0] = 5 }},
+		{"negative-index", func(m *Matrix) { m.ColInd[0] = -2 }},
+		{"rowptr-short", func(m *Matrix) { m.RowPtr = m.RowPtr[:4] }},
+		{"nnz-underflow", func(m *Matrix) { m.nnzFull = 1 }},
+		{"nnz-overflow", func(m *Matrix) { m.nnzFull = 1000 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildVerifyFixture(t)
+			tc.corrupt(m)
+			err := m.Verify()
+			if err == nil {
+				t.Fatal("Verify accepted corrupted matrix")
+			}
+			if !errors.Is(err, core.ErrCorrupt) && !errors.Is(err, core.ErrShape) {
+				t.Fatalf("Verify error %v is not typed", err)
+			}
+		})
+	}
+}

@@ -250,7 +250,7 @@ func checkSplit(t *testing.T, f core.Format, s core.Splitter, c *core.COO) {
 		}
 		for i := range got {
 			if !covered[i] {
-				if want[i] != 0 {
+				if !core.IsZero(want[i]) {
 					t.Fatalf("Split(%d): uncovered row %d has non-zero result", n, i)
 				}
 				got[i] = 0

@@ -1,0 +1,84 @@
+package vbr
+
+import "spmv/internal/core"
+
+// Verify implements core.Verifier: both partitions are strictly
+// increasing and span their dimension, the block-row pointer is a
+// valid CSR over the blocks, every block's value range matches its
+// group geometry, and the per-block-row logical prefix is monotone and
+// sums to nnz. O(blocks + groups).
+func (m *Matrix) Verify() error {
+	if m.rows < 0 || m.cols < 0 {
+		return core.Shapef("vbr: negative dimensions %dx%d", m.rows, m.cols)
+	}
+	if err := verifyPart(m.RowPart, m.rows, "row"); err != nil {
+		return err
+	}
+	if err := verifyPart(m.ColPart, m.cols, "col"); err != nil {
+		return err
+	}
+	R := len(m.RowPart) - 1
+	C := len(m.ColPart) - 1
+	if len(m.BRowPtr) != R+1 {
+		return core.Shapef("vbr: block row pointer length %d, want %d", len(m.BRowPtr), R+1)
+	}
+	if err := core.CheckRowPtr(m.BRowPtr, len(m.BColInd)); err != nil {
+		return err
+	}
+	nblocks := len(m.BColInd)
+	if len(m.BOff) != nblocks+1 {
+		return core.Shapef("vbr: block offset length %d, want %d", len(m.BOff), nblocks+1)
+	}
+	if nblocks > 0 && m.BOff[0] != 0 {
+		return core.Corruptf("vbr: block offsets start at %d, want 0", m.BOff[0])
+	}
+	for br := 0; br < R; br++ {
+		bh := int64(m.RowPart[br+1] - m.RowPart[br])
+		for b := m.BRowPtr[br]; b < m.BRowPtr[br+1]; b++ {
+			bc := m.BColInd[b]
+			if bc < 0 || int(bc) >= C {
+				return core.Corruptf("vbr: block %d column group %d out of range [0,%d)", b, bc, C)
+			}
+			bw := int64(m.ColPart[bc+1] - m.ColPart[bc])
+			if m.BOff[b+1]-m.BOff[b] != bh*bw {
+				return core.Corruptf("vbr: block %d spans %d values, want %dx%d",
+					b, m.BOff[b+1]-m.BOff[b], bh, bw)
+			}
+		}
+	}
+	if nblocks > 0 && m.BOff[nblocks] != int64(len(m.Values)) {
+		return core.Shapef("vbr: block offsets end at %d, want %d values", m.BOff[nblocks], len(m.Values))
+	}
+	if len(m.logPrefix) != R+1 {
+		return core.Shapef("vbr: logical prefix length %d, want %d", len(m.logPrefix), R+1)
+	}
+	for br := 0; br < R; br++ {
+		if m.logPrefix[br+1] < m.logPrefix[br] {
+			return core.Corruptf("vbr: logical prefix not monotone at block row %d", br)
+		}
+	}
+	if R >= 0 && len(m.logPrefix) > 0 {
+		if m.logPrefix[0] != 0 || m.logPrefix[R] != int64(m.nnz) {
+			return core.Corruptf("vbr: logical prefix spans [%d,%d], want [0,%d]",
+				m.logPrefix[0], m.logPrefix[R], m.nnz)
+		}
+	}
+	return nil
+}
+
+// verifyPart checks a group boundary sequence: starts at 0, strictly
+// increasing, ends at dim.
+func verifyPart(part []int32, dim int, what string) error {
+	if len(part) < 1 || part[0] != 0 {
+		return core.Corruptf("vbr: %s partition must start at 0", what)
+	}
+	for i := 1; i < len(part); i++ {
+		if part[i] <= part[i-1] {
+			return core.Corruptf("vbr: %s partition not strictly increasing at %d", what, i)
+		}
+	}
+	if int(part[len(part)-1]) != dim {
+		return core.Shapef("vbr: %s partition ends at %d, want %d", what, part[len(part)-1], dim)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package vbr
+
+import (
+	"errors"
+	"testing"
+
+	"spmv/internal/core"
+)
+
+func buildVerifyFixture(t *testing.T) *Matrix {
+	t.Helper()
+	c := core.NewCOO(8, 8)
+	for i := 0; i < 8; i++ {
+		c.Add(i, i, 2)
+		c.Add(i, (i+2)%8, -1)
+	}
+	m, err := FromCOO(c, []int32{0, 2, 4, 6, 8}, []int32{0, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVerifyClean(t *testing.T) {
+	if err := buildVerifyFixture(t).Verify(); err != nil {
+		t.Fatalf("Verify on valid matrix: %v", err)
+	}
+}
+
+func TestVerifyCorrupt(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Matrix)
+	}{
+		{"rowpart-not-increasing", func(m *Matrix) { m.RowPart[1] = m.RowPart[2] }},
+		{"colpart-wrong-span", func(m *Matrix) { m.ColPart[len(m.ColPart)-1] = 7 }},
+		{"bcolind-out-of-range", func(m *Matrix) { m.BColInd[0] = 9 }},
+		{"boff-geometry-mismatch", func(m *Matrix) { m.BOff[1] += 3 }},
+		{"values-short", func(m *Matrix) { m.Values = m.Values[:len(m.Values)-1] }},
+		{"logprefix-non-monotone", func(m *Matrix) { m.logPrefix[1] = m.logPrefix[2] + 5 }},
+		{"logprefix-wrong-total", func(m *Matrix) { m.logPrefix[len(m.logPrefix)-1] = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildVerifyFixture(t)
+			tc.corrupt(m)
+			err := m.Verify()
+			if err == nil {
+				t.Fatal("Verify accepted corrupted matrix")
+			}
+			if !errors.Is(err, core.ErrCorrupt) && !errors.Is(err, core.ErrShape) {
+				t.Fatalf("Verify error %v is not typed", err)
+			}
+		})
+	}
+}

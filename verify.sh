@@ -18,6 +18,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== spmvlint"
+# Layer 1: project-specific AST/type rules (panics, verifier,
+# droppederr, floateq, hotpath). Layer 2: compile gate diffing
+# -m=1 -d=ssa/check_bce diagnostics against the checked-in baselines —
+# a new bounds check or heap allocation in a hot kernel fails here.
+go run ./cmd/spmvlint ./...
+
 if [ "$FUZZTIME" != "0" ]; then
 	# Each fuzz target asserts: if the decoder accepts the input, the
 	# matrix verifies clean and its SpMV matches the reference CSR.
