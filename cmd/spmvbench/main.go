@@ -7,16 +7,33 @@
 //
 //	spmvbench [-experiment all|table2|table3|table4|fig7|fig8]
 //	          [-scale 0.25] [-iters 10] [-threads 1,2,4,8] [-v]
+//	          [-metrics] [-debug localhost:6060]
+//
+// With -metrics the tables are replaced by a single JSON document on
+// stdout: per matrix, per format and per thread count the measured
+// seconds per iteration, effective bandwidth (GB/s), static and
+// measured load imbalance, compressed size ratio and the last run's
+// per-chunk telemetry. Progress notes move to stderr so stdout stays
+// machine-parseable.
+//
+// With -debug ADDR a background HTTP server exposes Go's standard
+// debug endpoints while the benchmark runs: /debug/vars (expvar,
+// including the live "spmv" telemetry snapshot) and /debug/pprof
+// (CPU/heap profiles; worker goroutines carry spmv_partition and
+// spmv_worker pprof labels).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"spmv/internal/bench"
+	"spmv/internal/obs"
 )
 
 func main() {
@@ -26,6 +43,8 @@ func main() {
 	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	verbose := flag.Bool("v", false, "print per-matrix progress")
 	verify := flag.Bool("verify", false, "structurally verify every built format before timing it")
+	metrics := flag.Bool("metrics", false, "emit a JSON metrics report on stdout instead of tables")
+	debugAddr := flag.String("debug", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -33,6 +52,19 @@ func main() {
 	cfg.Scale = *scale
 	cfg.WarmIters = *iters
 	cfg.Verify = *verify
+	cfg.Metrics = *metrics
+
+	// With -metrics, stdout carries exactly one JSON document; all
+	// human-facing notes go to stderr.
+	notes := os.Stdout
+	if *metrics {
+		notes = os.Stderr
+	}
+	note := func(format string, args ...any) {
+		if _, err := fmt.Fprintf(notes, format, args...); err != nil {
+			os.Exit(1)
+		}
+	}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}
@@ -46,6 +78,23 @@ func main() {
 		cfg.Threads = append(cfg.Threads, n)
 	}
 
+	if *debugAddr != "" {
+		rec := obs.NewRecorder()
+		cfg.Recorder = rec
+		if err := obs.PublishExpvar("spmv", rec); err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+		go func() {
+			// DefaultServeMux already carries /debug/vars (expvar) and
+			// /debug/pprof (net/http/pprof) via their package inits.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "spmvbench: debug server:", err)
+			}
+		}()
+		note("# debug: http://%s/debug/vars and /debug/pprof\n", *debugAddr)
+	}
+
 	need := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
 		need[e] = true
@@ -56,8 +105,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("# spmvbench: native timing, scale=%.3g, %d iterations\n", cfg.Scale, cfg.WarmIters)
-	fmt.Printf("# note: the 2(2xL2) placement row requires cache control and exists only in spmvsim\n\n")
+	note("# spmvbench: native timing, scale=%.3g, %d iterations\n", cfg.Scale, cfg.WarmIters)
+	note("# note: the 2(2xL2) placement row requires cache control and exists only in spmvsim\n\n")
 	runs, err := bench.Collect(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spmvbench:", err)
@@ -69,6 +118,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spmvbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *metrics {
+		emit(bench.WriteMetricsJSON(os.Stdout, bench.BuildMetricsReport(cfg, runs)))
+		return
 	}
 	if need["table2"] {
 		emit(bench.BuildTable2(runs, cfg.Threads).Print(os.Stdout))

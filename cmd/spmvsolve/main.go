@@ -29,6 +29,7 @@ func main() {
 	maxIter := flag.Int("maxiter", 100000, "matrix-vector product budget")
 	restart := flag.Int("restart", 30, "GMRES restart length")
 	ilu := flag.Bool("ilu", false, "precondition with ILU(0) (gmres/bicgstab via right preconditioning, cg via CGPrec)")
+	stats := flag.Bool("stats", false, "report SpMV runtime telemetry after the solve (threads > 1)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: spmvsolve [flags] matrix.mtx")
 		flag.PrintDefaults()
@@ -38,13 +39,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *method, *format, *threads, *tol, *maxIter, *restart, *ilu); err != nil {
+	if err := run(flag.Arg(0), *method, *format, *threads, *tol, *maxIter, *restart, *ilu, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "spmvsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, method, format string, threads int, tol float64, maxIter, restart int, useILU bool) (err error) {
+func run(path, method, format string, threads int, tol float64, maxIter, restart int, useILU, stats bool) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -82,18 +83,26 @@ func run(path, method, format string, threads int, tol float64, maxIter, restart
 	fmt.Printf("format: %s, %.1f%% of CSR\n", m.Name(), 100*spmv.CompressionRatio(m))
 
 	var op spmv.Operator
+	var rec *spmv.Recorder
 	if threads > 1 {
 		e, err := spmv.NewExecutor(m, threads)
 		if err != nil {
 			return err
 		}
 		defer e.Close()
+		if stats {
+			rec = spmv.NewRecorder()
+			e.SetCollector(rec)
+		}
 		op = spmv.NewParallelOperator(e, n)
 		fmt.Printf("threads: %d\n", e.Threads())
 	} else {
 		op, err = spmv.NewOperator(m)
 		if err != nil {
 			return err
+		}
+		if stats {
+			fmt.Println("stats: telemetry needs the parallel executor; run with -threads > 1")
 		}
 	}
 
@@ -162,8 +171,31 @@ func run(path, method, format string, threads int, tol float64, maxIter, restart
 		norm += v * v
 	}
 	fmt.Printf("||x||_2 = %.6g\n", math.Sqrt(norm))
+	if rec != nil {
+		printStats(rec, m)
+	}
 	if !res.Converged {
 		return fmt.Errorf("did not converge within %d matrix-vector products", maxIter)
 	}
 	return nil
+}
+
+// printStats reports the recorder's view of the solve's SpMV calls:
+// how many ran, how fast, what memory bandwidth that implies, and how
+// evenly the work spread across workers.
+func printStats(rec *spmv.Recorder, m spmv.Format) {
+	snap := rec.Snapshot()
+	if snap.Runs == 0 {
+		fmt.Println("spmv stats: no runs recorded")
+		return
+	}
+	secs := rec.SecsPerRun()
+	gbps := 0.0
+	if secs > 0 {
+		gbps = float64(spmv.BytesPerSpMV(m)) / secs / 1e9
+	}
+	fmt.Printf("spmv stats: %d runs, %.3g ms/run, %.2f GB/s effective, imbalance mean=%.2f max=%.2f (%d workers, %s partition)\n",
+		snap.Runs, secs*1e3, gbps,
+		snap.MeanTimeImbalance, snap.MaxTimeImbalance,
+		snap.Last.Threads(), snap.Last.Partition)
 }

@@ -2,10 +2,13 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
 	"spmv/internal/memsim"
+	"spmv/internal/obs"
 )
 
 // testConfig returns a heavily scaled-down configuration so the full
@@ -210,13 +213,76 @@ func TestBuildFormatUnknown(t *testing.T) {
 	}
 }
 
-func TestRelSpeedupZeroSafe(t *testing.T) {
-	r := &MatrixRuns{Secs: map[string]map[int]float64{"csr": {1: 1}}}
-	if r.RelSpeedup("missing", 1) != 0 {
-		t.Error("missing format should yield 0")
+// TestSpeedupMissingCellNaN is the regression test for the silent-zero
+// bug: Speedup/RelSpeedup on a format or thread count that was never
+// measured used to return 0 (a nil map lookup), which downstream
+// IsZero checks quietly dropped — indistinguishable from "measured and
+// infinitely slow". Missing cells must now be explicit: NaN from the
+// plain accessors, ok=false from the OK variants.
+func TestSpeedupMissingCellNaN(t *testing.T) {
+	r := &MatrixRuns{Secs: map[string]map[int]float64{
+		"csr":    {1: 1.0, 8: 0.25},
+		"csr-du": {8: 0.2},
+	}}
+	for _, tc := range []struct {
+		name string
+		v    float64
+		ok   bool
+	}{
+		{"missing format", r.Speedup("missing", 8), false},
+		{"missing threads", r.Speedup("csr-du", 4), false},
+		{"rel missing format", r.RelSpeedup("missing", 8), false},
+		{"rel missing baseline", func() float64 {
+			r2 := &MatrixRuns{Secs: map[string]map[int]float64{"csr-du": {8: 0.2}}}
+			return r2.RelSpeedup("csr-du", 8)
+		}(), false},
+	} {
+		if !math.IsNaN(tc.v) {
+			t.Errorf("%s: got %v, want NaN", tc.name, tc.v)
+		}
 	}
-	if r.Speedup("missing", 8) != 0 {
-		t.Error("missing speedup should yield 0")
+	if _, ok := r.SpeedupOK("missing", 8); ok {
+		t.Error("SpeedupOK reports ok for a missing format")
+	}
+	if _, ok := r.RelSpeedupOK("csr-du", 4); ok {
+		t.Error("RelSpeedupOK reports ok for a missing thread count")
+	}
+	// Present cells still compute normally.
+	if sp, ok := r.SpeedupOK("csr-du", 8); !ok || sp != 5 {
+		t.Errorf("Speedup(csr-du,8) = %v,%v, want 5,true", sp, ok)
+	}
+	if sp, ok := r.RelSpeedupOK("csr-du", 8); !ok || sp != 1.25 {
+		t.Errorf("RelSpeedup(csr-du,8) = %v,%v, want 1.25,true", sp, ok)
+	}
+}
+
+// TestTablesSkipMissingCells pins that the aggregate tables treat NaN
+// cells as "unmeasured" — counted in Missing, excluded from stats —
+// rather than polluting averages.
+func TestTablesSkipMissingCells(t *testing.T) {
+	runs := []*MatrixRuns{
+		{Name: "a", Class: "S", Secs: map[string]map[int]float64{
+			"csr": {1: 1.0, 2: 0.5}, "csr-du": {1: 0.8, 2: 0.4},
+		}},
+		{Name: "b", Class: "L", Secs: map[string]map[int]float64{
+			"csr": {1: 1.0, 2: 0.5}, // csr-du never measured
+		}},
+	}
+	tb := BuildRelTable(runs, "csr-du", []int{1, 2}, 0)
+	for _, row := range tb.Rows {
+		if row.Missing != 1 {
+			t.Errorf("threads=%d: Missing = %d, want 1", row.Threads, row.Missing)
+		}
+		if math.IsNaN(row.AllAvg) {
+			t.Errorf("threads=%d: NaN leaked into AllAvg", row.Threads)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tb.Print(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[1 unmeasured]") {
+		t.Errorf("printer does not flag missing cells:\n%s", buf.String())
 	}
 }
 
@@ -288,6 +354,128 @@ func TestMachineStudyShape(t *testing.T) {
 		for _, f := range cfg.Formats {
 			if p.RelSpeed[f][4] <= 0 {
 				t.Errorf("%s/%s: missing rel speedup", p.Name, f)
+			}
+		}
+	}
+}
+
+// TestMeasureNativeHonorsIters is the regression test for the
+// iteration-count bug: measureNative used to silently bump the measured
+// loop to at least 3 iterations, so Config.WarmIters=1 measured three.
+// The attached recorder sees exactly the measured iterations (warm-up
+// runs before the collector is attached), so it must report precisely
+// cfg.WarmIters runs.
+func TestMeasureNativeHonorsIters(t *testing.T) {
+	cfg := testConfig()
+	cfg.Native = true
+	cfg.WarmIters = 1
+	c := Suite()[0].Gen(cfg.Scale)
+	f, err := buildFormat("csr", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	if _, err := measureNative(cfg, f, 2, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Runs(); got != cfg.WarmIters {
+		t.Errorf("measured %d iterations, want exactly WarmIters=%d", got, cfg.WarmIters)
+	}
+}
+
+// TestMetricsReportNative runs the native pipeline with metrics
+// collection and checks the emitted JSON document end to end:
+// bandwidth figures, per-chunk telemetry, and imbalance fields.
+func TestMetricsReportNative(t *testing.T) {
+	cfg := testConfig()
+	cfg.Native = true
+	cfg.Metrics = true
+	cfg.Threads = []int{1, 2}
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no matrices admitted")
+	}
+	rep := BuildMetricsReport(cfg, runs)
+	if rep.Mode != "native" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	if len(rep.Matrices) != len(runs) {
+		t.Fatalf("matrices = %d, want %d", len(rep.Matrices), len(runs))
+	}
+	for _, mm := range rep.Matrices {
+		if len(mm.Formats) != 1+len(cfg.Formats) {
+			t.Fatalf("%s: formats = %d, want %d", mm.Name, len(mm.Formats), 1+len(cfg.Formats))
+		}
+		for _, fm := range mm.Formats {
+			if fm.SizeRatio <= 0 {
+				t.Errorf("%s/%s: size ratio %v", mm.Name, fm.Format, fm.SizeRatio)
+			}
+			if len(fm.Runs) != len(cfg.Threads) {
+				t.Fatalf("%s/%s: runs = %d, want %d", mm.Name, fm.Format, len(fm.Runs), len(cfg.Threads))
+			}
+			for _, rm := range fm.Runs {
+				if rm.SecsPerIter <= 0 || rm.GBps <= 0 || rm.BytesPerIter <= 0 {
+					t.Errorf("%s/%s t=%d: secs=%v gbps=%v bytes=%d",
+						mm.Name, fm.Format, rm.Threads, rm.SecsPerIter, rm.GBps, rm.BytesPerIter)
+				}
+				if rm.Iters != cfg.WarmIters {
+					t.Errorf("%s/%s t=%d: iters = %d, want %d", mm.Name, fm.Format, rm.Threads, rm.Iters, cfg.WarmIters)
+				}
+				if rm.Workers <= 0 || len(rm.Chunks) != rm.Workers {
+					t.Errorf("%s/%s t=%d: workers=%d chunks=%d", mm.Name, fm.Format, rm.Threads, rm.Workers, len(rm.Chunks))
+				}
+				if rm.TimeImbalance < 1 || rm.NNZImbalance < 1 {
+					t.Errorf("%s/%s t=%d: imbalance %v/%v below 1", mm.Name, fm.Format, rm.Threads, rm.TimeImbalance, rm.NNZImbalance)
+				}
+				nnz := 0
+				for _, cst := range rm.Chunks {
+					nnz += cst.NNZ
+				}
+				if nnz != mm.NNZ {
+					t.Errorf("%s/%s t=%d: chunk nnz %d != matrix nnz %d", mm.Name, fm.Format, rm.Threads, nnz, mm.NNZ)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	if len(back.Matrices) != len(rep.Matrices) {
+		t.Errorf("round-trip lost matrices: %d != %d", len(back.Matrices), len(rep.Matrices))
+	}
+}
+
+// TestMetricsSimMode pins that simulation-mode metrics still fill the
+// timing-derived fields while omitting native-only telemetry.
+func TestMetricsSimMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = true
+	cfg.Threads = []int{1}
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildMetricsReport(cfg, runs)
+	if rep.Mode != "sim" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	for _, mm := range rep.Matrices {
+		for _, fm := range mm.Formats {
+			for _, rm := range fm.Runs {
+				if rm.GBps <= 0 {
+					t.Errorf("%s/%s: sim gbps %v", mm.Name, fm.Format, rm.GBps)
+				}
+				if rm.Workers != 0 || rm.Chunks != nil {
+					t.Errorf("%s/%s: native-only fields set in sim mode", mm.Name, fm.Format)
+				}
 			}
 		}
 	}

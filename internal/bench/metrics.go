@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"spmv/internal/core"
+	"spmv/internal/obs"
+)
+
+// RunMetrics is the observability record of one (matrix, format,
+// thread-count) measurement: the timing restated as effective memory
+// bandwidth — the paper's §II bandwidth-bound thesis made directly
+// checkable — plus the per-chunk telemetry of the last measured run.
+type RunMetrics struct {
+	Threads int `json:"threads"`
+	// Workers is the executor's actual worker count (≤ Threads for
+	// small matrices). 0 in simulation mode.
+	Workers int `json:"workers,omitempty"`
+	// SecsPerIter is the measured steady-state seconds per SpMV.
+	SecsPerIter float64 `json:"secs_per_iter"`
+	// Iters is the number of measured iterations behind SecsPerIter.
+	Iters int `json:"iters"`
+	// BytesPerIter is the cold-cache traffic estimate of one SpMV
+	// (matrix stream + x read + y write; obs.BytesPerSpMV).
+	BytesPerIter int64 `json:"bytes_per_iter"`
+	// GBps is BytesPerIter / SecsPerIter in 10^9 bytes per second: the
+	// bandwidth the run effectively sustained. Compression "wins" when
+	// a format's seconds drop while its GBps stays near the machine's
+	// ceiling — same bandwidth, fewer bytes.
+	GBps float64 `json:"gbps"`
+	// BytesPerNNZ is the matrix-stream bytes per stored non-zero
+	// (core.BytesPerNNZ), the per-element cost compression reduces.
+	BytesPerNNZ float64 `json:"bytes_per_nnz"`
+	// TimeImbalance and NNZImbalance are the measured (mean over
+	// measured iterations) and static load imbalance, 1.0 = perfect.
+	// Native mode only; 0 when unavailable.
+	TimeImbalance float64 `json:"time_imbalance,omitempty"`
+	NNZImbalance  float64 `json:"nnz_imbalance,omitempty"`
+	// Chunks is the last measured iteration's per-worker telemetry
+	// (native mode only).
+	Chunks []obs.ChunkStat `json:"chunks,omitempty"`
+}
+
+// newRunMetrics assembles the metrics record for one measured cell.
+// rec may be nil (simulation mode): timing-derived fields still fill.
+func newRunMetrics(cfg Config, f core.Format, threads int, secsPerIter float64, rec *obs.Recorder) *RunMetrics {
+	m := &RunMetrics{
+		Threads:      threads,
+		SecsPerIter:  secsPerIter,
+		Iters:        cfg.WarmIters,
+		BytesPerIter: obs.BytesPerSpMV(f),
+		GBps:         obs.GBps(obs.BytesPerSpMV(f), secsPerIter),
+		BytesPerNNZ:  core.BytesPerNNZ(f),
+	}
+	if rec != nil {
+		snap := rec.Snapshot()
+		m.Workers = snap.Last.Threads()
+		m.TimeImbalance = snap.MeanTimeImbalance
+		m.NNZImbalance = snap.Last.NNZImbalance()
+		m.Chunks = snap.Last.Chunks
+	}
+	return m
+}
+
+// MetricsReport is the JSON document `spmvbench -metrics` emits: every
+// measured cell of every matrix, flattened for machine consumption.
+type MetricsReport struct {
+	// Mode is "native" or "sim".
+	Mode string `json:"mode"`
+	// Scale is the matrix size multiplier of the run.
+	Scale float64 `json:"scale"`
+	// Threads lists the exercised thread counts.
+	Threads []int `json:"threads"`
+	// Matrices holds one entry per admitted suite matrix.
+	Matrices []MatrixMetrics `json:"matrices"`
+}
+
+// MatrixMetrics groups one matrix's metrics by format.
+type MatrixMetrics struct {
+	Name  string  `json:"name"`
+	Class string  `json:"class"`
+	Rows  int     `json:"rows"`
+	Cols  int     `json:"cols"`
+	NNZ   int     `json:"nnz"`
+	WS    int64   `json:"working_set_bytes"`
+	TTU   float64 `json:"ttu"`
+	// Formats is ordered CSR first, then Config.Formats order.
+	Formats []FormatMetrics `json:"formats"`
+}
+
+// FormatMetrics is one format's measured cells for one matrix.
+type FormatMetrics struct {
+	Format string `json:"format"`
+	// SizeRatio is SizeBytes(format)/SizeBytes(csr); 1 for CSR itself.
+	SizeRatio float64 `json:"size_ratio"`
+	// Runs is ordered by Config.Threads.
+	Runs []*RunMetrics `json:"runs"`
+}
+
+// BuildMetricsReport assembles the metrics document from collected
+// runs. Runs collected without Config.Metrics produce empty Formats
+// lists — callers should collect with Metrics set.
+func BuildMetricsReport(cfg Config, runs []*MatrixRuns) MetricsReport {
+	mode := "sim"
+	if cfg.Native {
+		mode = "native"
+	}
+	rep := MetricsReport{Mode: mode, Scale: cfg.Scale, Threads: cfg.Threads}
+	formats := append([]string{"csr"}, cfg.Formats...)
+	for _, r := range runs {
+		mm := MatrixMetrics{
+			Name: r.Name, Class: r.Class, Rows: r.Rows, Cols: r.Cols,
+			NNZ: r.NNZ, WS: r.WS, TTU: r.TTU,
+		}
+		for _, name := range formats {
+			cells := r.Metrics[name]
+			if cells == nil {
+				continue
+			}
+			fm := FormatMetrics{Format: name, SizeRatio: 1}
+			if name != "csr" {
+				fm.SizeRatio = r.SizeRatio[name]
+			}
+			for _, th := range cfg.Threads {
+				if m := cells[th]; m != nil {
+					fm.Runs = append(fm.Runs, m)
+				}
+			}
+			mm.Formats = append(mm.Formats, fm)
+		}
+		rep.Matrices = append(rep.Matrices, mm)
+	}
+	return rep
+}
+
+// WriteMetricsJSON emits the report as indented JSON.
+func WriteMetricsJSON(w io.Writer, rep MetricsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"spmv/internal/core"
@@ -24,6 +25,10 @@ type Table2Row struct {
 	Label  string
 	S, L   stats.Summary // speedups vs serial CSR
 	AllAvg float64
+	// Missing counts matrices whose cell was never measured (NaN
+	// speedup); the printer flags rows where it is non-zero instead of
+	// silently averaging over a smaller set.
+	Missing int
 }
 
 // BuildTable2 derives Table II from collected runs.
@@ -47,9 +52,11 @@ func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
 
 	addRow := func(label string, get func(*MatrixRuns) float64) {
 		var sS, sL, sAll []float64
+		missing := 0
 		for _, r := range runs {
 			sp := get(r)
-			if core.IsZero(sp) {
+			if math.IsNaN(sp) {
+				missing++
 				continue
 			}
 			sAll = append(sAll, sp)
@@ -61,7 +68,7 @@ func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
 		}
 		t.Rows = append(t.Rows, Table2Row{
 			Label: label, S: stats.Summarize(sS), L: stats.Summarize(sL),
-			AllAvg: stats.Summarize(sAll).Avg,
+			AllAvg: stats.Summarize(sAll).Avg, Missing: missing,
 		})
 	}
 	for _, th := range threads {
@@ -72,10 +79,11 @@ func BuildTable2(runs []*MatrixRuns, threads []int) Table2 {
 		if th == 2 {
 			addRow("2 (1xL2)", func(r *MatrixRuns) float64 { return r.Speedup("csr", 2) })
 			addRow("2 (2xL2)", func(r *MatrixRuns) float64 {
-				if core.IsZero(r.CSRSpread2) {
-					return 0
+				base, ok := r.Sec("csr", 1)
+				if !ok || core.IsZero(r.CSRSpread2) {
+					return math.NaN()
 				}
-				return r.Secs["csr"][1] / r.CSRSpread2
+				return base / r.CSRSpread2
 			})
 			continue
 		}
@@ -95,11 +103,20 @@ func (t Table2) Print(w io.Writer) error {
 		"1", t.SerialS.Avg, t.SerialS.Max, t.SerialS.Min,
 		t.SerialL.Avg, t.SerialL.Max, t.SerialL.Min, t.Serial0)
 	for _, row := range t.Rows {
-		p.f("%-10s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %8.2f\n",
+		p.f("%-10s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %8.2f%s\n",
 			row.Label, row.S.Avg, row.S.Max, row.S.Min,
-			row.L.Avg, row.L.Max, row.L.Min, row.AllAvg)
+			row.L.Avg, row.L.Max, row.L.Min, row.AllAvg, missingNote(row.Missing))
 	}
 	return p.err
+}
+
+// missingNote renders the unmeasured-cell marker appended to aggregate
+// rows; empty when every cell was measured.
+func missingNote(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("   [%d unmeasured]", n)
 }
 
 // RelTable reproduces Tables III/IV: a compressed format's speedup over
@@ -117,6 +134,9 @@ type RelRow struct {
 	S, L         stats.Summary
 	SlowS, SlowL int
 	AllAvg       float64
+	// Missing counts matrices with no measured cell at this thread
+	// count (see Table2Row.Missing).
+	Missing int
 }
 
 // BuildRelTable derives Table III (minTTU = 0, all matrices) or
@@ -133,9 +153,11 @@ func BuildRelTable(runs []*MatrixRuns, format string, threads []int, minTTU floa
 	}
 	for _, th := range threads {
 		var sS, sL, sAll []float64
+		missing := 0
 		for _, r := range sel {
-			sp := r.RelSpeedup(format, th)
-			if core.IsZero(sp) {
+			sp, ok := r.RelSpeedupOK(format, th)
+			if !ok {
+				missing++
 				continue
 			}
 			sAll = append(sAll, sp)
@@ -150,7 +172,7 @@ func BuildRelTable(runs []*MatrixRuns, format string, threads []int, minTTU floa
 			S:       stats.Summarize(sS), L: stats.Summarize(sL),
 			SlowS:  stats.CountBelow(sS, stats.SlowdownThreshold),
 			SlowL:  stats.CountBelow(sL, stats.SlowdownThreshold),
-			AllAvg: stats.Summarize(sAll).Avg,
+			AllAvg: stats.Summarize(sAll).Avg, Missing: missing,
 		})
 	}
 	return t
@@ -178,9 +200,9 @@ func (t RelTable) Print(w io.Writer, title string) error {
 	p.f("%-8s | %6s %6s %6s %6s | %6s %6s %6s %6s | %6s\n",
 		"core(s)", "S.avg", "S.max", "S.min", "<0.98", "L.avg", "L.max", "L.min", "<0.98", "M0.avg")
 	for _, row := range t.Rows {
-		p.f("%-8d | %6.2f %6.2f %6.2f %6d | %6.2f %6.2f %6.2f %6d | %6.2f\n",
+		p.f("%-8d | %6.2f %6.2f %6.2f %6d | %6.2f %6.2f %6.2f %6d | %6.2f%s\n",
 			row.Threads, row.S.Avg, row.S.Max, row.S.Min, row.SlowS,
-			row.L.Avg, row.L.Max, row.L.Min, row.SlowL, row.AllAvg)
+			row.L.Avg, row.L.Max, row.L.Min, row.SlowL, row.AllAvg, missingNote(row.Missing))
 	}
 	return p.err
 }
@@ -216,8 +238,32 @@ func BuildFig(runs []*MatrixRuns, format string, threads []int, minTTU float64) 
 		}
 		entries = append(entries, e)
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].Fmt[maxTh] < entries[b].Fmt[maxTh] })
+	sort.Slice(entries, func(a, b int) bool { return lessNaNFirst(entries[a].Fmt[maxTh], entries[b].Fmt[maxTh]) })
 	return entries
+}
+
+// lessNaNFirst orders speedups ascending with NaN (unmeasured) cells
+// first, keeping the sort deterministic in the presence of missing
+// data (NaN comparisons are unordered and would leave entries wherever
+// the sort happened to touch them).
+func lessNaNFirst(a, b float64) bool {
+	switch {
+	case math.IsNaN(a):
+		return !math.IsNaN(b)
+	case math.IsNaN(b):
+		return false
+	default:
+		return a < b
+	}
+}
+
+// figCell renders one Fig speedup cell, flagging unmeasured cells
+// instead of printing a fabricated number.
+func figCell(v float64) string {
+	if math.IsNaN(v) {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%5.2fx", v)
 }
 
 // PrintFig writes the per-matrix series as text (one block per thread
@@ -231,10 +277,10 @@ func PrintFig(w io.Writer, title string, entries []FigEntry, threads []int) erro
 		}
 		p.f("-- %d threads --\n", th)
 		sorted := append([]FigEntry(nil), entries...)
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a].Fmt[th] < sorted[b].Fmt[th] })
+		sort.Slice(sorted, func(a, b int) bool { return lessNaNFirst(sorted[a].Fmt[th], sorted[b].Fmt[th]) })
 		for _, e := range sorted {
-			p.f("  %-18s %s  %5.2fx  [%5.2fx]  %5.1f%%\n",
-				e.Name, e.Class, e.Fmt[th], e.CSR[th], e.SizeReduction)
+			p.f("  %-18s %s  %s  [%s]  %5.1f%%\n",
+				e.Name, e.Class, figCell(e.Fmt[th]), figCell(e.CSR[th]), e.SizeReduction)
 		}
 	}
 	return p.err

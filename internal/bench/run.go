@@ -3,12 +3,14 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"spmv/internal/core"
 	"spmv/internal/formats"
 	"spmv/internal/matgen"
 	"spmv/internal/memsim"
+	"spmv/internal/obs"
 	"spmv/internal/parallel"
 	"spmv/internal/simtrace"
 )
@@ -22,7 +24,12 @@ type Config struct {
 	Scale float64
 	// WarmIters is the number of steady-state iterations measured
 	// (after one cold iteration, mirroring the paper's warm-cache
-	// 128-iteration loop).
+	// 128-iteration loop). Both modes honor it exactly: simulation
+	// measures WarmIters warm iterations, and native mode times
+	// WarmIters iterations after a warmUpIters warm-up. (Earlier
+	// versions silently raised the native measured count to at least 3,
+	// so native and simulated seconds-per-SpMV averaged over different
+	// iteration counts.)
 	WarmIters int
 	// Threads are the thread counts exercised (paper: 1, 2, 4, 8).
 	Threads []int
@@ -36,6 +43,15 @@ type Config struct {
 	Verify bool
 	// Verbose, if non-nil, receives progress lines.
 	Verbose io.Writer
+	// Metrics enables the observability layer: native-mode runs attach
+	// an obs.Recorder to every executor and fill MatrixRuns.Metrics
+	// with per-chunk timings, measured load imbalance and effective
+	// bandwidth (sim mode fills the timing-derived fields only).
+	Metrics bool
+	// Recorder, if non-nil, additionally receives every native run's
+	// telemetry across the whole collection — the live sink a debug
+	// endpoint (expvar) reads while the benchmark is running.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the paper-reproduction configuration.
@@ -68,27 +84,58 @@ type MatrixRuns struct {
 
 	// SizeRatio[format] is SizeBytes(format)/SizeBytes(csr).
 	SizeRatio map[string]float64
+
+	// Metrics[format][threads] is the observability record of the run,
+	// populated only when Config.Metrics is set.
+	Metrics map[string]map[int]*RunMetrics
+}
+
+// Sec returns the measured seconds per SpMV for one cell and whether
+// that cell was actually measured. A missing format or thread entry —
+// or a zero timing, which a real measurement cannot produce — reports
+// ok = false.
+func (r *MatrixRuns) Sec(format string, threads int) (secs float64, ok bool) {
+	secs, ok = r.Secs[format][threads]
+	return secs, ok && !core.IsZero(secs)
+}
+
+// SpeedupOK returns serial-CSR time / the given configuration's time,
+// with ok = false when either cell was never measured.
+func (r *MatrixRuns) SpeedupOK(format string, threads int) (float64, bool) {
+	base, ok1 := r.Sec("csr", 1)
+	t, ok2 := r.Sec(format, threads)
+	if !ok1 || !ok2 {
+		return math.NaN(), false
+	}
+	return base / t, true
 }
 
 // Speedup returns serial-CSR time / the given configuration's time.
+// A cell that was never measured yields NaN, never a fabricated 0 —
+// nil-map lookups used to surface here as zero "speedups" in report
+// tables. Printers flag NaN cells as missing; use SpeedupOK to branch.
 func (r *MatrixRuns) Speedup(format string, threads int) float64 {
-	base := r.Secs["csr"][1]
-	t := r.Secs[format][threads]
-	if core.IsZero(t) {
-		return 0
+	s, _ := r.SpeedupOK(format, threads)
+	return s
+}
+
+// RelSpeedupOK returns CSR time / format time at equal thread count,
+// with ok = false when either cell was never measured.
+func (r *MatrixRuns) RelSpeedupOK(format string, threads int) (float64, bool) {
+	base, ok1 := r.Sec("csr", threads)
+	t, ok2 := r.Sec(format, threads)
+	if !ok1 || !ok2 {
+		return math.NaN(), false
 	}
-	return base / t
+	return base / t, true
 }
 
 // RelSpeedup returns CSR time / format time at equal thread count
-// (the paper's Tables III/IV metric).
+// (the paper's Tables III/IV metric). Unmeasured cells yield NaN, as
+// with Speedup.
 func (r *MatrixRuns) RelSpeedup(format string, threads int) float64 {
-	base := r.Secs["csr"][threads]
-	t := r.Secs[format][threads]
-	if core.IsZero(t) {
-		return 0
-	}
-	return base / t
+	s, _ := r.RelSpeedupOK(format, threads)
+	return s
 }
 
 // buildFormat constructs a named format from a COO via the registry.
@@ -122,6 +169,9 @@ func Collect(cfg Config) ([]*MatrixRuns, error) {
 			WS: ws, TTU: matgen.TTU(c),
 			Secs:      map[string]map[int]float64{},
 			SizeRatio: map[string]float64{},
+		}
+		if cfg.Metrics {
+			r.Metrics = map[string]map[int]*RunMetrics{}
 		}
 		if ws >= largeWS {
 			r.Class = "L"
@@ -167,19 +217,30 @@ func Collect(cfg Config) ([]*MatrixRuns, error) {
 }
 
 // measureFormat fills r.Secs[f.Name()] for every thread count, plus the
-// spread-placement 2-thread run for CSR in simulation mode.
+// spread-placement 2-thread run for CSR in simulation mode. With
+// Config.Metrics set it also fills r.Metrics[f.Name()].
 func measureFormat(cfg Config, r *MatrixRuns, f core.Format, isCSR bool) error {
 	secs := map[int]float64{}
 	for _, th := range cfg.Threads {
-		s, err := measure(cfg, f, th, nil)
+		var rec *obs.Recorder
+		if cfg.Metrics && cfg.Native {
+			rec = obs.NewRecorder()
+		}
+		s, err := measure(cfg, f, th, nil, rec)
 		if err != nil {
 			return err
 		}
 		secs[th] = s
+		if cfg.Metrics {
+			if r.Metrics[f.Name()] == nil {
+				r.Metrics[f.Name()] = map[int]*RunMetrics{}
+			}
+			r.Metrics[f.Name()][th] = newRunMetrics(cfg, f, th, s, rec)
+		}
 	}
 	r.Secs[f.Name()] = secs
 	if isCSR && !cfg.Native {
-		s, err := measure(cfg, f, 2, memsim.SpreadPlacement(2, cfg.Machine.L2SharedBy))
+		s, err := measure(cfg, f, 2, memsim.SpreadPlacement(2, cfg.Machine.L2SharedBy), nil)
 		if err != nil {
 			return err
 		}
@@ -188,10 +249,11 @@ func measureFormat(cfg Config, r *MatrixRuns, f core.Format, isCSR bool) error {
 	return nil
 }
 
-// measure returns steady-state seconds per SpMV.
-func measure(cfg Config, f core.Format, threads int, placement memsim.Placement) (float64, error) {
+// measure returns steady-state seconds per SpMV. rec, when non-nil, is
+// attached to the native executor to capture per-chunk telemetry.
+func measure(cfg Config, f core.Format, threads int, placement memsim.Placement, rec *obs.Recorder) (float64, error) {
 	if cfg.Native {
-		return measureNative(cfg, f, threads)
+		return measureNative(cfg, f, threads, rec)
 	}
 	// Simulated: subtract the cold iteration so only warm, steady-state
 	// iterations count (the paper measures 128 warm iterations).
@@ -217,8 +279,27 @@ func measure(cfg Config, f core.Format, threads int, placement memsim.Placement)
 	return warm / cfg.Machine.FreqHz, nil
 }
 
-// measureNative times RunIters with goroutines on the host.
-func measureNative(cfg Config, f core.Format, threads int) (float64, error) {
+// collectorOrNil converts a possibly-nil *Recorder to a Collector
+// without producing the non-nil-interface-around-nil-pointer trap.
+func collectorOrNil(r *obs.Recorder) obs.Collector {
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+// warmUpIters is the fixed, untimed native warm-up (cache fill, page
+// faults, goroutine scheduling settle) that precedes the measured loop
+// — the native analogue of the simulator's one cold iteration.
+const warmUpIters = 3
+
+// measureNative times RunIters with goroutines on the host. The timed
+// loop runs exactly cfg.WarmIters iterations, matching the iteration
+// count the simulated path averages over; it used to silently raise
+// the count to at least 3, making native and simulated "seconds per
+// SpMV" averages incomparable at small WarmIters. rec, when non-nil,
+// observes only the measured iterations, not the warm-up.
+func measureNative(cfg Config, f core.Format, threads int, rec *obs.Recorder) (float64, error) {
 	e, err := parallel.NewExecutor(f, threads)
 	if err != nil {
 		return 0, err
@@ -229,16 +310,15 @@ func measureNative(cfg Config, f core.Format, threads int) (float64, error) {
 	for i := range x {
 		x[i] = float64(i%9) - 4
 	}
-	if err := e.RunIters(3, y, x); err != nil { // warm caches, page in
+	if err := e.RunIters(warmUpIters, y, x); err != nil {
 		return 0, err
 	}
-	iters := cfg.WarmIters
-	if iters < 3 {
-		iters = 3
+	if c := obs.Tee(collectorOrNil(rec), collectorOrNil(cfg.Recorder)); c != nil {
+		e.SetCollector(c)
 	}
 	start := time.Now()
-	if err := e.RunIters(iters, y, x); err != nil {
+	if err := e.RunIters(cfg.WarmIters, y, x); err != nil {
 		return 0, err
 	}
-	return time.Since(start).Seconds() / float64(iters), nil
+	return time.Since(start).Seconds() / float64(cfg.WarmIters), nil
 }

@@ -45,3 +45,15 @@ func CompressionRatio(f Format) float64 {
 	base := CSRBytes(f.Rows(), f.NNZ(), IdxSize, ValSize)
 	return float64(f.SizeBytes()) / float64(base)
 }
+
+// BytesPerNNZ returns the matrix-stream bytes per stored non-zero —
+// the per-element traffic cost the compression schemes attack.
+// Standard CSR pays IdxSize+ValSize = 12 plus the amortized row
+// pointer; CSR-DU/CSR-VI push the figure toward ValSize and below.
+// Returns 0 for an empty matrix.
+func BytesPerNNZ(f Format) float64 {
+	if f.NNZ() == 0 {
+		return 0
+	}
+	return float64(f.SizeBytes()) / float64(f.NNZ())
+}

@@ -262,3 +262,84 @@ func TestReadStreamNilOnSize(t *testing.T) {
 		t.Errorf("emits = %d", n)
 	}
 }
+
+// Regression tests for symmetric expansion at the diagonal: the
+// expansion mirrors strictly off-diagonal entries only. Mirroring a
+// diagonal entry would fold into a doubled value (symmetric) or a
+// cancelled zero (skew-symmetric) after Finalize — both silent data
+// corruption, invisible to shape checks.
+
+func TestSymmetricDiagonalNotDuplicated(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.0
+2 2 7.0
+3 1 -1.0
+3 3 4.0
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 diagonal entries stored once each + 1 off-diagonal mirrored.
+	if c.Len() != 5 {
+		t.Fatalf("nnz = %d, want 5", c.Len())
+	}
+	d := core.DenseFromCOO(c)
+	for k, want := range map[int]float64{0: 2, 1: 7, 2: 4} {
+		if got := d.At(k, k); got != want {
+			t.Errorf("diag[%d] = %v, want %v (duplicated diagonal folds to 2x)", k, got, want)
+		}
+	}
+	if d.At(0, 2) != -1 || d.At(2, 0) != -1 {
+		t.Error("off-diagonal mirror missing")
+	}
+}
+
+func TestSkewSymmetricDiagonalNotMirrored(t *testing.T) {
+	// Skew-symmetric files should not store the (identically zero)
+	// diagonal, but a reader must not make things worse when one does:
+	// mirroring (i,i,v) as (i,i,-v) would cancel the entry entirely.
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 2
+1 1 2.0
+2 1 3.0
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.DenseFromCOO(c)
+	if got := d.At(0, 0); got != 2 {
+		t.Errorf("diag = %v, want 2 (a mirrored diagonal cancels to 0)", got)
+	}
+	if d.At(1, 0) != 3 || d.At(0, 1) != -3 {
+		t.Errorf("skew mirror wrong: (1,0)=%v (0,1)=%v", d.At(1, 0), d.At(0, 1))
+	}
+}
+
+func TestSymmetricExpansionDuplicateFold(t *testing.T) {
+	// Duplicate stored entries pass through the expansion and are summed
+	// by Finalize — on both sides of the mirror.
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+2 1 1.25
+2 1 0.75
+3 3 5.0
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1)+(2,1) fold to one entry, its mirror likewise, plus the diagonal.
+	if c.Len() != 3 {
+		t.Fatalf("nnz = %d after fold, want 3", c.Len())
+	}
+	d := core.DenseFromCOO(c)
+	if d.At(1, 0) != 2 || d.At(0, 1) != 2 {
+		t.Errorf("folded mirror pair = %v/%v, want 2/2", d.At(1, 0), d.At(0, 1))
+	}
+	if d.At(2, 2) != 5 {
+		t.Errorf("diagonal = %v, want 5", d.At(2, 2))
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+)
+
+// PublishExpvar exposes a Recorder's Snapshot under the given expvar
+// name, so a process that serves the expvar handler (cmd/spmvbench
+// -debug does) reports live run counts, mean wall time and imbalance at
+// /debug/vars while a benchmark or solve is in flight.
+//
+// expvar panics on duplicate names; like expvar.Publish this is
+// intended for one-time setup from a main package. It returns an error
+// instead of panicking when the name is already taken, so callers that
+// may be re-invoked (tests) can handle it.
+func PublishExpvar(name string, r *Recorder) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}

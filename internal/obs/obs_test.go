@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func closeTo(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func sampleRun() *RunStat {
+	return &RunStat{
+		Partition: "row",
+		Wall:      4 * time.Millisecond,
+		Chunks: []ChunkStat{
+			{Worker: 0, Lo: 0, Hi: 10, NNZ: 100, Busy: 1 * time.Millisecond},
+			{Worker: 1, Lo: 10, Hi: 20, NNZ: 100, Busy: 3 * time.Millisecond},
+		},
+	}
+}
+
+func TestRunStatImbalance(t *testing.T) {
+	s := sampleRun()
+	// Busy: 1ms and 3ms → mean 2ms, max 3ms → imbalance 1.5.
+	if got := s.TimeImbalance(); !closeTo(got, 1.5, 1e-12) {
+		t.Errorf("TimeImbalance = %v, want 1.5", got)
+	}
+	// NNZ is perfectly balanced.
+	if got := s.NNZImbalance(); !closeTo(got, 1.0, 1e-12) {
+		t.Errorf("NNZImbalance = %v, want 1.0", got)
+	}
+	if got := s.Busy(); got != 4*time.Millisecond {
+		t.Errorf("Busy = %v, want 4ms", got)
+	}
+	if s.Threads() != 2 {
+		t.Errorf("Threads = %d, want 2", s.Threads())
+	}
+}
+
+func TestRunStatImbalanceEmpty(t *testing.T) {
+	s := &RunStat{}
+	if got := s.TimeImbalance(); got != 1 {
+		t.Errorf("empty TimeImbalance = %v, want 1", got)
+	}
+	// All-zero busy times (a run faster than the clock resolution) must
+	// not divide by zero.
+	s.Chunks = []ChunkStat{{}, {}}
+	if got := s.TimeImbalance(); got != 1 {
+		t.Errorf("zero-busy TimeImbalance = %v, want 1", got)
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	if r.Runs() != 0 || r.SecsPerRun() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.RunDone(sampleRun())
+	r.RunDone(sampleRun())
+	snap := r.Snapshot()
+	if snap.Runs != 2 {
+		t.Errorf("Runs = %d, want 2", snap.Runs)
+	}
+	if snap.Wall != 8*time.Millisecond {
+		t.Errorf("Wall = %v, want 8ms", snap.Wall)
+	}
+	if snap.Busy != 8*time.Millisecond {
+		t.Errorf("Busy = %v, want 8ms", snap.Busy)
+	}
+	if !closeTo(snap.MeanTimeImbalance, 1.5, 1e-12) || !closeTo(snap.MaxTimeImbalance, 1.5, 1e-12) {
+		t.Errorf("imbalance mean/max = %v/%v, want 1.5/1.5", snap.MeanTimeImbalance, snap.MaxTimeImbalance)
+	}
+	if len(snap.Last.Chunks) != 2 || snap.Last.Partition != "row" {
+		t.Errorf("Last = %+v", snap.Last)
+	}
+	if !closeTo(r.SecsPerRun(), 0.004, 1e-12) {
+		t.Errorf("SecsPerRun = %v, want 0.004", r.SecsPerRun())
+	}
+
+	// The snapshot owns its chunk slice: mutating it must not reach the
+	// recorder's copy.
+	snap.Last.Chunks[0].NNZ = -1
+	if r.Snapshot().Last.Chunks[0].NNZ == -1 {
+		t.Error("Snapshot shares chunk storage with the recorder")
+	}
+
+	r.Reset()
+	if r.Runs() != 0 {
+		t.Error("Reset did not clear runs")
+	}
+}
+
+// TestRecorderConcurrent exercises the locking under -race: writers
+// report while readers snapshot.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.RunDone(sampleRun())
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Snapshot()
+				_ = r.SecsPerRun()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Runs() != 400 {
+		t.Errorf("Runs = %d, want 400", r.Runs())
+	}
+}
+
+// fakeFormat is a minimal core.Format for byte accounting tests.
+type fakeFormat struct {
+	rows, cols, nnz int
+	size            int64
+}
+
+func (f fakeFormat) Name() string        { return "fake" }
+func (f fakeFormat) Rows() int           { return f.rows }
+func (f fakeFormat) Cols() int           { return f.cols }
+func (f fakeFormat) NNZ() int            { return f.nnz }
+func (f fakeFormat) SizeBytes() int64    { return f.size }
+func (f fakeFormat) SpMV(y, x []float64) {}
+
+func TestBytesPerSpMV(t *testing.T) {
+	f := fakeFormat{rows: 10, cols: 20, nnz: 5, size: 1000}
+	// Matrix stream + one read of x (20 float64) + one write of y (10).
+	want := int64(1000 + (10+20)*8)
+	if got := BytesPerSpMV(f); got != want {
+		t.Errorf("BytesPerSpMV = %d, want %d", got, want)
+	}
+}
+
+func TestGBps(t *testing.T) {
+	// 1e9 bytes in 1 second is 1 GB/s.
+	if got := GBps(1e9, 1.0); !closeTo(got, 1.0, 1e-12) {
+		t.Errorf("GBps(1e9, 1) = %v, want 1", got)
+	}
+	// 300 MB in 0.1s → 3 GB/s.
+	if got := GBps(300e6, 0.1); !closeTo(got, 3.0, 1e-9) {
+		t.Errorf("GBps(300e6, 0.1) = %v, want 3", got)
+	}
+	if GBps(1e9, 0) != 0 || GBps(1e9, -1) != 0 {
+		t.Error("non-positive timings must yield 0")
+	}
+}
+
+// expvarTestSeq makes each TestPublishExpvar invocation pick a fresh
+// name: the expvar registry is process-global and go test -count=N
+// reruns tests in one process.
+var expvarTestSeq atomic.Int64
+
+func TestPublishExpvar(t *testing.T) {
+	name := fmt.Sprintf("obs-test-%d", expvarTestSeq.Add(1))
+	r := NewRecorder()
+	r.RunDone(sampleRun())
+	if err := PublishExpvar(name, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishExpvar(name, NewRecorder()); err == nil {
+		t.Error("duplicate publish accepted")
+	}
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("published var not found")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v", err)
+	}
+	if snap.Runs != 1 {
+		t.Errorf("expvar snapshot runs = %d, want 1", snap.Runs)
+	}
+}

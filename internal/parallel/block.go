@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"spmv/internal/core"
 	"spmv/internal/csr"
+	"spmv/internal/obs"
 	"spmv/internal/partition"
 )
 
@@ -24,15 +26,20 @@ type BlockExecutor struct {
 	blocks       []*csr.Matrix // gridR*gridC, row-major
 	partial      [][]float64   // one per block
 
-	start []chan blockJob
-	errs  []error
-	wg    sync.WaitGroup
-	once  sync.Once
+	start  []chan blockJob
+	errs   []error
+	wg     sync.WaitGroup
+	once   sync.Once
+	closed bool
+
+	collector obs.Collector
+	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
 }
 
 type blockJob struct {
-	x []float64
-	y []float64 // nil for multiply phase
+	x     []float64
+	y     []float64       // nil for multiply phase
+	stats []obs.ChunkStat // nil ⇒ workers skip timing entirely
 }
 
 // NewBlockExecutor cuts the matrix into a gridR×gridC block grid with
@@ -74,9 +81,26 @@ func NewBlockExecutor(c *core.COO, gridR, gridC int) (*BlockExecutor, error) {
 	e.errs = make([]error, len(e.blocks))
 	for i := range e.blocks {
 		e.start[i] = make(chan blockJob)
-		go e.worker(i)
+		go workerLabeled("block", i, func() { e.worker(i) })
 	}
 	return e, nil
+}
+
+// SetCollector attaches (or, with nil, detaches) a telemetry sink.
+// Must not be called concurrently with Run/RunIters. A worker's Lo/Hi
+// span is its grid block's row range; workers in column 0 additionally
+// accumulate their block row's reduction time.
+func (e *BlockExecutor) SetCollector(c obs.Collector) {
+	e.collector = c
+	if c == nil {
+		e.stats = nil
+		return
+	}
+	e.stats = make([]obs.ChunkStat, len(e.blocks))
+	for i, b := range e.blocks {
+		ri := i / e.gridC
+		e.stats[i] = obs.ChunkStat{Worker: i, Lo: e.rowB[ri], Hi: e.rowB[ri+1], NNZ: b.NNZ()}
+	}
 }
 
 func maxInt(a, b int) int {
@@ -88,7 +112,13 @@ func maxInt(a, b int) int {
 
 func (e *BlockExecutor) worker(idx int) {
 	for j := range e.start[idx] {
-		e.errs[idx] = e.runBlockJob(idx, j)
+		if j.stats == nil {
+			e.errs[idx] = e.runBlockJob(idx, j)
+		} else {
+			t0 := time.Now()
+			e.errs[idx] = e.runBlockJob(idx, j)
+			j.stats[idx].Busy += time.Since(t0)
+		}
 		e.wg.Done()
 	}
 }
@@ -133,8 +163,12 @@ func (e *BlockExecutor) runBlockJob(idx int, j blockJob) (err error) {
 func (e *BlockExecutor) Threads() int { return len(e.blocks) }
 
 // Run computes y = A*x. A failed multiply phase returns before the
-// reduction, leaving y untouched.
+// reduction, leaving y untouched. After Close, Run returns an error
+// wrapping core.ErrUsage.
 func (e *BlockExecutor) Run(y, x []float64) error {
+	if e.closed {
+		return errClosed()
+	}
 	rows := e.rowB[e.gridR]
 	cols := e.colB[e.gridC]
 	if err := core.CheckVectorDims(rows, cols, y, x); err != nil {
@@ -144,9 +178,16 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 	for i := range e.errs {
 		e.errs[i] = nil
 	}
+	var t0 time.Time
+	if e.collector != nil {
+		for i := range e.stats {
+			e.stats[i].Busy = 0
+		}
+		t0 = time.Now()
+	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- blockJob{x: x}
+		e.start[i] <- blockJob{x: x, stats: e.stats}
 	}
 	e.wg.Wait()
 	if err := errors.Join(e.errs...); err != nil {
@@ -154,9 +195,16 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- blockJob{x: x, y: y}
+		e.start[i] <- blockJob{x: x, y: y, stats: e.stats}
 	}
 	e.wg.Wait()
+	if e.collector != nil {
+		e.collector.RunDone(&obs.RunStat{
+			Partition: "block",
+			Wall:      time.Since(t0),
+			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
+		})
+	}
 	// Rows beyond the last grid boundary cannot exist (boundaries cover
 	// all rows), but zero-row grids leave y untouched; guard for safety.
 	return errors.Join(e.errs...)
@@ -173,9 +221,11 @@ func (e *BlockExecutor) RunIters(iters int, y, x []float64) error {
 	return nil
 }
 
-// Close stops the workers.
+// Close stops the workers. Run and RunIters return an error wrapping
+// core.ErrUsage afterwards; Close itself is idempotent.
 func (e *BlockExecutor) Close() {
 	e.once.Do(func() {
+		e.closed = true
 		for i := range e.start {
 			close(e.start[i])
 		}

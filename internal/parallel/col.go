@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"spmv/internal/core"
+	"spmv/internal/obs"
 )
 
 // ColExecutor runs column-partitioned multithreaded SpMV (§II-C).
@@ -20,16 +22,21 @@ type ColExecutor struct {
 	cols    int
 	private [][]float64
 
-	start []chan colJob
-	errs  []error
-	wg    sync.WaitGroup
-	once  sync.Once
+	start  []chan colJob
+	errs   []error
+	wg     sync.WaitGroup
+	once   sync.Once
+	closed bool
+
+	collector obs.Collector
+	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
 }
 
 type colJob struct {
 	x      []float64
 	y      []float64
-	reduce [2]int // row range this worker reduces
+	reduce [2]int          // row range this worker reduces
+	stats  []obs.ChunkStat // nil ⇒ workers skip timing entirely
 }
 
 // NewColExecutor partitions f into at most nthreads column chunks.
@@ -48,16 +55,39 @@ func NewColExecutor(f core.Format, nthreads int) (*ColExecutor, error) {
 	for i := range e.chunks {
 		e.private[i] = make([]float64, e.rows)
 		e.start[i] = make(chan colJob)
-		go e.worker(i)
+		go workerLabeled("col", i, func() { e.worker(i) })
 	}
 	return e, nil
+}
+
+// SetCollector attaches (or, with nil, detaches) a telemetry sink.
+// Must not be called concurrently with Run/RunIters. A worker's
+// reported busy time covers both its multiply and reduction phases;
+// its Lo/Hi span is its column range.
+func (e *ColExecutor) SetCollector(c obs.Collector) {
+	e.collector = c
+	if c == nil {
+		e.stats = nil
+		return
+	}
+	e.stats = make([]obs.ChunkStat, len(e.chunks))
+	for i, ch := range e.chunks {
+		lo, hi := ch.ColRange()
+		e.stats[i] = obs.ChunkStat{Worker: i, Lo: lo, Hi: hi, NNZ: ch.NNZ()}
+	}
 }
 
 func (e *ColExecutor) worker(i int) {
 	ch := e.chunks[i]
 	mine := e.private[i]
 	for j := range e.start[i] {
-		e.errs[i] = e.runColJob(ch, mine, j)
+		if j.stats == nil {
+			e.errs[i] = e.runColJob(ch, mine, j)
+		} else {
+			t0 := time.Now()
+			e.errs[i] = e.runColJob(ch, mine, j)
+			j.stats[i].Busy += time.Since(t0)
+		}
 		e.wg.Done()
 	}
 }
@@ -101,8 +131,12 @@ func (e *ColExecutor) Threads() int { return len(e.chunks) }
 
 // Run computes y = A*x: a multiply phase over column chunks, a barrier,
 // then a parallel reduction over row ranges. A failed multiply phase
-// returns before the reduction, leaving y untouched.
+// returns before the reduction, leaving y untouched. After Close, Run
+// returns an error wrapping core.ErrUsage.
 func (e *ColExecutor) Run(y, x []float64) error {
+	if e.closed {
+		return errClosed()
+	}
 	if err := core.CheckVectorDims(e.rows, e.cols, y, x); err != nil {
 		return fmt.Errorf("parallel: %w", err)
 	}
@@ -110,9 +144,16 @@ func (e *ColExecutor) Run(y, x []float64) error {
 	for i := range e.errs {
 		e.errs[i] = nil
 	}
+	var t0 time.Time
+	if e.collector != nil {
+		for i := range e.stats {
+			e.stats[i].Busy = 0
+		}
+		t0 = time.Now()
+	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- colJob{x: x}
+		e.start[i] <- colJob{x: x, stats: e.stats}
 	}
 	e.wg.Wait()
 	if err := errors.Join(e.errs...); err != nil {
@@ -122,9 +163,16 @@ func (e *ColExecutor) Run(y, x []float64) error {
 	for i := range e.start {
 		lo := i * e.rows / n
 		hi := (i + 1) * e.rows / n
-		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}}
+		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}, stats: e.stats}
 	}
 	e.wg.Wait()
+	if e.collector != nil {
+		e.collector.RunDone(&obs.RunStat{
+			Partition: "col",
+			Wall:      time.Since(t0),
+			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
+		})
+	}
 	return errors.Join(e.errs...)
 }
 
@@ -139,9 +187,11 @@ func (e *ColExecutor) RunIters(iters int, y, x []float64) error {
 	return nil
 }
 
-// Close stops the workers.
+// Close stops the workers. Run and RunIters return an error wrapping
+// core.ErrUsage afterwards; Close itself is idempotent.
 func (e *ColExecutor) Close() {
 	e.once.Do(func() {
+		e.closed = true
 		for i := range e.start {
 			close(e.start[i])
 		}

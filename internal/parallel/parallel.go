@@ -7,19 +7,32 @@
 // not per iteration. Row partitioning needs no reduction because chunks
 // write disjoint y ranges; the column- and block-partitioned executors
 // give each worker a private y and reduce, as §II-C prescribes.
+//
+// Every executor accepts an obs.Collector (SetCollector) that receives
+// per-run telemetry: per-chunk busy time, non-zero counts and load
+// imbalance. With no collector attached the instrumentation cost is one
+// nil check per Run and per chunk dispatch — no clock reads, no
+// allocation — so benchmarks with collection disabled measure the same
+// kernels the spmvlint compile gate baselines.
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"spmv/internal/core"
+	"spmv/internal/obs"
 )
 
 // Executor runs row-partitioned multithreaded SpMV for one matrix.
 // Create with NewExecutor, use Run/RunIters any number of times
-// (not concurrently), and Close when done.
+// (not concurrently), and Close when done. Run after Close returns an
+// error wrapping core.ErrUsage.
 //
 // The executor is fault-tolerant: operand lengths are validated before
 // any worker touches them, and a kernel panic inside a worker — the
@@ -32,14 +45,19 @@ type Executor struct {
 	cols   int
 	gaps   [][2]int // row ranges covered by no chunk (zeroed per run)
 
-	start []chan job
-	errs  []error // per-worker error slot for the current run
-	wg    sync.WaitGroup
-	once  sync.Once
+	start  []chan job
+	errs   []error // per-worker error slot for the current run
+	wg     sync.WaitGroup
+	once   sync.Once
+	closed bool
+
+	collector obs.Collector
+	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
 }
 
 type job struct {
-	y, x []float64
+	y, x  []float64
+	stats []obs.ChunkStat // nil ⇒ workers skip timing entirely
 }
 
 // NewExecutor partitions f into at most nthreads nnz-balanced row
@@ -71,15 +89,46 @@ func NewExecutor(f core.Format, nthreads int) (*Executor, error) {
 	e.errs = make([]error, len(e.chunks))
 	for i := range e.chunks {
 		e.start[i] = make(chan job)
-		go e.worker(i)
+		go workerLabeled("row", i, func() { e.worker(i) })
 	}
 	return e, nil
+}
+
+// workerLabeled runs fn as a worker goroutine body with pprof labels
+// identifying the partition scheme and worker index, so CPU profiles of
+// a multithreaded run attribute samples to individual workers.
+func workerLabeled(partition string, i int, fn func()) {
+	pprof.Do(context.Background(),
+		pprof.Labels("spmv_partition", partition, "spmv_worker", strconv.Itoa(i)),
+		func(context.Context) { fn() })
+}
+
+// SetCollector attaches (or, with nil, detaches) a telemetry sink.
+// Must not be called concurrently with Run/RunIters — set it up right
+// after construction, alongside the executor's other configuration.
+func (e *Executor) SetCollector(c obs.Collector) {
+	e.collector = c
+	if c == nil {
+		e.stats = nil
+		return
+	}
+	e.stats = make([]obs.ChunkStat, len(e.chunks))
+	for i, ch := range e.chunks {
+		lo, hi := ch.RowRange()
+		e.stats[i] = obs.ChunkStat{Worker: i, Lo: lo, Hi: hi, NNZ: ch.NNZ()}
+	}
 }
 
 func (e *Executor) worker(i int) {
 	ch := e.chunks[i]
 	for j := range e.start[i] {
-		e.errs[i] = runChunk(ch, j.y, j.x)
+		if j.stats == nil {
+			e.errs[i] = runChunk(ch, j.y, j.x)
+		} else {
+			t0 := time.Now()
+			e.errs[i] = runChunk(ch, j.y, j.x)
+			j.stats[i].Busy += time.Since(t0)
+		}
 		e.wg.Done()
 	}
 }
@@ -105,17 +154,28 @@ func chunkError(lo, hi int, r any) error {
 	return fmt.Errorf("parallel: chunk rows [%d,%d): %w", lo, hi, core.PanicError(r))
 }
 
+// errClosed is the typed error every executor returns from Run and
+// RunIters after Close; errors.Is(err, core.ErrUsage) holds. Before
+// this the send on the closed start channel panicked.
+func errClosed() error {
+	return core.Usagef("parallel: Run on closed executor")
+}
+
 // Threads returns the number of workers (may be less than requested
 // for small matrices).
 func (e *Executor) Threads() int { return len(e.chunks) }
 
 // Run computes y = A*x using all workers and blocks until complete.
-// It returns an error if the operand lengths do not cover the matrix
-// dimensions, or if any worker's kernel panicked (the error names the
-// offending chunk's row range and wraps the core sentinels). On error
-// y is left partially written; the matrix itself is untouched, so the
-// caller can Verify it and retry or fail over.
+// It returns an error if the executor is closed, if the operand
+// lengths do not cover the matrix dimensions, or if any worker's
+// kernel panicked (the error names the offending chunk's row range and
+// wraps the core sentinels). On error y is left partially written; the
+// matrix itself is untouched, so the caller can Verify it and retry or
+// fail over.
 func (e *Executor) Run(y, x []float64) error {
+	if e.closed {
+		return errClosed()
+	}
 	if err := core.CheckVectorDims(e.rows, e.cols, y, x); err != nil {
 		return fmt.Errorf("parallel: %w", err)
 	}
@@ -127,11 +187,27 @@ func (e *Executor) Run(y, x []float64) error {
 	for i := range e.errs {
 		e.errs[i] = nil
 	}
+	var t0 time.Time
+	if e.collector != nil {
+		for i := range e.stats {
+			e.stats[i].Busy = 0
+		}
+		t0 = time.Now()
+	}
 	e.wg.Add(len(e.chunks))
 	for i := range e.start {
-		e.start[i] <- job{y: y, x: x}
+		e.start[i] <- job{y: y, x: x, stats: e.stats}
 	}
 	e.wg.Wait()
+	if e.collector != nil {
+		// Workers are quiescent after Wait, so handing the collector a
+		// copy of the stats buffer is race-free.
+		e.collector.RunDone(&obs.RunStat{
+			Partition: "row",
+			Wall:      time.Since(t0),
+			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
+		})
+	}
 	return errors.Join(e.errs...)
 }
 
@@ -147,9 +223,11 @@ func (e *Executor) RunIters(iters int, y, x []float64) error {
 	return nil
 }
 
-// Close stops the workers. The Executor must not be used afterwards.
+// Close stops the workers. Run and RunIters return an error wrapping
+// core.ErrUsage afterwards; Close itself is idempotent.
 func (e *Executor) Close() {
 	e.once.Do(func() {
+		e.closed = true
 		for i := range e.start {
 			close(e.start[i])
 		}

@@ -80,6 +80,7 @@ import (
 	"spmv/internal/jds"
 	"spmv/internal/matfile"
 	"spmv/internal/mmio"
+	"spmv/internal/obs"
 	"spmv/internal/parallel"
 	"spmv/internal/precond"
 	"spmv/internal/reorder"
@@ -277,6 +278,28 @@ func NewColExecutor(f Format, nthreads int) (*ColExecutor, error) {
 func NewBlockExecutor(c *COO, gridR, gridC int) (*BlockExecutor, error) {
 	return parallel.NewBlockExecutor(c, gridR, gridC)
 }
+
+// Observability. Every executor accepts a Collector via SetCollector;
+// with none attached the runtime cost is a nil check per run.
+type (
+	// Collector receives one RunStat per completed executor run.
+	Collector = obs.Collector
+	// RunStat is the telemetry of one parallel SpMV run.
+	RunStat = obs.RunStat
+	// ChunkStat is one worker's share of a run.
+	ChunkStat = obs.ChunkStat
+	// Recorder is a thread-safe aggregating Collector.
+	Recorder = obs.Recorder
+)
+
+// NewRecorder returns an empty telemetry recorder, ready to pass to an
+// executor's SetCollector.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// BytesPerSpMV estimates the memory traffic of one cold-cache SpMV on
+// f (matrix stream plus the dense vectors) — the numerator of the
+// effective-bandwidth figure GB/s = BytesPerSpMV / secs / 1e9.
+func BytesPerSpMV(f Format) int64 { return obs.BytesPerSpMV(f) }
 
 // Solvers.
 type (

@@ -18,6 +18,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== race"
+# Second pass over the concurrency-heavy packages: persistent-worker
+# executors and the telemetry layer (collectors report from worker
+# goroutines while readers snapshot concurrently). -count=2 defeats
+# the test cache and catches ordering-dependent races.
+go test -race -count=2 ./internal/parallel/... ./internal/obs/...
+
 echo "== spmvlint"
 # Layer 1: project-specific AST/type rules (panics, verifier,
 # droppederr, floateq, hotpath). Layer 2: compile gate diffing
