@@ -8,6 +8,7 @@
 package spmv_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -273,6 +274,44 @@ func BenchmarkSolverCG(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkBatchRHS measures the batched multi-vector kernels: one
+// pass over the matrix stream feeding k result vectors. Each cell
+// reports ns/vector and the modeled bytes/vector — the figure that
+// must fall with k, since the matrix stream is read once regardless of
+// panel width. The amortization argument is per-thread, so the cells
+// run the serial fused kernels; RunBatch parallelizes the same loops.
+func BenchmarkBatchRHS(b *testing.B) {
+	benchSetup()
+	c := benchMats.largeQ // ttu >> 5: both index and value compression apply
+	for _, entry := range []struct {
+		name string
+		f    spmv.Format
+	}{
+		{"csr", mustFmt(spmv.NewCSR(c))},
+		{"csr-du", mustFmt(spmv.NewCSRDU(c))},
+		{"csr-vi", mustFmt(spmv.NewCSRVI(c))},
+		{"csr-du-vi", mustFmt(spmv.NewCSRDUVI(c))},
+	} {
+		f := entry.f
+		for _, k := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/k=%d", entry.name, k), func(b *testing.B) {
+				x := make([]float64, f.Cols()*k)
+				y := make([]float64, f.Rows()*k)
+				for i := range x {
+					x[i] = float64(i%9) - 4
+				}
+				b.SetBytes(spmv.BytesPerSpMM(f, k))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					spmv.SpMVBatch(f, y, x, k)
+				}
+				b.ReportMetric(spmv.BytesPerVector(f, k), "bytes/vector")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/vector")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,55 @@
+package spmv
+
+import (
+	"spmv/internal/formats"
+)
+
+// BuildOption configures Build. The zero configuration builds CSR with
+// default encoder settings.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	name string
+	opts formats.Options
+}
+
+// WithFormat selects the storage format by registry name ("csr",
+// "csr-du", "csr-vi", "csr-du-vi", "ell", ...); see FormatNames for the
+// full list. An unknown name surfaces from Build as an ErrUsage listing
+// every valid name.
+func WithFormat(name string) BuildOption {
+	return func(c *buildConfig) { c.name = name }
+}
+
+// WithDUOptions passes explicit CSR-DU encoder options (RLE units, unit
+// split thresholds) to the delta-unit family ("csr-du", "csr-du-rle",
+// "csr-du-vi"). Other formats ignore it.
+func WithDUOptions(o DUOptions) BuildOption {
+	return func(c *buildConfig) { c.opts.DU = o }
+}
+
+// WithWorkers sets the number of concurrent encoder workers for formats
+// with a parallel builder (currently the CSR-DU family): 0 or 1 encodes
+// serially, n > 1 uses n workers, negative means GOMAXPROCS. The
+// encoded stream is byte-identical to the serial encoder's.
+func WithWorkers(n int) BuildOption {
+	return func(c *buildConfig) { c.opts.Workers = n }
+}
+
+// Build constructs a sparse matrix from triplets under functional
+// options — the one-stop replacement for the NewXxx constructor family:
+//
+//	m, err := spmv.Build(c, spmv.WithFormat("csr-du"),
+//		spmv.WithDUOptions(spmv.DUOptions{RLE: true}),
+//		spmv.WithWorkers(8))
+//
+// With no options it builds baseline CSR. Every NewXxx constructor
+// remains supported and returns its concrete type; Build returns the
+// Format interface, which is what the executors and solvers take.
+func Build(c *COO, opts ...BuildOption) (Format, error) {
+	cfg := buildConfig{name: "csr"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return formats.BuildOpts(cfg.name, c, cfg.opts)
+}

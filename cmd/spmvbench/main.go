@@ -8,6 +8,13 @@
 //	spmvbench [-experiment all|table2|table3|table4|fig7|fig8]
 //	          [-scale 0.25] [-iters 10] [-threads 1,2,4,8] [-v]
 //	          [-metrics] [-debug localhost:6060]
+//	          [-rhs 1,2,4,8] [-rhsmatrix banded-l-q128]
+//
+// With -rhs the tables are replaced by the multi-RHS sweep: batched
+// SpMV (RunBatch) over row-major n×k panels at each listed k, per
+// format, reporting seconds and modeled bytes per result vector. The
+// matrix stream is read once per multiplication regardless of k, so
+// bytes-per-vector falls towards the dense-vector floor as k grows.
 //
 // With -metrics the tables are replaced by a single JSON document on
 // stdout: per matrix, per format and per thread count the measured
@@ -45,6 +52,8 @@ func main() {
 	verify := flag.Bool("verify", false, "structurally verify every built format before timing it")
 	metrics := flag.Bool("metrics", false, "emit a JSON metrics report on stdout instead of tables")
 	debugAddr := flag.String("debug", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	rhs := flag.String("rhs", "", "comma-separated RHS panel widths: run the batched multi-vector sweep instead of the tables")
+	rhsMatrix := flag.String("rhsmatrix", "banded-l-q128", "suite matrix for the -rhs sweep")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -93,6 +102,31 @@ func main() {
 			}
 		}()
 		note("# debug: http://%s/debug/vars and /debug/pprof\n", *debugAddr)
+	}
+
+	if *rhs != "" {
+		var ks []int
+		for _, s := range strings.Split(*rhs, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k <= 0 {
+				fmt.Fprintf(os.Stderr, "spmvbench: bad rhs count %q\n", s)
+				os.Exit(2)
+			}
+			ks = append(ks, k)
+		}
+		threads := cfg.Threads[len(cfg.Threads)-1]
+		note("# spmvbench: multi-RHS sweep, scale=%.3g, %d iterations, %d threads\n\n",
+			cfg.Scale, cfg.WarmIters, threads)
+		points, err := bench.RHSSweep(cfg, *rhsMatrix, threads, ks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.PrintRHS(os.Stdout, points, *rhsMatrix, threads); err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	need := map[string]bool{}

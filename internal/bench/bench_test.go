@@ -480,3 +480,61 @@ func TestMetricsSimMode(t *testing.T) {
 		}
 	}
 }
+
+func TestRHSSweepShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Native = true
+	points, err := RHSSweep(cfg, "banded-l-q128", 2, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// csr + 2 cfg formats, 3 widths each, in order.
+	if len(points) != 9 {
+		t.Fatalf("points = %d, want 9", len(points))
+	}
+	byFmt := map[string]map[int]RHSPoint{}
+	for _, p := range points {
+		if byFmt[p.Format] == nil {
+			byFmt[p.Format] = map[int]RHSPoint{}
+		}
+		byFmt[p.Format][p.K] = p
+		if p.SecsPerSpMM <= 0 || p.SecsPerVector <= 0 || p.BytesPerVector <= 0 {
+			t.Errorf("%s k=%d: non-positive measurement %+v", p.Format, p.K, p)
+		}
+	}
+	for _, name := range []string{"csr", "csr-du", "csr-vi"} {
+		cells := byFmt[name]
+		if len(cells) != 3 {
+			t.Fatalf("%s: %d cells, want 3", name, len(cells))
+		}
+		// The modeled traffic must amortize: one matrix stream over k
+		// vectors. Timing at test scale is too noisy to assert on.
+		if !(cells[8].BytesPerVector < cells[4].BytesPerVector &&
+			cells[4].BytesPerVector < cells[1].BytesPerVector) {
+			t.Errorf("%s: bytes/vector not falling with k: %v %v %v", name,
+				cells[1].BytesPerVector, cells[4].BytesPerVector, cells[8].BytesPerVector)
+		}
+	}
+
+	var buf strings.Builder
+	if err := PrintRHS(&buf, points, "banded-l-q128", 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"csr-du", "bytes/vector", "k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintRHS output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRHSSweepErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.Native = true
+	if _, err := RHSSweep(cfg, "nope", 2, []int{1}); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+	if _, err := RHSSweep(cfg, "banded-l-q128", 2, []int{0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

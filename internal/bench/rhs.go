@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/obs"
+	"spmv/internal/parallel"
+)
+
+// RHSPoint is one (format, k) cell of the multi-RHS sweep: wall time
+// per batched multiplication, the per-vector share of it, and the
+// modeled per-vector memory traffic (the quantity batching amortizes).
+type RHSPoint struct {
+	Format string
+	K      int
+	// SecsPerSpMM is the steady-state wall seconds of one k-column
+	// batched multiplication.
+	SecsPerSpMM float64
+	// SecsPerVector is SecsPerSpMM/k — the cost attributable to each
+	// result vector.
+	SecsPerVector float64
+	// BytesPerVector is obs.BytesPerVector(f, k): one matrix stream
+	// shared by k vector panels.
+	BytesPerVector float64
+	// GBps is the effective per-vector bandwidth,
+	// BytesPerVector / SecsPerVector / 1e9.
+	GBps float64
+}
+
+// RHSSweep measures batched SpMV on one suite matrix across the given
+// panel widths for CSR plus each cfg.Formats entry: the multi-RHS
+// analogue of the bandwidth sweep. One pass over the compressed matrix
+// stream feeds k result vectors, so BytesPerVector — and, on a
+// bandwidth-bound machine, SecsPerVector — must fall as k grows.
+// Native (wall-clock) mode only.
+func RHSSweep(cfg Config, matrix string, threads int, ks []int) ([]RHSPoint, error) {
+	spec, err := findSpec(matrix)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 2
+	}
+	c := spec.Gen(cfg.Scale)
+	var points []RHSPoint
+	for _, name := range append([]string{"csr"}, cfg.Formats...) {
+		f, err := buildFormat(name, c)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", matrix, name, err)
+		}
+		for _, k := range ks {
+			if k <= 0 {
+				return nil, fmt.Errorf("bench: invalid rhs count %d", k)
+			}
+			s, err := measureBatch(cfg, f, threads, k)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s k=%d: %w", matrix, name, k, err)
+			}
+			bpv := obs.BytesPerVector(f, k)
+			spv := s / float64(k)
+			points = append(points, RHSPoint{
+				Format: name, K: k,
+				SecsPerSpMM:    s,
+				SecsPerVector:  spv,
+				BytesPerVector: bpv,
+				GBps:           obs.GBps(int64(bpv), spv),
+			})
+		}
+	}
+	return points, nil
+}
+
+// measureBatch times RunBatchIters like measureNative times RunIters:
+// a fixed untimed warm-up, then exactly cfg.WarmIters timed batched
+// multiplications.
+func measureBatch(cfg Config, f core.Format, threads, k int) (float64, error) {
+	e, err := parallel.NewExecutor(f, threads)
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	x := make([]float64, f.Cols()*k)
+	y := make([]float64, f.Rows()*k)
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	if err := e.RunBatchIters(warmUpIters, y, x, k); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := e.RunBatchIters(cfg.WarmIters, y, x, k); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds() / float64(cfg.WarmIters), nil
+}
+
+// PrintRHS writes the sweep as a per-format table: one row per panel
+// width with per-vector time, modeled traffic and effective bandwidth.
+func PrintRHS(w io.Writer, points []RHSPoint, matrix string, threads int) error {
+	pr := &printer{w: w}
+	pr.f("Multi-RHS sweep: %s, %d threads (row-major panels, batched kernels)\n", matrix, threads)
+	pr.f("%10s %4s %14s %14s %16s %10s\n",
+		"format", "k", "s/SpMM", "s/vector", "bytes/vector", "GB/s")
+	last := ""
+	for _, p := range points {
+		if last != "" && p.Format != last {
+			pr.ln()
+		}
+		last = p.Format
+		pr.f("%10s %4d %14.4g %14.4g %16.0f %10.2f\n",
+			p.Format, p.K, p.SecsPerSpMM, p.SecsPerVector, p.BytesPerVector, p.GBps)
+	}
+	return pr.err
+}

@@ -1,0 +1,107 @@
+package core
+
+// Batched (multi-vector) SpMV, also called SpMM: Y = A*X where X packs
+// k right-hand-side vectors as a row-major cols×k panel (X[j*k+c] is
+// element j of vector c) and Y is the row-major rows×k result panel.
+//
+// Batching attacks the bandwidth wall from the workload side: the
+// matrix stream — the term the compression formats shrink — is read
+// once per multiplication regardless of k, so its cost is amortized
+// over k vectors. Every decoded CSR-DU ctl unit and every loaded
+// CSR-VI val_ind entry feeds k FMAs instead of one. The per-vector
+// traffic of one batched multiplication is
+//
+//	bytes_per_vector = SizeBytes(A)/k + 8*(rows+cols)
+//
+// which falls toward the irreducible vector traffic as k grows.
+
+// BatchFormat is a format with a fused batched kernel: one pass over
+// the matrix stream computes all k columns of the result panel. The
+// compressed formats implement it so their decode work, like their
+// stream bytes, is paid once per multiplication rather than once per
+// vector.
+type BatchFormat interface {
+	Format
+	// SpMVBatch computes Y = A*X over row-major panels, overwriting y.
+	// len(x) >= Cols()*k, len(y) >= Rows()*k, k >= 1. With k = 1 the
+	// result is bitwise identical to SpMV (same operations, same order).
+	SpMVBatch(y, x []float64, k int)
+}
+
+// BatchChunk is a row-partitioned chunk with a fused batched kernel.
+// Like Chunk.SpMV, SpMVBatch must only write the panel rows in the
+// chunk's row range, so disjoint chunks may run concurrently.
+type BatchChunk interface {
+	Chunk
+	SpMVBatch(y, x []float64, k int)
+}
+
+// CheckPanelDims validates batched operand shapes: k positive and the
+// panels long enough for the matrix dimensions. Errors wrap ErrUsage
+// (bad k) or ErrShape (short panels).
+func CheckPanelDims(rows, cols int, y, x []float64, k int) error {
+	if k <= 0 {
+		return Usagef("non-positive batch vector count %d", k)
+	}
+	if len(y) < rows*k {
+		return Shapef("len(y) %d < %d rows x %d vectors", len(y), rows, k)
+	}
+	if len(x) < cols*k {
+		return Shapef("len(x) %d < %d cols x %d vectors", len(x), cols, k)
+	}
+	return nil
+}
+
+// SpMVBatch computes Y = A*X over row-major panels, using f's fused
+// kernel when it implements BatchFormat and the per-column fallback
+// otherwise. Operands are trusted, as with Format.SpMV; use
+// SafeSpMVBatch at trust boundaries.
+func SpMVBatch(f Format, y, x []float64, k int) {
+	if bf, ok := f.(BatchFormat); ok {
+		bf.SpMVBatch(y, x, k)
+		return
+	}
+	BatchFallback(f, y, x, k)
+}
+
+// BatchFallback computes Y = A*X by running f's scalar kernel once per
+// panel column, gathering each right-hand side into a contiguous
+// vector and scattering the result back. It preserves SpMV's exact
+// arithmetic (so k = 1 matches SpMV bitwise) but re-streams the matrix
+// k times — correctness for every format, amortization for none.
+func BatchFallback(f Format, y, x []float64, k int) {
+	if k <= 0 {
+		panic(Usagef("core: batch with non-positive vector count %d", k))
+	}
+	rows, cols := f.Rows(), f.Cols()
+	if k == 1 {
+		f.SpMV(y[:rows], x[:cols])
+		return
+	}
+	xc := make([]float64, cols)
+	yc := make([]float64, rows)
+	for c := 0; c < k; c++ {
+		for j := range xc {
+			xc[j] = x[j*k+c]
+		}
+		f.SpMV(yc, xc)
+		for i, v := range yc {
+			y[i*k+c] = v
+		}
+	}
+}
+
+// SafeSpMVBatch is the batched analogue of SafeSpMV: panel shapes are
+// validated first and any kernel panic is converted to an error.
+func SafeSpMVBatch(f Format, y, x []float64, k int) (err error) {
+	if err := CheckPanelDims(f.Rows(), f.Cols(), y, x, k); err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = PanicError(r)
+		}
+	}()
+	SpMVBatch(f, y, x, k)
+	return nil
+}

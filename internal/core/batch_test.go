@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// stubFormat wraps a Dense as a Format that does NOT implement
+// BatchFormat, to exercise the fallback paths.
+type stubFormat struct{ d *Dense }
+
+func (s *stubFormat) Name() string        { return "stub" }
+func (s *stubFormat) Rows() int           { return s.d.R }
+func (s *stubFormat) Cols() int           { return s.d.C }
+func (s *stubFormat) NNZ() int            { return s.d.R * s.d.C }
+func (s *stubFormat) SizeBytes() int64    { return int64(len(s.d.V)) * ValSize }
+func (s *stubFormat) SpMV(y, x []float64) { s.d.SpMV(y, x) }
+
+func stubFrom(rows, cols int, vals []float64) *stubFormat {
+	d := NewDense(rows, cols)
+	copy(d.V, vals)
+	return &stubFormat{d: d}
+}
+
+func TestCheckPanelDims(t *testing.T) {
+	y := make([]float64, 6)
+	x := make([]float64, 4)
+	cases := []struct {
+		name    string
+		y, x    []float64
+		k       int
+		wantErr error
+	}{
+		{"ok", y, x, 2, nil},
+		{"zero k", y, x, 0, ErrUsage},
+		{"negative k", y, x, -3, ErrUsage},
+		{"short y", y[:5], x, 2, ErrShape},
+		{"short x", y, x[:3], 2, ErrShape},
+	}
+	for _, tc := range cases {
+		err := CheckPanelDims(3, 2, tc.y, tc.x, tc.k)
+		if tc.wantErr == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		} else if !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: got %v, want errors.Is(%v)", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestBatchFallback checks the gather/scatter fallback against an
+// explicit per-column product, and the bitwise k=1 contract.
+func TestBatchFallback(t *testing.T) {
+	f := stubFrom(3, 2, []float64{
+		1, 2,
+		0, 3,
+		4, 0,
+	})
+	const k = 3
+	x := []float64{ // 2x3 panel: column c is [x[c], x[k+c]]
+		1, 2, 3,
+		10, 20, 30,
+	}
+	y := make([]float64, 3*k)
+	BatchFallback(f, y, x, k)
+	for c := 0; c < k; c++ {
+		xc := []float64{x[c], x[k+c]}
+		yc := make([]float64, 3)
+		f.SpMV(yc, xc)
+		for i := range yc {
+			if got := y[i*k+c]; got != yc[i] {
+				t.Errorf("column %d row %d: got %g, want %g", c, i, got, yc[i])
+			}
+		}
+	}
+
+	// k=1 must hit the scalar kernel directly: bitwise equality.
+	x1 := []float64{math.Pi, math.E}
+	y1 := make([]float64, 3)
+	yref := make([]float64, 3)
+	BatchFallback(f, y1, x1, 1)
+	f.SpMV(yref, x1)
+	for i := range y1 {
+		if !SameBits(y1[i], yref[i]) {
+			t.Errorf("k=1 row %d: %x != SpMV %x",
+				i, math.Float64bits(y1[i]), math.Float64bits(yref[i]))
+		}
+	}
+}
+
+func TestSpMVBatchDispatch(t *testing.T) {
+	// stubFormat does not implement BatchFormat, so the package-level
+	// helper must take the fallback path and still fill the panel.
+	f := stubFrom(2, 2, []float64{1, 2, 3, 4})
+	x := []float64{1, 0, 0, 1} // identity panel, k=2
+	y := make([]float64, 4)
+	SpMVBatch(f, y, x, 2)
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestSafeSpMVBatch(t *testing.T) {
+	f := stubFrom(2, 2, []float64{1, 0, 0, 1})
+	y := make([]float64, 4)
+	x := make([]float64, 4)
+	if err := SafeSpMVBatch(f, y, x, 2); err != nil {
+		t.Fatalf("valid panel: %v", err)
+	}
+	if err := SafeSpMVBatch(f, y, x, 0); !errors.Is(err, ErrUsage) {
+		t.Errorf("k=0: got %v, want ErrUsage", err)
+	}
+	if err := SafeSpMVBatch(f, y[:3], x, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("short y: got %v, want ErrShape", err)
+	}
+}

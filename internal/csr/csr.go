@@ -151,43 +151,11 @@ func (m *Matrix) SpMVT(y, x []float64) {
 // and Y likewise. Blocking the vectors amortizes every matrix byte over
 // k FLOP pairs, raising arithmetic intensity — the same
 // bandwidth-relief goal as the paper's compression, achieved on the
-// workload side when the application has multiple vectors.
+// workload side when the application has multiple vectors. SpMM is the
+// historical name of SpMVBatch (core.BatchFormat); both run the same
+// fused kernel.
 func (m *Matrix) SpMM(y, x []float64, k int) {
-	if k <= 0 {
-		panic(core.Usagef("csr: SpMM with non-positive vector count"))
-	}
-	switch k {
-	case 4:
-		// Fixed-width accumulator for the common case.
-		for i := 0; i < m.rows; i++ {
-			var s0, s1, s2, s3 float64
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				v := m.Values[p]
-				base := int(m.ColInd[p]) * 4
-				s0 += v * x[base]
-				s1 += v * x[base+1]
-				s2 += v * x[base+2]
-				s3 += v * x[base+3]
-			}
-			base := i * 4
-			y[base], y[base+1], y[base+2], y[base+3] = s0, s1, s2, s3
-		}
-	default:
-		sums := make([]float64, k)
-		for i := 0; i < m.rows; i++ {
-			for c := range sums {
-				sums[c] = 0
-			}
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				v := m.Values[p]
-				base := int(m.ColInd[p]) * k
-				for c := 0; c < k; c++ {
-					sums[c] += v * x[base+c]
-				}
-			}
-			copy(y[i*k:(i+1)*k], sums)
-		}
-	}
+	m.SpMVBatch(y, x, k)
 }
 
 // ForEach calls fn for every non-zero in row-major order.

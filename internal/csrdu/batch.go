@@ -1,0 +1,347 @@
+package csrdu
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/varint"
+)
+
+// Batched SpMV (SpMM) for CSR-DU: the ctl bytecode is decoded once per
+// unit and the decoded deltas drive k FMA columns. Decode work — the
+// price CSR-DU pays for its smaller stream — is a per-multiplication
+// cost, so batching amortizes it together with the stream bytes: per
+// vector, both fall by 1/k.
+
+var (
+	_ core.BatchFormat = (*Matrix)(nil)
+	_ core.BatchChunk  = (*chunk)(nil)
+)
+
+// batchDecodeHook, when non-nil, receives the number of ctl units one
+// batch-kernel call decoded. It is the test hook behind the
+// amortization claim: a k-column batch must decode each unit once
+// (units == Stats().Units), not once per column. Nil outside tests;
+// the kernel pays one nil check per call.
+var batchDecodeHook func(units int)
+
+// SpMVBatch implements core.BatchFormat. len(x) >= Cols()*k,
+// len(y) >= Rows()*k; k = 1 is bitwise identical to SpMV.
+func (m *Matrix) SpMVBatch(y, x []float64, k int) {
+	(&chunk{m: m, lo: 0, hi: m.rows, ctlLo: 0, ctlHi: len(m.Ctl),
+		valLo: 0, valHi: len(m.Values), startMark: 0}).SpMVBatch(y, x, k)
+}
+
+// SpMVBatch implements core.BatchChunk: only panel rows [lo, hi) are
+// written, so disjoint chunks may run concurrently.
+func (c *chunk) SpMVBatch(y, x []float64, k int) {
+	switch {
+	case k == 1:
+		// The panel degenerates to the vector; the scalar kernel's
+		// operation order is the bitwise-k=1 contract.
+		c.SpMV(y, x)
+		return
+	case k <= 0:
+		panic(core.Usagef("csrdu: batch with non-positive vector count %d", k))
+	}
+	yr := y[c.lo*k : c.hi*k]
+	for i := range yr {
+		yr[i] = 0
+	}
+	if c.startMark < 0 {
+		return
+	}
+	var units int
+	if k == 4 {
+		units = c.spmvBatch4(y, x)
+	} else {
+		units = c.spmvBatchK(y, x, k)
+	}
+	if batchDecodeHook != nil {
+		batchDecodeHook(units)
+	}
+}
+
+// spmvBatch4 is the k=4 kernel: the four row accumulators stay in
+// registers across the whole unit, flushed once per row like the scalar
+// kernel's sum. Returns the number of units decoded.
+func (c *chunk) spmvBatch4(y, x []float64) int {
+	m := c.m
+	ctl := m.Ctl
+	values := m.Values
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	var s0, s1, s2, s3 float64
+	first := true
+	units := 0
+
+	for pos < c.ctlHi {
+		units++
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				// Anchor on the chunk's first row: the encoded row jump
+				// is relative to the previous chunk's last row.
+				yi = m.marks[c.startMark].row
+				first = false
+			} else {
+				yr := y[yi*4:]
+				yr = yr[:4]
+				yr[0] += s0
+				yr[1] += s1
+				yr[2] += s2
+				yr[3] += s3
+				s0, s1, s2, s3 = 0, 0, 0, 0
+				yi += int(skip)
+			}
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		{
+			v := values[vi]
+			xr := x[xi*4:]
+			xr = xr[:4]
+			s0 += v * xr[0]
+			s1 += v * xr[1]
+			s2 += v * xr[2]
+			s3 += v * xr[3]
+		}
+		vi++
+
+		n := size - 1
+		if flags&FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			delta := int(d)
+			for _, v := range values[vi : vi+n] {
+				xi += delta
+				xr := x[xi*4:]
+				xr = xr[:4]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+			}
+			vi += n
+			continue
+		}
+		vals := values[vi : vi+n]
+		vi += n
+		switch flags & TypeMask {
+		case ClassU8:
+			deltas := ctl[pos : pos+n]
+			pos += n
+			deltas = deltas[:len(vals)]
+			for p, v := range vals {
+				xi += int(deltas[p])
+				xr := x[xi*4:]
+				xr = xr[:4]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+			}
+		case ClassU16:
+			b := ctl[pos : pos+2*n]
+			pos += 2 * n
+			for p, v := range vals {
+				d := b[2*p:]
+				_ = d[1]
+				xi += int(uint16(d[0]) | uint16(d[1])<<8)
+				xr := x[xi*4:]
+				xr = xr[:4]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+			}
+		case ClassU32:
+			b := ctl[pos : pos+4*n]
+			pos += 4 * n
+			for p, v := range vals {
+				d := b[4*p:]
+				_ = d[3]
+				xi += int(uint32(d[0]) | uint32(d[1])<<8 |
+					uint32(d[2])<<16 | uint32(d[3])<<24)
+				xr := x[xi*4:]
+				xr = xr[:4]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+			}
+		default:
+			b := ctl[pos : pos+8*n]
+			pos += 8 * n
+			for p, v := range vals {
+				d := b[8*p:]
+				_ = d[7]
+				xi += int(uint64(d[0]) | uint64(d[1])<<8 |
+					uint64(d[2])<<16 | uint64(d[3])<<24 |
+					uint64(d[4])<<32 | uint64(d[5])<<40 |
+					uint64(d[6])<<48 | uint64(d[7])<<56)
+				xr := x[xi*4:]
+				xr = xr[:4]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+			}
+		}
+	}
+	if !first {
+		yr := y[yi*4:]
+		yr = yr[:4]
+		yr[0] += s0
+		yr[1] += s1
+		yr[2] += s2
+		yr[3] += s3
+	}
+	return units
+}
+
+// spmvBatchK is the generic-width kernel: one heap-allocated accumulator
+// row of k sums, flushed into the output panel on each row change.
+// Returns the number of units decoded.
+func (c *chunk) spmvBatchK(y, x []float64, k int) int {
+	m := c.m
+	ctl := m.Ctl
+	values := m.Values
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	acc := make([]float64, k)
+	first := true
+	units := 0
+
+	for pos < c.ctlHi {
+		units++
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				yi = m.marks[c.startMark].row
+				first = false
+			} else {
+				yr := y[yi*k:]
+				yr = yr[:len(acc)]
+				for cc, s := range acc {
+					yr[cc] += s
+					acc[cc] = 0
+				}
+				yi += int(skip)
+			}
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		{
+			v := values[vi]
+			xr := x[xi*k:]
+			xr = xr[:len(acc)]
+			for cc, xv := range xr {
+				acc[cc] += v * xv
+			}
+		}
+		vi++
+
+		n := size - 1
+		if flags&FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			delta := int(d)
+			for _, v := range values[vi : vi+n] {
+				xi += delta
+				xr := x[xi*k:]
+				xr = xr[:len(acc)]
+				for cc, xv := range xr {
+					acc[cc] += v * xv
+				}
+			}
+			vi += n
+			continue
+		}
+		vals := values[vi : vi+n]
+		vi += n
+		switch flags & TypeMask {
+		case ClassU8:
+			deltas := ctl[pos : pos+n]
+			pos += n
+			deltas = deltas[:len(vals)]
+			for p, v := range vals {
+				xi += int(deltas[p])
+				xr := x[xi*k:]
+				xr = xr[:len(acc)]
+				for cc, xv := range xr {
+					acc[cc] += v * xv
+				}
+			}
+		case ClassU16:
+			b := ctl[pos : pos+2*n]
+			pos += 2 * n
+			for p, v := range vals {
+				d := b[2*p:]
+				_ = d[1]
+				xi += int(uint16(d[0]) | uint16(d[1])<<8)
+				xr := x[xi*k:]
+				xr = xr[:len(acc)]
+				for cc, xv := range xr {
+					acc[cc] += v * xv
+				}
+			}
+		case ClassU32:
+			b := ctl[pos : pos+4*n]
+			pos += 4 * n
+			for p, v := range vals {
+				d := b[4*p:]
+				_ = d[3]
+				xi += int(uint32(d[0]) | uint32(d[1])<<8 |
+					uint32(d[2])<<16 | uint32(d[3])<<24)
+				xr := x[xi*k:]
+				xr = xr[:len(acc)]
+				for cc, xv := range xr {
+					acc[cc] += v * xv
+				}
+			}
+		default:
+			b := ctl[pos : pos+8*n]
+			pos += 8 * n
+			for p, v := range vals {
+				d := b[8*p:]
+				_ = d[7]
+				xi += int(uint64(d[0]) | uint64(d[1])<<8 |
+					uint64(d[2])<<16 | uint64(d[3])<<24 |
+					uint64(d[4])<<32 | uint64(d[5])<<40 |
+					uint64(d[6])<<48 | uint64(d[7])<<56)
+				xr := x[xi*k:]
+				xr = xr[:len(acc)]
+				for cc, xv := range xr {
+					acc[cc] += v * xv
+				}
+			}
+		}
+	}
+	if !first {
+		yr := y[yi*k:]
+		yr = yr[:len(acc)]
+		for cc, s := range acc {
+			yr[cc] += s
+		}
+	}
+	return units
+}

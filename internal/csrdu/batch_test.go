@@ -1,0 +1,71 @@
+package csrdu
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+// countBatchDecodes installs the decode-counter hook for the duration
+// of the test and returns the accumulated unit count.
+func countBatchDecodes(t *testing.T) *int {
+	t.Helper()
+	total := new(int)
+	batchDecodeHook = func(units int) { *total += units }
+	t.Cleanup(func() { batchDecodeHook = nil })
+	return total
+}
+
+// TestBatchDecodesOncePerUnit is the amortization guarantee behind the
+// batched kernel: a k-column multiplication decodes the ctl stream
+// exactly once — the unit count equals Stats().Units, independent of k.
+func TestBatchDecodesOncePerUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := matgen.Banded(rng, 800, 30, 9, matgen.Values{})
+	m, err := FromCOOOpts(c, Options{RLE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Stats().Units
+	if want == 0 {
+		t.Fatal("degenerate test matrix: no units")
+	}
+	for _, k := range []int{2, 4, 8} {
+		total := countBatchDecodes(t)
+		y := make([]float64, m.Rows()*k)
+		x := make([]float64, m.Cols()*k)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		m.SpMVBatch(y, x, k)
+		if *total != want {
+			t.Errorf("k=%d: decoded %d units, want %d (one decode per unit)", k, *total, want)
+		}
+	}
+}
+
+// TestBatchChunksDecodeOncePerUnit runs the batched kernel over a row
+// partition: the chunks' unit counts must sum to the whole matrix's.
+func TestBatchChunksDecodeOncePerUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := matgen.Banded(rng, 800, 30, 9, matgen.Values{})
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	total := countBatchDecodes(t)
+	y := make([]float64, m.Rows()*k)
+	x := make([]float64, m.Cols()*k)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for _, ch := range m.Split(5) {
+		ch.(core.BatchChunk).SpMVBatch(y, x, k)
+	}
+	if want := m.Stats().Units; *total != want {
+		t.Errorf("chunks decoded %d units total, want %d", *total, want)
+	}
+}

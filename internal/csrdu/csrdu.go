@@ -63,6 +63,13 @@ type Options struct {
 	// produce fewer, wider units; smaller values produce more, tighter
 	// units.
 	MinSwitch int
+	// Workers is the number of concurrent encoder workers. 0 or 1
+	// encodes serially (the zero value keeps the historical behaviour);
+	// n > 1 uses n workers; negative means GOMAXPROCS. The parallel
+	// encoder's output is byte-identical to the serial encoder's, so
+	// Workers is purely a construction-time knob. Small matrices encode
+	// serially regardless.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,8 +115,18 @@ func FromCOO(c *core.COO) (*Matrix, error) { return FromCOOOpts(c, Options{}) }
 
 // FromCOOOpts encodes a triplet matrix into CSR-DU. The COO is finalized
 // in place if needed. Encoding is a single O(nnz) scan, matching the
-// paper's claim that construction has no asymptotic overhead over CSR.
+// paper's claim that construction has no asymptotic overhead over CSR;
+// Options.Workers spreads that scan over concurrent row-block encoders
+// with byte-identical output.
 func FromCOOOpts(c *core.COO, opts Options) (*Matrix, error) {
+	if opts.Workers != 0 && opts.Workers != 1 {
+		return fromCOOParallel(c, opts)
+	}
+	return fromCOOSerial(c, opts)
+}
+
+// fromCOOSerial is the single-threaded encoder.
+func fromCOOSerial(c *core.COO, opts Options) (*Matrix, error) {
 	c.Finalize()
 	if c.Len() > math.MaxInt32 {
 		return nil, fmt.Errorf("csrdu: %d non-zeros exceed supported range", c.Len())

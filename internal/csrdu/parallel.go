@@ -8,20 +8,36 @@ import (
 )
 
 // FromCOOParallel encodes with nworkers concurrent encoders (0 means
-// GOMAXPROCS). The matrix is cut into row blocks, each encoded
-// independently (CSR-DU units never span rows, so block streams
-// concatenate losslessly after the marks are rebased), giving near-
-// linear construction speedup on multicores. Each block's encoder is
-// seeded with the previous block's last row, so the concatenated
-// stream is byte-identical to the serial encoder's output.
+// GOMAXPROCS).
+//
+// Deprecated: set Options.Workers and call FromCOOOpts instead; the
+// worker count is an encoder option, not a separate constructor. This
+// wrapper remains for compatibility and maps nworkers <= 0 to
+// Workers = -1 (GOMAXPROCS).
 func FromCOOParallel(c *core.COO, opts Options, nworkers int) (*Matrix, error) {
+	if nworkers <= 0 {
+		nworkers = -1
+	}
+	opts.Workers = nworkers
+	return FromCOOOpts(c, opts)
+}
+
+// fromCOOParallel is the multi-worker encoder behind Options.Workers.
+// The matrix is cut into row blocks, each encoded independently
+// (CSR-DU units never span rows, so block streams concatenate
+// losslessly after the marks are rebased), giving near-linear
+// construction speedup on multicores. Each block's encoder is seeded
+// with the previous block's last row, so the concatenated stream is
+// byte-identical to the serial encoder's output.
+func fromCOOParallel(c *core.COO, opts Options) (*Matrix, error) {
 	c.Finalize()
+	nworkers := opts.Workers
 	if nworkers <= 0 {
 		nworkers = runtime.GOMAXPROCS(0)
 	}
 	n := c.Len()
 	if nworkers == 1 || n < 1<<14 {
-		return FromCOOOpts(c, opts)
+		return fromCOOSerial(c, opts)
 	}
 
 	// Block boundaries at row edges, near-equal nnz.

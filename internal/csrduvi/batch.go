@@ -1,0 +1,167 @@
+package csrduvi
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/csrdu"
+	"spmv/internal/varint"
+)
+
+// Batched SpMV (SpMM) for CSR-DU-VI: one pass decodes each ctl unit
+// once and loads each val_ind entry once, and the resulting (delta,
+// value) pair feeds k FMA columns. Both decode overheads — the index
+// side's and the value side's — become per-multiplication costs,
+// amortized over the panel.
+
+var (
+	_ core.BatchFormat = (*Matrix)(nil)
+	_ core.BatchChunk  = (*chunk)(nil)
+)
+
+// batchDecodeHook, when non-nil, receives the number of ctl units one
+// batch-kernel call decoded (units == Stats().Units across a full
+// matrix, regardless of k). Nil outside tests; the kernel pays one nil
+// check per call.
+var batchDecodeHook func(units int)
+
+// SpMVBatch implements core.BatchFormat. len(x) >= Cols()*k,
+// len(y) >= Rows()*k; k = 1 is bitwise identical to SpMV.
+func (m *Matrix) SpMVBatch(y, x []float64, k int) {
+	(&chunk{m: m, lo: 0, hi: m.Rows(), ctlLo: 0, ctlHi: len(m.du.Ctl),
+		valLo: 0, valHi: m.NNZ(), startMark: 0}).SpMVBatch(y, x, k)
+}
+
+// SpMVBatch implements core.BatchChunk: only panel rows [lo, hi) are
+// written, so disjoint chunks may run concurrently.
+func (c *chunk) SpMVBatch(y, x []float64, k int) {
+	switch {
+	case k == 1:
+		// The panel degenerates to the vector; the scalar kernel's
+		// operation order is the bitwise-k=1 contract.
+		c.SpMV(y, x)
+		return
+	case k <= 0:
+		panic(core.Usagef("csrduvi: batch with non-positive vector count %d", k))
+	}
+	yr := y[c.lo*k : c.hi*k]
+	for i := range yr {
+		yr[i] = 0
+	}
+	if c.startMark < 0 {
+		return
+	}
+	var units int
+	switch {
+	case c.m.VI8 != nil:
+		units = spmvBatchDUVI(c, y, x, k, func(vi int) float64 { return c.m.Unique[c.m.VI8[vi]] })
+	case c.m.VI16 != nil:
+		units = spmvBatchDUVI(c, y, x, k, func(vi int) float64 { return c.m.Unique[c.m.VI16[vi]] })
+	default:
+		units = spmvBatchDUVI(c, y, x, k, func(vi int) float64 { return c.m.Unique[c.m.VI32[vi]] })
+	}
+	if batchDecodeHook != nil {
+		batchDecodeHook(units)
+	}
+}
+
+// spmvBatchDUVI is duviKernel widened to a k-column accumulator row,
+// parameterized on the value source like the scalar kernel. It returns
+// the number of units decoded.
+func spmvBatchDUVI(c *chunk, y, x []float64, k int, val func(int) float64) int {
+	m := c.m
+	ctl := m.du.Ctl
+	pos := c.ctlLo
+	vi := c.valLo
+	yi := -1
+	xi := 0
+	acc := make([]float64, k)
+	first := true
+	units := 0
+	for pos < c.ctlHi {
+		units++
+		flags := ctl[pos]
+		size := int(ctl[pos+1])
+		pos += 2
+		if flags&csrdu.FlagNR != 0 {
+			var skip uint64 = 1
+			if flags&csrdu.FlagRJMP != 0 {
+				skip, pos = varint.DecodeAt(ctl, pos)
+			}
+			if first {
+				yi = m.marks[c.startMark].Row
+				first = false
+			} else {
+				yr := y[yi*k:]
+				yr = yr[:len(acc)]
+				for cc, s := range acc {
+					yr[cc] += s
+					acc[cc] = 0
+				}
+				yi += int(skip)
+			}
+			xi = 0
+		}
+		var j uint64
+		j, pos = varint.DecodeAt(ctl, pos)
+		xi += int(j)
+		{
+			v := val(vi)
+			xr := x[xi*k:]
+			xr = xr[:len(acc)]
+			for cc, xv := range xr {
+				acc[cc] += v * xv
+			}
+		}
+		vi++
+		if flags&csrdu.FlagRLE != 0 {
+			var d uint64
+			d, pos = varint.DecodeAt(ctl, pos)
+			delta := int(d)
+			for p := 1; p < size; p++ {
+				xi += delta
+				v := val(vi)
+				xr := x[xi*k:]
+				xr = xr[:len(acc)]
+				for cc, xv := range xr {
+					acc[cc] += v * xv
+				}
+				vi++
+			}
+			continue
+		}
+		cls := uint(flags & csrdu.TypeMask)
+		for p := 1; p < size; p++ {
+			var d int
+			switch cls {
+			case csrdu.ClassU8:
+				d = int(ctl[pos])
+			case csrdu.ClassU16:
+				d = int(uint16(ctl[pos]) | uint16(ctl[pos+1])<<8)
+			case csrdu.ClassU32:
+				d = int(uint32(ctl[pos]) | uint32(ctl[pos+1])<<8 |
+					uint32(ctl[pos+2])<<16 | uint32(ctl[pos+3])<<24)
+			default:
+				d = int(uint64(ctl[pos]) | uint64(ctl[pos+1])<<8 |
+					uint64(ctl[pos+2])<<16 | uint64(ctl[pos+3])<<24 |
+					uint64(ctl[pos+4])<<32 | uint64(ctl[pos+5])<<40 |
+					uint64(ctl[pos+6])<<48 | uint64(ctl[pos+7])<<56)
+			}
+			pos += 1 << cls
+			xi += d
+			v := val(vi)
+			xr := x[xi*k:]
+			xr = xr[:len(acc)]
+			for cc, xv := range xr {
+				acc[cc] += v * xv
+			}
+			vi++
+		}
+	}
+	if !first {
+		yr := y[yi*k:]
+		yr = yr[:len(acc)]
+		for cc, s := range acc {
+			yr[cc] += s
+		}
+	}
+	return units
+}

@@ -1,0 +1,38 @@
+package csrduvi
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmv/internal/matgen"
+)
+
+// TestBatchDecodesOncePerUnit: the combined format inherits both
+// amortizations — one ctl decode pass per multiplication (checked here
+// via the unit count) with the val_ind load fused into the same pass.
+func TestBatchDecodesOncePerUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := matgen.Banded(rng, 700, 25, 8, matgen.Values{Unique: 100})
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Stats().Units
+	if want == 0 {
+		t.Fatal("degenerate test matrix: no units")
+	}
+	for _, k := range []int{2, 4, 8} {
+		units := 0
+		batchDecodeHook = func(n int) { units += n }
+		y := make([]float64, m.Rows()*k)
+		x := make([]float64, m.Cols()*k)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		m.SpMVBatch(y, x, k)
+		batchDecodeHook = nil
+		if units != want {
+			t.Errorf("k=%d: decoded %d units, want %d (one decode per unit)", k, units, want)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 package formats
 
 import (
-	"fmt"
+	"strings"
 
 	"spmv/internal/bcsr"
 	"spmv/internal/cds"
@@ -23,8 +23,39 @@ import (
 	"spmv/internal/vbr"
 )
 
-// Build constructs the named format from a triplet matrix.
+// Options configure BuildOpts. The zero value reproduces Build's
+// defaults exactly.
+type Options struct {
+	// DU carries encoder options for the CSR-DU family ("csr-du",
+	// "csr-du-rle", "csr-du-vi"). Other formats ignore it. For
+	// "csr-du-rle" the RLE flag is forced on regardless.
+	DU csrdu.Options
+	// Workers is the construction worker count for formats with a
+	// parallel builder (currently the CSR-DU family); it overrides
+	// DU.Workers when non-zero. 0 keeps DU.Workers, 1 forces serial,
+	// negative means GOMAXPROCS.
+	Workers int
+}
+
+// du resolves the CSR-DU encoder options, folding Workers in.
+func (o Options) du() csrdu.Options {
+	opts := o.DU
+	if o.Workers != 0 {
+		opts.Workers = o.Workers
+	}
+	return opts
+}
+
+// Build constructs the named format from a triplet matrix with default
+// options.
 func Build(name string, c *core.COO) (core.Format, error) {
+	return BuildOpts(name, c, Options{})
+}
+
+// BuildOpts constructs the named format from a triplet matrix. An
+// unknown name returns an error wrapping core.ErrUsage that lists the
+// valid names.
+func BuildOpts(name string, c *core.COO, o Options) (core.Format, error) {
 	switch name {
 	case "csr":
 		return csr.FromCOO(c)
@@ -33,13 +64,15 @@ func Build(name string, c *core.COO) (core.Format, error) {
 	case "csr32":
 		return csr.From32(c)
 	case "csr-du":
-		return csrdu.FromCOO(c)
+		return csrdu.FromCOOOpts(c, o.du())
 	case "csr-du-rle":
-		return csrdu.FromCOOOpts(c, csrdu.Options{RLE: true})
+		opts := o.du()
+		opts.RLE = true
+		return csrdu.FromCOOOpts(c, opts)
 	case "csr-vi":
 		return csrvi.FromCOO(c)
 	case "csr-du-vi":
-		return csrduvi.FromCOO(c)
+		return csrduvi.FromCOOOpts(c, o.du())
 	case "dcsr":
 		return dcsr.FromCOO(c)
 	case "csc":
@@ -61,7 +94,8 @@ func Build(name string, c *core.COO) (core.Format, error) {
 	case "sym-csr":
 		return sym.FromCOO(c, 1e-12)
 	default:
-		return nil, fmt.Errorf("formats: unknown format %q", name)
+		return nil, core.Usagef("formats: unknown format %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
 	}
 }
 

@@ -44,10 +44,15 @@ type ChunkStat struct {
 	Busy time.Duration `json:"busy_ns"`
 }
 
-// RunStat is the telemetry of one Executor.Run call.
+// RunStat is the telemetry of one Executor.Run or RunBatch call.
 type RunStat struct {
 	// Partition names the execution scheme: "row", "col" or "block".
 	Partition string `json:"partition"`
+	// Vectors is the number of right-hand-side vectors the run computed:
+	// 1 for Run, the panel width k for RunBatch. Bandwidth accounting
+	// must divide by it — a batched run moves the matrix stream once for
+	// Vectors results.
+	Vectors int `json:"vectors"`
 	// Wall is the caller-observed duration of the whole Run, including
 	// dispatch and barriers.
 	Wall time.Duration `json:"wall_ns"`
@@ -149,6 +154,28 @@ func (t tee) RunDone(s *RunStat) {
 // of the effective-bandwidth metric.
 func BytesPerSpMV(f core.Format) int64 {
 	return core.WorkingSetOf(f)
+}
+
+// BytesPerSpMM estimates the memory traffic of one batched Y = A*X
+// over k right-hand sides with a cold cache: the matrix stream is read
+// once — that is the point of batching — while the panels contribute k
+// vectors' worth of reads and writes.
+func BytesPerSpMM(f core.Format, k int) int64 {
+	if k < 1 {
+		k = 1
+	}
+	return f.SizeBytes() + int64(k)*core.VectorBytes(f.Rows(), f.Cols(), core.ValSize)
+}
+
+// BytesPerVector is the per-result-vector traffic of one batched
+// multiplication: BytesPerSpMM(f, k)/k. At k=1 it equals BytesPerSpMV;
+// as k grows it falls toward the irreducible vector traffic, which is
+// the honest denominator for GB/s-per-vector comparisons across k.
+func BytesPerVector(f core.Format, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return float64(BytesPerSpMM(f, k)) / float64(k)
 }
 
 // GBps converts a per-iteration byte estimate and a seconds-per-

@@ -145,6 +145,51 @@ func TestBytesPerSpMV(t *testing.T) {
 	}
 }
 
+func TestBytesPerSpMM(t *testing.T) {
+	f := fakeFormat{rows: 10, cols: 20, nnz: 5, size: 1000}
+	// One matrix stream plus k panels of x and y.
+	for _, k := range []int{1, 4, 8} {
+		want := int64(1000 + k*(10+20)*8)
+		if got := BytesPerSpMM(f, k); got != want {
+			t.Errorf("BytesPerSpMM(k=%d) = %d, want %d", k, got, want)
+		}
+	}
+	// k=1 agrees with the scalar estimate, and k<1 clamps to it.
+	if BytesPerSpMM(f, 1) != BytesPerSpMV(f) {
+		t.Error("BytesPerSpMM(f, 1) != BytesPerSpMV(f)")
+	}
+	if BytesPerSpMM(f, 0) != BytesPerSpMV(f) {
+		t.Error("BytesPerSpMM(f, 0) did not clamp k to 1")
+	}
+	// Per-vector traffic falls monotonically with k: the matrix stream
+	// amortizes.
+	if !(BytesPerVector(f, 8) < BytesPerVector(f, 4) &&
+		BytesPerVector(f, 4) < BytesPerVector(f, 1)) {
+		t.Errorf("BytesPerVector not decreasing: k1=%v k4=%v k8=%v",
+			BytesPerVector(f, 1), BytesPerVector(f, 4), BytesPerVector(f, 8))
+	}
+}
+
+func TestRecorderVectors(t *testing.T) {
+	r := NewRecorder()
+	s := sampleRun()
+	r.RunDone(s) // legacy producer: Vectors zero counts as one vector
+	s2 := sampleRun()
+	s2.Vectors = 8
+	r.RunDone(s2)
+	snap := r.Snapshot()
+	if snap.Vectors != 9 {
+		t.Errorf("total vectors = %d, want 9", snap.Vectors)
+	}
+	if snap.Last.Vectors != 8 {
+		t.Errorf("last vectors = %d, want 8", snap.Last.Vectors)
+	}
+	r.Reset()
+	if r.Snapshot().Vectors != 0 {
+		t.Error("Reset did not clear vector count")
+	}
+}
+
 func TestGBps(t *testing.T) {
 	// 1e9 bytes in 1 second is 1 GB/s.
 	if got := GBps(1e9, 1.0); !closeTo(got, 1.0, 1e-12) {

@@ -14,6 +14,7 @@ type Recorder struct {
 	mu sync.Mutex
 
 	runs      int
+	vectors   int
 	wall      time.Duration
 	busy      time.Duration
 	sumTimeIm float64
@@ -30,13 +31,18 @@ func (r *Recorder) RunDone(s *RunStat) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.runs++
+	if s.Vectors > 1 {
+		r.vectors += s.Vectors
+	} else {
+		r.vectors++ // legacy producers leave Vectors zero
+	}
 	r.wall += s.Wall
 	r.busy += s.Busy()
 	r.sumTimeIm += im
 	if im > r.maxTimeIm {
 		r.maxTimeIm = im
 	}
-	r.last = RunStat{Partition: s.Partition, Wall: s.Wall,
+	r.last = RunStat{Partition: s.Partition, Vectors: s.Vectors, Wall: s.Wall,
 		Chunks: append([]ChunkStat(nil), s.Chunks...)}
 }
 
@@ -44,6 +50,11 @@ func (r *Recorder) RunDone(s *RunStat) {
 type Snapshot struct {
 	// Runs is the number of completed Run calls observed.
 	Runs int `json:"runs"`
+	// Vectors is the total number of result vectors those runs
+	// produced: a scalar Run adds 1, a RunBatch adds its panel width.
+	// Wall/Vectors is the mean seconds per result vector — the honest
+	// denominator when batched and scalar runs are mixed.
+	Vectors int `json:"vectors"`
 	// Wall is the summed wall time of those runs; Wall/Runs is the
 	// mean seconds per SpMV as the executor saw it.
 	Wall time.Duration `json:"wall_ns"`
@@ -62,9 +73,10 @@ func (r *Recorder) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Runs: r.runs, Wall: r.wall, Busy: r.busy,
+		Runs: r.runs, Vectors: r.vectors, Wall: r.wall, Busy: r.busy,
 		MaxTimeImbalance: r.maxTimeIm,
-		Last: RunStat{Partition: r.last.Partition, Wall: r.last.Wall,
+		Last: RunStat{Partition: r.last.Partition, Vectors: r.last.Vectors,
+			Wall:   r.last.Wall,
 			Chunks: append([]ChunkStat(nil), r.last.Chunks...)},
 	}
 	if r.runs > 0 {
@@ -84,7 +96,7 @@ func (r *Recorder) Runs() int {
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.runs, r.wall, r.busy = 0, 0, 0
+	r.runs, r.vectors, r.wall, r.busy = 0, 0, 0, 0
 	r.sumTimeIm, r.maxTimeIm = 0, 0
 	r.last = RunStat{}
 }

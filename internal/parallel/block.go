@@ -32,6 +32,8 @@ type BlockExecutor struct {
 	once   sync.Once
 	closed bool
 
+	scratchY, scratchX []float64 // RunBatch per-column scratch
+
 	collector obs.Collector
 	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
 }
@@ -201,6 +203,7 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 	if e.collector != nil {
 		e.collector.RunDone(&obs.RunStat{
 			Partition: "block",
+			Vectors:   1,
 			Wall:      time.Since(t0),
 			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
 		})
@@ -208,6 +211,40 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 	// Rows beyond the last grid boundary cannot exist (boundaries cover
 	// all rows), but zero-row grids leave y untouched; guard for safety.
 	return errors.Join(e.errs...)
+}
+
+// RunBatch computes Y = A*X over row-major n×k panels by running the
+// block-partitioned scalar pipeline once per panel column. As with the
+// column executor, the reduction phase shares y across workers, so
+// there is no fused multi-vector path.
+func (e *BlockExecutor) RunBatch(y, x []float64, k int) error {
+	if e.closed {
+		return errClosed()
+	}
+	rows := e.rowB[e.gridR]
+	cols := e.colB[e.gridC]
+	if err := core.CheckPanelDims(rows, cols, y, x, k); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	if k == 1 {
+		return e.Run(y[:rows], x[:cols])
+	}
+	if e.scratchY == nil {
+		e.scratchY = make([]float64, rows)
+		e.scratchX = make([]float64, cols)
+	}
+	return runBatchColumns(y, x, k, e.scratchY, e.scratchX, e.Run)
+}
+
+// RunBatchIters performs iters consecutive batched multiplications.
+// It stops at the first failing iteration.
+func (e *BlockExecutor) RunBatchIters(iters int, y, x []float64, k int) error {
+	for n := 0; n < iters; n++ {
+		if err := e.RunBatch(y, x, k); err != nil {
+			return fmt.Errorf("iteration %d: %w", n, err)
+		}
+	}
+	return nil
 }
 
 // RunIters performs iters consecutive SpMV operations. It stops at the

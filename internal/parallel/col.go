@@ -28,6 +28,8 @@ type ColExecutor struct {
 	once   sync.Once
 	closed bool
 
+	scratchY, scratchX []float64 // RunBatch per-column scratch
+
 	collector obs.Collector
 	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
 }
@@ -169,11 +171,45 @@ func (e *ColExecutor) Run(y, x []float64) error {
 	if e.collector != nil {
 		e.collector.RunDone(&obs.RunStat{
 			Partition: "col",
+			Vectors:   1,
 			Wall:      time.Since(t0),
 			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
 		})
 	}
 	return errors.Join(e.errs...)
+}
+
+// RunBatch computes Y = A*X over row-major n×k panels by running the
+// column-partitioned scalar pipeline once per panel column. Column
+// partitioning reduces into a shared y, so there is no fused multi-
+// vector path; RunBatch exists for Runner parity and correctness, not
+// amortization — use the row-partitioned executor for batched work.
+func (e *ColExecutor) RunBatch(y, x []float64, k int) error {
+	if e.closed {
+		return errClosed()
+	}
+	if err := core.CheckPanelDims(e.rows, e.cols, y, x, k); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	if k == 1 {
+		return e.Run(y[:e.rows], x[:e.cols])
+	}
+	if e.scratchY == nil {
+		e.scratchY = make([]float64, e.rows)
+		e.scratchX = make([]float64, e.cols)
+	}
+	return runBatchColumns(y, x, k, e.scratchY, e.scratchX, e.Run)
+}
+
+// RunBatchIters performs iters consecutive batched multiplications.
+// It stops at the first failing iteration.
+func (e *ColExecutor) RunBatchIters(iters int, y, x []float64, k int) error {
+	for n := 0; n < iters; n++ {
+		if err := e.RunBatch(y, x, k); err != nil {
+			return fmt.Errorf("iteration %d: %w", n, err)
+		}
+	}
+	return nil
 }
 
 // RunIters performs iters consecutive SpMV operations. It stops at the

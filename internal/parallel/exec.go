@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+
+	"spmv/internal/core"
+	"spmv/internal/obs"
+)
+
+// Runner is the interface all executors in this package satisfy: the
+// scalar and batched run entry points plus lifecycle and telemetry.
+// Code that only drives multiplications (benchmarks, solvers, the CLI)
+// should accept a Runner so the partition scheme stays a construction-
+// time choice.
+type Runner interface {
+	// Run computes y = A*x.
+	Run(y, x []float64) error
+	// RunIters performs iters consecutive scalar multiplications.
+	RunIters(iters int, y, x []float64) error
+	// RunBatch computes Y = A*X over row-major n×k panels.
+	RunBatch(y, x []float64, k int) error
+	// RunBatchIters performs iters consecutive batched multiplications.
+	RunBatchIters(iters int, y, x []float64, k int) error
+	// Threads returns the worker count.
+	Threads() int
+	// SetCollector attaches (or detaches, with nil) a telemetry sink.
+	SetCollector(obs.Collector)
+	// Close stops the workers; Run afterwards wraps core.ErrUsage.
+	Close()
+}
+
+var (
+	_ Runner = (*Executor)(nil)
+	_ Runner = (*ColExecutor)(nil)
+	_ Runner = (*BlockExecutor)(nil)
+)
+
+// ExecOptions configures New.
+type ExecOptions struct {
+	// Threads is the worker count; 0 or negative means GOMAXPROCS.
+	Threads int
+	// Collector, when non-nil, is attached with SetCollector.
+	Collector obs.Collector
+	// Partition selects the execution scheme: "row" (the default, also
+	// selected by ""), or "col". Block partitioning needs the original
+	// triplets, not a built format — use NewBlockExecutor directly.
+	Partition string
+}
+
+// New builds an executor for f according to opts. It is the options
+// counterpart of NewExecutor/NewColExecutor and the construction path
+// the public spmv package exposes.
+func New(f core.Format, opts ExecOptions) (Runner, error) {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	var (
+		r   Runner
+		err error
+	)
+	switch opts.Partition {
+	case "", "row":
+		r, err = NewExecutor(f, threads)
+	case "col":
+		r, err = NewColExecutor(f, threads)
+	default:
+		return nil, core.Usagef("parallel: unknown partition %q (valid: row, col)", opts.Partition)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Collector != nil {
+		r.SetCollector(opts.Collector)
+	}
+	return r, nil
+}
+
+// runBatchColumns is the executor-level batch fallback shared by the
+// reducing executors: gather each panel column into contiguous scratch
+// vectors, run the scalar executor, scatter the result column back.
+// The scalar path's own telemetry fires once per column, each an
+// honest single-vector run.
+func runBatchColumns(y, x []float64, k int, yc, xc []float64, run func(y, x []float64) error) error {
+	for c := 0; c < k; c++ {
+		for j := range xc {
+			xc[j] = x[j*k+c]
+		}
+		if err := run(yc, xc); err != nil {
+			return fmt.Errorf("batch column %d: %w", c, err)
+		}
+		for i, v := range yc {
+			y[i*k+c] = v
+		}
+	}
+	return nil
+}

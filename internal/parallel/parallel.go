@@ -44,6 +44,7 @@ type Executor struct {
 	rows   int
 	cols   int
 	gaps   [][2]int // row ranges covered by no chunk (zeroed per run)
+	batch  bool     // every chunk implements core.BatchChunk
 
 	start  []chan job
 	errs   []error // per-worker error slot for the current run
@@ -51,12 +52,19 @@ type Executor struct {
 	once   sync.Once
 	closed bool
 
+	// Per-column scratch for the RunBatch fallback on formats without a
+	// fused batch kernel; allocated on first use. scratchY is zeroed at
+	// allocation and chunk-owned rows are overwritten every run, so gap
+	// rows stay zero without per-run work.
+	scratchY, scratchX []float64
+
 	collector obs.Collector
 	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
 }
 
 type job struct {
 	y, x  []float64
+	k     int             // panel width; <= 1 ⇒ scalar SpMV
 	stats []obs.ChunkStat // nil ⇒ workers skip timing entirely
 }
 
@@ -84,6 +92,13 @@ func NewExecutor(f core.Format, nthreads int) (*Executor, error) {
 	}
 	if next < e.rows {
 		e.gaps = append(e.gaps, [2]int{next, e.rows})
+	}
+	e.batch = true
+	for _, ch := range e.chunks {
+		if _, ok := ch.(core.BatchChunk); !ok {
+			e.batch = false
+			break
+		}
 	}
 	e.start = make([]chan job, len(e.chunks))
 	e.errs = make([]error, len(e.chunks))
@@ -123,10 +138,10 @@ func (e *Executor) worker(i int) {
 	ch := e.chunks[i]
 	for j := range e.start[i] {
 		if j.stats == nil {
-			e.errs[i] = runChunk(ch, j.y, j.x)
+			e.errs[i] = runChunk(ch, j)
 		} else {
 			t0 := time.Now()
-			e.errs[i] = runChunk(ch, j.y, j.x)
+			e.errs[i] = runChunk(ch, j)
 			j.stats[i].Busy += time.Since(t0)
 		}
 		e.wg.Done()
@@ -134,15 +149,21 @@ func (e *Executor) worker(i int) {
 }
 
 // runChunk executes one chunk kernel with panic containment, so a
-// corrupt stream takes down one Run call, not the process.
-func runChunk(ch core.Chunk, y, x []float64) (err error) {
+// corrupt stream takes down one Run call, not the process. Jobs with
+// k > 1 run the chunk's fused batch kernel; RunBatch only dispatches
+// them when every chunk implements core.BatchChunk.
+func runChunk(ch core.Chunk, j job) (err error) {
 	lo, hi := ch.RowRange()
 	defer func() {
 		if r := recover(); r != nil {
 			err = chunkError(lo, hi, r)
 		}
 	}()
-	ch.SpMV(y, x)
+	if j.k > 1 {
+		ch.(core.BatchChunk).SpMVBatch(j.y, j.x, j.k)
+	} else {
+		ch.SpMV(j.y, j.x)
+	}
 	return nil
 }
 
@@ -194,21 +215,103 @@ func (e *Executor) Run(y, x []float64) error {
 		}
 		t0 = time.Now()
 	}
-	e.wg.Add(len(e.chunks))
-	for i := range e.start {
-		e.start[i] <- job{y: y, x: x, stats: e.stats}
-	}
-	e.wg.Wait()
+	e.dispatch(job{y: y, x: x, stats: e.stats})
 	if e.collector != nil {
 		// Workers are quiescent after Wait, so handing the collector a
 		// copy of the stats buffer is race-free.
 		e.collector.RunDone(&obs.RunStat{
 			Partition: "row",
+			Vectors:   1,
 			Wall:      time.Since(t0),
 			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
 		})
 	}
 	return errors.Join(e.errs...)
+}
+
+// dispatch hands one job to every worker and blocks until all finish.
+func (e *Executor) dispatch(j job) {
+	e.wg.Add(len(e.chunks))
+	for i := range e.start {
+		e.start[i] <- j
+	}
+	e.wg.Wait()
+}
+
+// RunBatch computes Y = A*X over row-major n×k panels (X[j*k+c] is
+// element j of right-hand side c) using all workers. When every chunk
+// has a fused batch kernel the matrix stream is traversed — and, for
+// the compressed formats, decoded — once for all k vectors; otherwise
+// the executor gathers each panel column into scratch vectors and runs
+// the scalar kernels k times (correct, but without the amortization).
+// Error semantics match Run; on a collector the whole batch is one
+// RunStat with Vectors = k.
+func (e *Executor) RunBatch(y, x []float64, k int) error {
+	if e.closed {
+		return errClosed()
+	}
+	if err := core.CheckPanelDims(e.rows, e.cols, y, x, k); err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	if k == 1 {
+		return e.Run(y[:e.rows], x[:e.cols])
+	}
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
+	var t0 time.Time
+	if e.collector != nil {
+		for i := range e.stats {
+			e.stats[i].Busy = 0
+		}
+		t0 = time.Now()
+	}
+	if e.batch {
+		for _, g := range e.gaps {
+			yr := y[g[0]*k : g[1]*k]
+			for i := range yr {
+				yr[i] = 0
+			}
+		}
+		e.dispatch(job{y: y, x: x, k: k, stats: e.stats})
+	} else {
+		if e.scratchY == nil {
+			e.scratchY = make([]float64, e.rows)
+			e.scratchX = make([]float64, e.cols)
+		}
+		for c := 0; c < k; c++ {
+			for j := range e.scratchX {
+				e.scratchX[j] = x[j*k+c]
+			}
+			e.dispatch(job{y: e.scratchY, x: e.scratchX, stats: e.stats})
+			if err := errors.Join(e.errs...); err != nil {
+				return fmt.Errorf("batch column %d: %w", c, err)
+			}
+			for i, v := range e.scratchY {
+				y[i*k+c] = v
+			}
+		}
+	}
+	if e.collector != nil {
+		e.collector.RunDone(&obs.RunStat{
+			Partition: "row",
+			Vectors:   k,
+			Wall:      time.Since(t0),
+			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
+		})
+	}
+	return errors.Join(e.errs...)
+}
+
+// RunBatchIters performs iters consecutive batched multiplications,
+// reusing the same panels. It stops at the first failing iteration.
+func (e *Executor) RunBatchIters(iters int, y, x []float64, k int) error {
+	for n := 0; n < iters; n++ {
+		if err := e.RunBatch(y, x, k); err != nil {
+			return fmt.Errorf("iteration %d: %w", n, err)
+		}
+	}
+	return nil
 }
 
 // RunIters performs iters consecutive SpMV operations (the paper's

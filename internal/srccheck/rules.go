@@ -137,7 +137,7 @@ func IsHotFunc(name string) bool {
 		name = name[i+1:]
 	}
 	switch name {
-	case "SpMV", "SpMVAdd", "SpMVT", "SpMM",
+	case "SpMV", "SpMVAdd", "SpMVT", "SpMM", "SpMVBatch",
 		"Mul", "MulAdd", "MulTrans",
 		"Dot", "Axpy", "DecodeAt":
 		return true

@@ -125,7 +125,9 @@ func TestParseAllowlistErrors(t *testing.T) {
 }
 
 func TestIsHotFunc(t *testing.T) {
-	hot := []string{"SpMV", "SpMVAdd", "Mul", "Dot", "spmvRange", "decodeUnit", "addRange", "(*Matrix).SpMV"}
+	hot := []string{"SpMV", "SpMVAdd", "SpMVBatch", "Mul", "Dot", "spmvRange",
+		"spmvBatch4", "spmvBatchK", "decodeUnit", "addRange",
+		"(*Matrix).SpMV", "(*chunk).SpMVBatch"}
 	cold := []string{"FromCOO", "Verify", "Name", "String", "Split", "Print"}
 	for _, name := range hot {
 		if !IsHotFunc(name) {

@@ -6,6 +6,7 @@
 package testmat
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -150,6 +151,7 @@ func CheckFormat(t *testing.T, build Builder) {
 			}
 			checkMeta(t, f, tc.COO)
 			checkSpMV(t, f, tc.COO)
+			checkBatch(t, f, tc.COO)
 			if s, ok := f.(core.Splitter); ok {
 				checkSplit(t, f, s, tc.COO)
 			}
@@ -202,6 +204,103 @@ func checkSpMV(t *testing.T, f core.Format, c *core.COO) {
 		fa.SpMVAdd(acc, x)
 		AssertClose(t, "SpMVAdd", acc, wantAcc, 1e-10)
 	}
+}
+
+// checkBatch verifies the batched path (core.SpMVBatch: the format's
+// fused kernel when it implements core.BatchFormat, the per-column
+// fallback otherwise) against the dense reference, including the
+// bitwise k=1 contract and the batched chunk kernels.
+func checkBatch(t *testing.T, f core.Format, c *core.COO) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(101))
+	d := core.DenseFromCOO(c)
+	rows, cols := c.Rows(), c.Cols()
+
+	// k = 1: the panel degenerates to the vector, and the contract is
+	// bitwise equality with the scalar kernel.
+	x1 := RandVec(rng, cols)
+	wantScalar := make([]float64, rows)
+	f.SpMV(wantScalar, x1)
+	got1 := make([]float64, rows)
+	for i := range got1 {
+		got1[i] = math.NaN()
+	}
+	core.SpMVBatch(f, got1, x1, 1)
+	for i := range got1 {
+		if !core.SameBits(got1[i], wantScalar[i]) {
+			t.Fatalf("SpMVBatch k=1: element %d = %v, scalar SpMV = %v (must match bitwise)",
+				i, got1[i], wantScalar[i])
+		}
+	}
+
+	for _, k := range []int{2, 3, 4, 8} {
+		x := RandVec(rng, cols*k)
+		want := batchReference(d, x, k)
+		got := make([]float64, rows*k)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		core.SpMVBatch(f, got, x, k)
+		AssertClose(t, fmt.Sprintf("SpMVBatch k=%d", k), got, want, 1e-10)
+
+		// Batched chunk kernels: running every chunk must reproduce the
+		// full panel (rows no chunk covers are the executor's to zero).
+		s, ok := f.(core.Splitter)
+		if !ok {
+			continue
+		}
+		chunks := s.Split(3)
+		batched := len(chunks) > 0
+		for _, ch := range chunks {
+			if _, ok := ch.(core.BatchChunk); !ok {
+				batched = false
+			}
+		}
+		if !batched {
+			continue
+		}
+		cgot := make([]float64, rows*k)
+		for i := range cgot {
+			cgot[i] = math.NaN()
+		}
+		covered := make([]bool, rows)
+		for _, ch := range chunks {
+			ch.(core.BatchChunk).SpMVBatch(cgot, x, k)
+			lo, hi := ch.RowRange()
+			for i := lo; i < hi; i++ {
+				covered[i] = true
+			}
+		}
+		for i := range covered {
+			if covered[i] {
+				continue
+			}
+			for cc := 0; cc < k; cc++ {
+				if !core.IsZero(want[i*k+cc]) {
+					t.Fatalf("Split batch k=%d: uncovered row %d has non-zero result", k, i)
+				}
+				cgot[i*k+cc] = 0
+			}
+		}
+		AssertClose(t, fmt.Sprintf("chunked SpMVBatch k=%d", k), cgot, want, 1e-10)
+	}
+}
+
+// batchReference computes the dense reference panel column by column.
+func batchReference(d *core.Dense, x []float64, k int) []float64 {
+	want := make([]float64, d.R*k)
+	xc := make([]float64, d.C)
+	yc := make([]float64, d.R)
+	for c := 0; c < k; c++ {
+		for j := range xc {
+			xc[j] = x[j*k+c]
+		}
+		d.SpMV(yc, xc)
+		for i, v := range yc {
+			want[i*k+c] = v
+		}
+	}
+	return want
 }
 
 func checkSplit(t *testing.T, f core.Format, s core.Splitter, c *core.COO) {

@@ -24,10 +24,19 @@
 //
 //	c := spmv.NewCOO(rows, cols)
 //	c.Add(i, j, v) // ... assemble triplets
-//	m, err := spmv.NewCSRDU(c)
-//	e, err := spmv.NewExecutor(m, 8) // 8-way row-partitioned SpMV
+//	m, err := spmv.Build(c, spmv.WithFormat("csr-du"))
+//	e, err := spmv.NewExecutorOpts(m, spmv.ExecOptions{Threads: 8})
 //	defer e.Close()
 //	if err := e.Run(y, x); err != nil { // y = A*x on 8 goroutines
+//		log.Fatal(err)
+//	}
+//
+// With several right-hand sides, batch them into row-major n×k panels
+// and let one pass over the compressed matrix stream serve all k
+// vectors (see the "Batched SpMV" section of the README):
+//
+//	// X is cols×k, Y is rows×k, element (i, c) at [i*k+c].
+//	if err := e.RunBatch(Y, X, k); err != nil {
 //		log.Fatal(err)
 //	}
 //
@@ -160,6 +169,10 @@ func NewCSRDUOpts(c *COO, o DUOptions) (*CSRDU, error) { return csrdu.FromCOOOpt
 
 // NewCSRDUParallel builds CSR-DU with workers concurrent encoders
 // (0 = GOMAXPROCS); the stream is byte-identical to the serial encoder.
+//
+// Deprecated: set DUOptions.Workers and call NewCSRDUOpts (or Build
+// with WithWorkers), which folds the serial/parallel split into one
+// entry point. This wrapper remains for compatibility.
 func NewCSRDUParallel(c *COO, o DUOptions, workers int) (*CSRDU, error) {
 	return csrdu.FromCOOParallel(c, o, workers)
 }
@@ -239,6 +252,9 @@ var (
 	ErrTruncated = core.ErrTruncated
 	// ErrShape reports dimension mismatches (matrix/vector/section sizes).
 	ErrShape = core.ErrShape
+	// ErrUsage reports caller mistakes (unknown format name, bad panel
+	// width, running a closed executor).
+	ErrUsage = core.ErrUsage
 )
 
 // Verify structurally checks f if it implements Verifier and returns
@@ -250,6 +266,28 @@ func Verify(f Format) error { return core.Verify(f) }
 // Executor.Run's error handling.
 func SafeSpMV(f Format, y, x []float64) error { return core.SafeSpMV(f, y, x) }
 
+// Batched (multi-vector) SpMV. Panels are row-major: X is cols×k with
+// element j of vector c at X[j*k+c], Y is rows×k likewise. One pass
+// over the matrix stream computes all k products, so the per-vector
+// memory traffic falls as BytesPerSpMM(f, k)/k.
+
+// BatchFormat is a format with a fused multi-vector kernel. CSR,
+// CSR-DU, CSR-VI and CSR-DU-VI implement it; SpMVBatch falls back to a
+// per-column loop for every other format.
+type BatchFormat = core.BatchFormat
+
+// SpMVBatch computes the rows×k panel y = f*x serially, using f's fused
+// batch kernel when it has one. k=1 is bitwise identical to f.SpMV.
+// Panels must be at least rows*k and cols*k long; use SafeSpMVBatch for
+// checked dimensions.
+func SpMVBatch(f Format, y, x []float64, k int) { core.SpMVBatch(f, y, x, k) }
+
+// SafeSpMVBatch is SpMVBatch with panel-dimension validation and
+// kernel-panic containment.
+func SafeSpMVBatch(f Format, y, x []float64, k int) error {
+	return core.SafeSpMVBatch(f, y, x, k)
+}
+
 // Parallel runtime.
 type (
 	// Executor is the row-partitioned multithreaded SpMV driver.
@@ -259,16 +297,37 @@ type (
 	ColExecutor = parallel.ColExecutor
 	// BlockExecutor is the 2D block-partitioned driver.
 	BlockExecutor = parallel.BlockExecutor
+	// Runner is the interface all executors satisfy: scalar and batched
+	// runs, telemetry attachment, shutdown. NewExecutorOpts returns it.
+	Runner = parallel.Runner
+	// ExecOptions configures NewExecutorOpts.
+	ExecOptions = parallel.ExecOptions
 )
+
+// NewExecutorOpts starts an executor over f under one options struct:
+// Threads (<= 0 means GOMAXPROCS), an optional telemetry Collector, and
+// the Partition strategy ("row" or "", or "col" for formats that
+// support column splitting). An unknown partition is an ErrUsage.
+func NewExecutorOpts(f Format, o ExecOptions) (Runner, error) {
+	return parallel.New(f, o)
+}
 
 // NewExecutor starts a row-partitioned executor with up to nthreads
 // workers over f. Close it when done.
+//
+// Deprecated: use NewExecutorOpts, which names the partition strategy
+// and attaches the collector in one call. This constructor remains
+// fully supported and returns the concrete *Executor.
 func NewExecutor(f Format, nthreads int) (*Executor, error) {
 	return parallel.NewExecutor(f, nthreads)
 }
 
 // NewColExecutor starts a column-partitioned executor (f must support
 // column splitting; see NewCSC).
+//
+// Deprecated: use NewExecutorOpts with Partition: "col". This
+// constructor remains fully supported and returns the concrete
+// *ColExecutor.
 func NewColExecutor(f Format, nthreads int) (*ColExecutor, error) {
 	return parallel.NewColExecutor(f, nthreads)
 }
@@ -300,6 +359,17 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 // f (matrix stream plus the dense vectors) — the numerator of the
 // effective-bandwidth figure GB/s = BytesPerSpMV / secs / 1e9.
 func BytesPerSpMV(f Format) int64 { return obs.BytesPerSpMV(f) }
+
+// BytesPerSpMM estimates the traffic of one cold-cache k-column batched
+// multiplication: one matrix stream plus k panels of x and y. At k=1 it
+// equals BytesPerSpMV.
+func BytesPerSpMM(f Format, k int) int64 { return obs.BytesPerSpMM(f, k) }
+
+// BytesPerVector is BytesPerSpMM(f, k)/k — the per-result-vector
+// traffic, which falls towards the dense-vector floor as k grows. The
+// honest per-vector bandwidth of a batched run is
+// GB/s = BytesPerVector(f, k) / (secs/k) / 1e9.
+func BytesPerVector(f Format, k int) float64 { return obs.BytesPerVector(f, k) }
 
 // Solvers.
 type (

@@ -25,6 +25,11 @@ echo "== race"
 # the test cache and catches ordering-dependent races.
 go test -race -count=2 ./internal/parallel/... ./internal/obs/...
 
+echo "== spmvbench -rhs smoke"
+# Batched multi-vector path end to end: fused kernels + RunBatch +
+# the RHS sweep printer, at a scale that finishes in seconds.
+go run ./cmd/spmvbench -rhs 4 -scale 0.02 -iters 2 -threads 2 > /dev/null
+
 echo "== spmvlint"
 # Layer 1: project-specific AST/type rules (panics, verifier,
 # droppederr, floateq, hotpath). Layer 2: compile gate diffing
