@@ -159,3 +159,47 @@ func TestMatfilePublic(t *testing.T) {
 		t.Errorf("read back %s/%d", back.Name(), back.NNZ())
 	}
 }
+
+// TestProfilePublic exercises the profiling exports: the stream split
+// reconciles with the traffic model and a measured attribution divides
+// the bandwidth across streams.
+func TestProfilePublic(t *testing.T) {
+	c := matgen.Stencil2D(30)
+	f, err := spmv.BuildFormat("csr-du", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spmv.Profile(f)
+	var sum int64
+	for _, s := range p.Streams {
+		sum += s.Bytes
+	}
+	if sum != spmv.BytesPerSpMV(f) {
+		t.Errorf("stream bytes %d != BytesPerSpMV %d", sum, spmv.BytesPerSpMV(f))
+	}
+	if p.DU == nil || p.DU.Units == 0 {
+		t.Error("csr-du profile missing unit statistics")
+	}
+	a := spmv.AttributeBandwidth(p, 1e-3, nil)
+	if a.GBps <= 0 || len(a.Streams) != len(p.Streams) {
+		t.Errorf("attribution: %+v", a)
+	}
+
+	series := spmv.NewProfileSeries(4)
+	r, err := spmv.NewExecutorOpts(f, spmv.ExecOptions{Threads: 2, Collector: series})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	y := make([]float64, f.Rows())
+	x := make([]float64, f.Cols())
+	for i := 0; i < 3; i++ {
+		if err := r.Run(y, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := series.Doc()
+	if doc.Summary.Runs != 3 {
+		t.Errorf("series runs = %d, want 3", doc.Summary.Runs)
+	}
+}

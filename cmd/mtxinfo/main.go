@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	mtxinfo file.mtx [file2.mtx ...]
+//	mtxinfo [-verify] [-profile FORMAT] file.mtx [file2.mtx ...]
+//
+// With -profile FORMAT (e.g. -profile csr-du) each matrix additionally
+// gets the named format's full structural profile: the per-stream byte
+// split of the traffic model, the CSR-DU ctl-unit histograms and the
+// CSR-VI dictionary statistics where applicable.
 package main
 
 import (
@@ -17,12 +22,14 @@ import (
 	"spmv/internal/bench"
 	"spmv/internal/csrdu"
 	"spmv/internal/matgen"
+	"spmv/internal/prof"
 )
 
 func main() {
 	verify := flag.Bool("verify", false, "structurally verify every format built from the matrix; any failure exits non-zero")
+	profileFmt := flag.String("profile", "", "print the named format's structural profile (e.g. csr-du)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] file.mtx [file2.mtx ...]")
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] [-profile FORMAT] file.mtx [file2.mtx ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,7 +39,7 @@ func main() {
 	}
 	status := 0
 	for _, path := range flag.Args() {
-		if err := report(path, *verify); err != nil {
+		if err := report(path, *verify, *profileFmt); err != nil {
 			fmt.Fprintf(os.Stderr, "mtxinfo: %s: %v\n", path, err)
 			status = 1
 		}
@@ -40,7 +47,7 @@ func main() {
 	os.Exit(status)
 }
 
-func report(path string, verify bool) (err error) {
+func report(path string, verify bool, profileFmt string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -120,6 +127,16 @@ func report(path string, verify bool) (err error) {
 			break
 		}
 		fmt.Printf("    %d. %-9s %5.1f%%  %s\n", i+1, r.Format, 100*r.Ratio, r.Reason)
+	}
+	if profileFmt != "" {
+		pf, err := spmv.BuildFormat(profileFmt, c)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		fmt.Println()
+		if err := prof.New(pf).Fprint(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -9,6 +9,10 @@
 //	          [-scale 0.25] [-iters 10] [-threads 1,2,4,8] [-v]
 //	          [-metrics] [-debug localhost:6060]
 //	          [-rhs 1,2,4,8] [-rhsmatrix banded-l-q128]
+//	          [-profile] [-matrix banded-l-q128] [-format csr-du]
+//	          [-trace out.trace] [-timeline out.json]
+//	          [-archive FILE|DIR] [-compare OLD.json]
+//	          [-samples 5] [-slowdown 0.10]
 //
 // With -rhs the tables are replaced by the multi-RHS sweep: batched
 // SpMV (RunBatch) over row-major n×k panels at each listed k, per
@@ -23,6 +27,27 @@
 // per-chunk telemetry. Progress notes move to stderr so stdout stays
 // machine-parseable.
 //
+// With -profile the experiments are replaced by a structural profile
+// of one (matrix, format) cell: the format's per-stream byte split of
+// the §II-B traffic model (reconciling exactly with the model's
+// working-set total), the CSR-DU ctl-unit and CSR-VI dictionary
+// statistics where applicable, and — after a measured run at the
+// highest requested thread count — a bandwidth attribution telling
+// which stream dominates. JSON on stdout.
+//
+// With -trace FILE the measured loops are recorded with runtime/trace:
+// one task per Run and one region per chunk per worker (viewable with
+// `go tool trace FILE`). With -timeline FILE a per-iteration JSON
+// time series (wall seconds and load imbalance per measured run) is
+// written.
+//
+// With -archive PATH the measured cells are written as a benchmark
+// archive (BENCH_<host>.json when PATH is a directory); -compare
+// OLD.json checks this run against a previous archive and exits 1 on a
+// statistically significant slowdown beyond -slowdown. Archive and
+// compare modes repeat each cell -samples times (default 5) so the
+// comparator has a spread to test.
+//
 // With -debug ADDR a background HTTP server exposes Go's standard
 // debug endpoints while the benchmark runs: /debug/vars (expvar,
 // including the live "spmv" telemetry snapshot) and /debug/pprof
@@ -36,12 +61,39 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/exec"
+	"runtime"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
+	"time"
 
 	"spmv/internal/bench"
 	"spmv/internal/obs"
+	"spmv/internal/prof"
+	"spmv/internal/prof/archive"
 )
+
+// archiveMeta collects the provenance of an archive record: hostname,
+// platform and — best-effort, ignoring errors outside a git checkout —
+// the current commit.
+func archiveMeta() bench.ArchiveMeta {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	sha := ""
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		sha = strings.TrimSpace(string(out))
+	}
+	return bench.ArchiveMeta{
+		Host:   host,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		GitSHA: sha,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+	}
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "table2|table3|table4|fig7|fig8|all")
@@ -54,6 +106,15 @@ func main() {
 	debugAddr := flag.String("debug", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	rhs := flag.String("rhs", "", "comma-separated RHS panel widths: run the batched multi-vector sweep instead of the tables")
 	rhsMatrix := flag.String("rhsmatrix", "banded-l-q128", "suite matrix for the -rhs sweep")
+	profileFlag := flag.Bool("profile", false, "emit the structural profile of one (matrix, format) cell as JSON instead of running experiments")
+	matrixName := flag.String("matrix", "banded-l-q128", "suite matrix for -profile")
+	formatName := flag.String("format", "csr-du", "format for -profile")
+	traceFile := flag.String("trace", "", "record the measured loops with runtime/trace into this file")
+	timelineFile := flag.String("timeline", "", "write a per-iteration JSON time series to this file")
+	archivePath := flag.String("archive", "", "write a benchmark archive to this file (or BENCH_<host>.json inside this directory)")
+	comparePath := flag.String("compare", "", "compare this run against a previous archive file; exit 1 on regression")
+	samples := flag.Int("samples", 0, "repeated measurements per cell (default 5 with -archive/-compare)")
+	slowdown := flag.Float64("slowdown", 0.10, "fractional slowdown -compare treats as a regression")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -62,11 +123,23 @@ func main() {
 	cfg.WarmIters = *iters
 	cfg.Verify = *verify
 	cfg.Metrics = *metrics
+	cfg.Samples = *samples
 
-	// With -metrics, stdout carries exactly one JSON document; all
-	// human-facing notes go to stderr.
+	// Archive and compare modes need per-cell traffic metrics and, for a
+	// meaningful significance test, repeated samples.
+	archMode := *archivePath != "" || *comparePath != ""
+	if archMode {
+		cfg.Metrics = true
+		if cfg.Samples <= 0 {
+			cfg.Samples = 5
+		}
+	}
+
+	// With -metrics or -profile, stdout carries exactly one JSON
+	// document; archive mode prints the comparison there. All
+	// human-facing notes go to stderr in those modes.
 	notes := os.Stdout
-	if *metrics {
+	if *metrics || *profileFlag || archMode {
 		notes = os.Stderr
 	}
 	note := func(format string, args ...any) {
@@ -102,6 +175,59 @@ func main() {
 			}
 		}()
 		note("# debug: http://%s/debug/vars and /debug/pprof\n", *debugAddr)
+	}
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	// -trace: record the measured loops. The executors emit trace tasks
+	// and regions only when a collector is attached, so ensure one is.
+	// stopTrace is called once, right after measurement, so the exits on
+	// the output paths cannot lose buffered trace data.
+	stopTrace := func() {}
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		die(err)
+		if cfg.Recorder == nil {
+			cfg.Recorder = obs.NewRecorder()
+		}
+		die(rtrace.Start(tf))
+		stopTrace = func() {
+			rtrace.Stop()
+			die(tf.Close())
+			note("# trace: wrote %s\n", *traceFile)
+		}
+	}
+
+	// -timeline: a prof.Series collector sees every measured run.
+	var series *prof.Series
+	if *timelineFile != "" {
+		series = prof.NewSeries(0)
+		cfg.Collector = series
+	}
+	writeTimeline := func() {
+		if series == nil {
+			return
+		}
+		tf, err := os.Create(*timelineFile)
+		die(err)
+		die(series.WriteJSON(tf))
+		die(tf.Close())
+		note("# timeline: wrote %s (%d runs)\n", *timelineFile, series.Doc().Summary.Runs)
+	}
+
+	if *profileFlag {
+		th := cfg.Threads[len(cfg.Threads)-1]
+		p, err := bench.ProfileCell(cfg, *matrixName, *formatName, th)
+		stopTrace()
+		die(err)
+		writeTimeline()
+		die(p.WriteJSON(os.Stdout))
+		return
 	}
 
 	if *rhs != "" {
@@ -142,16 +268,44 @@ func main() {
 	note("# spmvbench: native timing, scale=%.3g, %d iterations\n", cfg.Scale, cfg.WarmIters)
 	note("# note: the 2(2xL2) placement row requires cache control and exists only in spmvsim\n\n")
 	runs, err := bench.Collect(cfg)
+	stopTrace()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spmvbench:", err)
 		os.Exit(1)
 	}
+	writeTimeline()
 
 	emit := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spmvbench:", err)
 			os.Exit(1)
 		}
+	}
+	if archMode {
+		file := bench.ArchiveRecords(cfg, runs, archiveMeta())
+		if *archivePath != "" {
+			path := *archivePath
+			if st, err := os.Stat(path); err == nil && st.IsDir() {
+				path = archive.DefaultPath(path, file.Host)
+			}
+			emit(archive.Write(path, file))
+			note("# archive: wrote %s (%d records)\n", path, len(file.Records))
+		}
+		if *comparePath != "" {
+			old, err := archive.Load(*comparePath)
+			emit(err)
+			results, err := archive.Compare(old.Records, file.Records,
+				archive.Options{Slowdown: *slowdown})
+			emit(err)
+			emit(archive.Print(os.Stdout, results))
+			if regs := archive.Regressions(results); len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "spmvbench: %d significant regression(s) beyond %.0f%%\n",
+					len(regs), *slowdown*100)
+				os.Exit(1)
+			}
+			note("# compare: no significant regressions vs %s\n", *comparePath)
+		}
+		return
 	}
 	if *metrics {
 		emit(bench.WriteMetricsJSON(os.Stdout, bench.BuildMetricsReport(cfg, runs)))

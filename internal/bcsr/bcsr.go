@@ -124,6 +124,10 @@ func (m *Matrix) NNZ() int { return m.nnz }
 // Blocks returns the stored block count.
 func (m *Matrix) Blocks() int { return len(m.BColInd) }
 
+// PaddedNNZ returns the stored value count including the explicit
+// zeros that pad partially filled blocks (Blocks()*R*C).
+func (m *Matrix) PaddedNNZ() int { return len(m.Values) }
+
 // Fill returns the fill ratio: stored values (including explicit
 // zeros) per logical non-zero. 1.0 is perfect blocking.
 func (m *Matrix) Fill() float64 {

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"spmv/internal/obs"
+	"spmv/internal/prof/archive"
+	"spmv/internal/stats"
+)
+
+// ArchiveMeta carries the provenance fields of an archive file that the
+// bench layer cannot discover itself: host identity and git state come
+// from the caller (the CLI shells out for the SHA, the library must
+// not).
+type ArchiveMeta struct {
+	Host   string
+	GoOS   string
+	GoArch string
+	GitSHA string
+	Date   string
+}
+
+// ArchiveRecords flattens a collection's measured cells into archive
+// records — one per (matrix, format, thread-count) — ready to write as
+// a BENCH_<host>.json file. Cells measured with Config.Samples >= 2
+// carry their sample count and spread so the comparator can run a real
+// t-test; single-shot cells fall back to the interval heuristic.
+func ArchiveRecords(cfg Config, runs []*MatrixRuns, meta ArchiveMeta) *archive.File {
+	file := &archive.File{
+		Host:   meta.Host,
+		GoOS:   meta.GoOS,
+		GoArch: meta.GoArch,
+		GitSHA: meta.GitSHA,
+		Date:   meta.Date,
+	}
+	formats := append([]string{"csr"}, cfg.Formats...)
+	for _, r := range runs {
+		for _, name := range formats {
+			for _, th := range cfg.Threads {
+				s, ok := r.Sec(name, th)
+				if !ok {
+					continue
+				}
+				rec := archive.Record{
+					Name:     archive.CellName(r.Name, name, th),
+					Matrix:   r.Name,
+					Format:   name,
+					Threads:  th,
+					Scale:    cfg.Scale,
+					Iters:    cfg.WarmIters,
+					Samples:  1,
+					MeanSecs: s,
+				}
+				if samples := r.SecsSamples[name][th]; len(samples) >= 2 {
+					rec.Samples = len(samples)
+					rec.MeanSecs, rec.StddevSecs = stats.MeanStddev(samples)
+				}
+				if m := r.Metrics[name][th]; m != nil {
+					rec.BytesPerIter = m.BytesPerIter
+					rec.GBps = obs.GBps(m.BytesPerIter, rec.MeanSecs)
+				}
+				file.Records = append(file.Records, rec)
+			}
+		}
+	}
+	return file
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spmv/internal/prof/archive"
+)
+
+func archiveTestConfig() Config {
+	cfg := testConfig()
+	cfg.Native = true
+	cfg.Metrics = true
+	cfg.Threads = []int{1, 2}
+	cfg.Formats = []string{"csr-du"}
+	cfg.Samples = 3
+	return cfg
+}
+
+// TestArchiveRecordsFromCollection: a native sampled collection flattens
+// into one archive record per measured cell, with sample counts, means
+// and traffic-derived bandwidth filled in.
+func TestArchiveRecordsFromCollection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := archiveTestConfig()
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no matrices admitted")
+	}
+	meta := ArchiveMeta{Host: "testhost", GoOS: "linux", GoArch: "amd64",
+		GitSHA: "deadbeef", Date: "2026-08-05"}
+	file := ArchiveRecords(cfg, runs, meta)
+	want := len(runs) * (1 + len(cfg.Formats)) * len(cfg.Threads)
+	if len(file.Records) != want {
+		t.Fatalf("records = %d, want %d", len(file.Records), want)
+	}
+	for _, rec := range file.Records {
+		if rec.Samples != cfg.Samples {
+			t.Errorf("%s: samples = %d, want %d", rec.Name, rec.Samples, cfg.Samples)
+		}
+		if rec.MeanSecs <= 0 {
+			t.Errorf("%s: mean = %v", rec.Name, rec.MeanSecs)
+		}
+		if rec.BytesPerIter <= 0 || rec.GBps <= 0 {
+			t.Errorf("%s: bytes=%d gbps=%v", rec.Name, rec.BytesPerIter, rec.GBps)
+		}
+		if rec.Name != archive.CellName(rec.Matrix, rec.Format, rec.Threads) {
+			t.Errorf("cell name %q does not match its fields", rec.Name)
+		}
+	}
+	// The mean must agree with the stored per-cell samples.
+	r := runs[0]
+	samples := r.SecsSamples["csr"][1]
+	if len(samples) != cfg.Samples {
+		t.Fatalf("stored samples = %d, want %d", len(samples), cfg.Samples)
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	if mean := sum / float64(len(samples)); math.Abs(r.Secs["csr"][1]-mean) > 1e-15 {
+		t.Errorf("Secs = %v, sample mean = %v", r.Secs["csr"][1], mean)
+	}
+
+	// Round-trip: comparing an archive against itself yields no
+	// regressions.
+	results, err := archive.Compare(file.Records, file.Records, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != want {
+		t.Fatalf("self-compare results = %d, want %d", len(results), want)
+	}
+	if regs := archive.Regressions(results); len(regs) != 0 {
+		t.Errorf("self-compare flagged regressions: %+v", regs)
+	}
+}
+
+// TestArchiveRecordsSingleShot: without Samples the records are
+// single-sample with no spread — the comparator's CI-fallback shape.
+func TestArchiveRecordsSingleShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := archiveTestConfig()
+	cfg.Samples = 0
+	cfg.Threads = []int{1}
+	cfg.Formats = nil
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ArchiveRecords(cfg, runs, ArchiveMeta{})
+	for _, rec := range file.Records {
+		if rec.Samples != 1 || rec.StddevSecs != 0 {
+			t.Errorf("%s: samples=%d stddev=%v, want single-shot", rec.Name, rec.Samples, rec.StddevSecs)
+		}
+	}
+	for _, r := range runs {
+		if r.SecsSamples != nil {
+			t.Errorf("%s: SecsSamples populated without Samples", r.Name)
+		}
+	}
+}
+
+// TestProfileCellNative: the profile of a measured cell reconciles with
+// the traffic model and carries a populated attribution.
+func TestProfileCellNative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := testConfig()
+	cfg.Native = true
+	p, err := ProfileCell(cfg, "banded-l-q128", "csr-du", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Format != "csr-du" || p.DU == nil {
+		t.Fatalf("profile shape: format=%q du=%v", p.Format, p.DU)
+	}
+	var sum int64
+	for _, s := range p.Streams {
+		sum += s.Bytes
+	}
+	if sum != p.WorkingSet {
+		t.Errorf("streams sum %d != working set %d", sum, p.WorkingSet)
+	}
+	a := p.Attribution
+	if a == nil {
+		t.Fatal("no attribution on a measured profile")
+	}
+	if a.SecsPerIter <= 0 || a.GBps <= 0 || a.Threads != 2 {
+		t.Errorf("attribution: %+v", a)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "predicted_bytes_per_iter") {
+		t.Error("JSON missing attribution field")
+	}
+}
+
+// TestProfileCellErrors: unknown matrices and formats are rejected.
+func TestProfileCellErrors(t *testing.T) {
+	cfg := testConfig()
+	if _, err := ProfileCell(cfg, "no-such-matrix", "csr", 1); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+	if _, err := ProfileCell(cfg, "banded-l-q128", "no-such-format", 1); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestMetricsJSONFiniteOnDegenerateTiming: a metrics report built from
+// a denormal timing must survive JSON encoding — obs.GBps guards the
+// overflow that used to emit +Inf, which encoding/json rejects.
+func TestMetricsJSONFiniteOnDegenerateTiming(t *testing.T) {
+	cfg := testConfig()
+	cfg.Formats = nil
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no matrices admitted")
+	}
+	// Force the degenerate timing into a measured cell's metrics the
+	// way a clock glitch would: rebuild the RunMetrics from it.
+	f, err := buildFormat("csr", Suite()[0].Gen(cfg.Scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newRunMetrics(cfg, f, 1, 5e-324, nil)
+	if m.GBps != 0 {
+		t.Errorf("GBps on denormal timing = %v, want 0", m.GBps)
+	}
+	runs[0].Metrics = map[string]map[int]*RunMetrics{"csr": {1: m}}
+	cfg.Metrics = true
+	rep := BuildMetricsReport(cfg, runs)
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, rep); err != nil {
+		t.Fatalf("metrics JSON with degenerate timing: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"spmv/internal/core"
+	"spmv/internal/obs"
+	"spmv/internal/prof"
+)
+
+// FindSpec looks up a suite matrix by name. It is the exported face of
+// the sweep's internal lookup so profiling commands can target suite
+// matrices by the same names the benchmark tables use.
+func FindSpec(name string) (Spec, error) {
+	return findSpec(name)
+}
+
+// ProfileCell builds one (matrix, format) pair at cfg.Scale and returns
+// its structural profile. With cfg.Native set and threads > 0 it also
+// measures the cell and attaches a bandwidth attribution: the §II-B
+// traffic model split across the format's streams at the measured
+// timing, plus the last run's imbalance telemetry.
+func ProfileCell(cfg Config, matrix, format string, threads int) (*prof.FormatProfile, error) {
+	spec, err := findSpec(matrix)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 2
+	}
+	c := spec.Gen(cfg.Scale)
+	f, err := buildFormat(format, c)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s: %w", matrix, format, err)
+	}
+	if cfg.Verify {
+		if err := core.Verify(f); err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: verify: %w", matrix, format, err)
+		}
+	}
+	p := prof.New(f)
+	if !cfg.Native || threads <= 0 {
+		return p, nil
+	}
+	rec := obs.NewRecorder()
+	secs, err := measureNative(cfg, f, threads, rec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s: %w", matrix, format, err)
+	}
+	snap := rec.Snapshot()
+	prof.Attribute(p, secs, &snap.Last)
+	return p, nil
+}

@@ -13,6 +13,7 @@ import (
 	"spmv/internal/obs"
 	"spmv/internal/parallel"
 	"spmv/internal/simtrace"
+	"spmv/internal/stats"
 )
 
 // Config controls an experiment run.
@@ -52,6 +53,16 @@ type Config struct {
 	// telemetry across the whole collection — the live sink a debug
 	// endpoint (expvar) reads while the benchmark is running.
 	Recorder *obs.Recorder
+	// Collector, if non-nil, is a further telemetry sink teed into every
+	// native run — e.g. a prof.Series recording the per-iteration
+	// timeline of the measured loop.
+	Collector obs.Collector
+	// Samples repeats each native cell measurement this many times and
+	// stores the individual timings in MatrixRuns.SecsSamples, giving
+	// the regression archive a spread to test against. Values below 2
+	// measure once and record no samples. Simulation mode ignores it —
+	// the simulator is deterministic, repeats would be identical.
+	Samples int
 }
 
 // DefaultConfig returns the paper-reproduction configuration.
@@ -88,6 +99,11 @@ type MatrixRuns struct {
 	// Metrics[format][threads] is the observability record of the run,
 	// populated only when Config.Metrics is set.
 	Metrics map[string]map[int]*RunMetrics
+
+	// SecsSamples[format][threads] holds the individual repeated
+	// timings behind Secs when Config.Samples >= 2 (native mode only);
+	// Secs then stores their mean.
+	SecsSamples map[string]map[int][]float64
 }
 
 // Sec returns the measured seconds per SpMV for one cell and whether
@@ -230,6 +246,28 @@ func measureFormat(cfg Config, r *MatrixRuns, f core.Format, isCSR bool) error {
 		if err != nil {
 			return err
 		}
+		// Repeated sampling (native only): keep every timing so the
+		// archive can report a spread, and let the mean stand in for the
+		// single measurement everywhere else.
+		if cfg.Native && cfg.Samples >= 2 {
+			samples := make([]float64, 0, cfg.Samples)
+			samples = append(samples, s)
+			for n := 1; n < cfg.Samples; n++ {
+				si, err := measure(cfg, f, th, nil, nil)
+				if err != nil {
+					return err
+				}
+				samples = append(samples, si)
+			}
+			s, _ = stats.MeanStddev(samples)
+			if r.SecsSamples == nil {
+				r.SecsSamples = map[string]map[int][]float64{}
+			}
+			if r.SecsSamples[f.Name()] == nil {
+				r.SecsSamples[f.Name()] = map[int][]float64{}
+			}
+			r.SecsSamples[f.Name()][th] = samples
+		}
 		secs[th] = s
 		if cfg.Metrics {
 			if r.Metrics[f.Name()] == nil {
@@ -313,7 +351,7 @@ func measureNative(cfg Config, f core.Format, threads int, rec *obs.Recorder) (f
 	if err := e.RunIters(warmUpIters, y, x); err != nil {
 		return 0, err
 	}
-	if c := obs.Tee(collectorOrNil(rec), collectorOrNil(cfg.Recorder)); c != nil {
+	if c := obs.Tee(collectorOrNil(rec), collectorOrNil(cfg.Recorder), cfg.Collector); c != nil {
 		e.SetCollector(c)
 	}
 	start := time.Now()

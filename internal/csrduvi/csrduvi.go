@@ -100,6 +100,19 @@ func (m *Matrix) IndexWidth() int {
 // Stats returns the CSR-DU unit statistics of the index stream.
 func (m *Matrix) Stats() csrdu.UnitStats { return m.du.Stats() }
 
+// Profile returns the detailed structural profile of the CSR-DU index
+// stream (unit histograms, byte partition, per-region class mix).
+func (m *Matrix) Profile(nregions int) *csrdu.Profile { return m.du.Profile(nregions) }
+
+// CtlBytes returns the size of the ctl (index) stream.
+func (m *Matrix) CtlBytes() int { return len(m.du.Ctl) }
+
+// ValIndBytes returns the size of the val_ind stream: one IndexWidth
+// entry per non-zero.
+func (m *Matrix) ValIndBytes() int64 {
+	return int64(m.NNZ()) * int64(m.IndexWidth())
+}
+
 // Name implements core.Format.
 func (m *Matrix) Name() string { return "csr-du-vi" }
 

@@ -121,6 +121,13 @@ func (m *Matrix) IndexWidth() int {
 	}
 }
 
+// ValIndBytes returns the size of the val_ind stream: one IndexWidth
+// entry per non-zero. This is the stream that replaces the 8-byte
+// values of CSR — the quantity §V shrinks.
+func (m *Matrix) ValIndBytes() int64 {
+	return int64(m.NNZ()) * int64(m.IndexWidth())
+}
+
 // Name implements core.Format.
 func (m *Matrix) Name() string { return "csr-vi" }
 

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"testing"
+)
+
+// expvarName returns a registry-unique name; the expvar registry is
+// process-global, so every test (and every -count=N rerun) needs its
+// own. Shares the sequence counter with obs_test.go.
+func expvarName() string {
+	return fmt.Sprintf("obs-expvar-test-%d", expvarTestSeq.Add(1))
+}
+
+// readSnapshot fetches a published var and decodes it back into a
+// Snapshot — the same round trip a /debug/vars scraper performs.
+func readSnapshot(t *testing.T, name string) Snapshot {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not found", name)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar %q output is not valid JSON: %v", name, err)
+	}
+	return snap
+}
+
+// TestPublishExpvarLiveUpdates: the published var is a live view of the
+// recorder, not a copy — each read reflects all runs completed so far.
+func TestPublishExpvarLiveUpdates(t *testing.T) {
+	name := expvarName()
+	r := NewRecorder()
+	if err := PublishExpvar(name, r); err != nil {
+		t.Fatal(err)
+	}
+
+	if snap := readSnapshot(t, name); snap.Runs != 0 {
+		t.Errorf("fresh recorder reports %d runs", snap.Runs)
+	}
+
+	r.RunDone(sampleRun())
+	r.RunDone(sampleRun())
+	snap := readSnapshot(t, name)
+	if snap.Runs != 2 {
+		t.Errorf("after two runs: snapshot runs = %d", snap.Runs)
+	}
+	if snap.Vectors != 2 {
+		t.Errorf("after two scalar runs: vectors = %d", snap.Vectors)
+	}
+	if len(snap.Last.Chunks) != 2 {
+		t.Errorf("last run chunks = %d, want 2", len(snap.Last.Chunks))
+	}
+
+	r.RunDone(sampleRun())
+	if snap := readSnapshot(t, name); snap.Runs != 3 {
+		t.Errorf("third run not visible: runs = %d", snap.Runs)
+	}
+
+	// Reset propagates too: the var tracks the recorder's state.
+	r.Reset()
+	if snap := readSnapshot(t, name); snap.Runs != 0 || snap.Vectors != 0 {
+		t.Errorf("reset not visible through expvar: %+v", snap)
+	}
+}
+
+// TestPublishExpvarSnapshotFields: the JSON a scraper sees carries the
+// derived statistics, not just counters.
+func TestPublishExpvarSnapshotFields(t *testing.T) {
+	name := expvarName()
+	r := NewRecorder()
+	r.RunDone(sampleRun())
+	if err := PublishExpvar(name, r); err != nil {
+		t.Fatal(err)
+	}
+	snap := readSnapshot(t, name)
+	// sampleRun: busy 1ms/3ms → imbalance 1.5; wall 4ms.
+	if snap.MeanTimeImbalance < 1.49 || snap.MeanTimeImbalance > 1.51 {
+		t.Errorf("mean time imbalance = %v, want 1.5", snap.MeanTimeImbalance)
+	}
+	if snap.Last.Partition != "row" {
+		t.Errorf("last partition = %q", snap.Last.Partition)
+	}
+	if snap.Last.Wall <= 0 {
+		t.Errorf("last wall = %v", snap.Last.Wall)
+	}
+}

@@ -18,6 +18,7 @@
 package obs
 
 import (
+	"math"
 	"time"
 
 	"spmv/internal/core"
@@ -180,10 +181,17 @@ func BytesPerVector(f core.Format, k int) float64 {
 
 // GBps converts a per-iteration byte estimate and a seconds-per-
 // iteration timing into effective bandwidth in GB/s (10^9 bytes per
-// second). It returns 0 for non-positive timings.
+// second). It returns 0 for non-positive, NaN, or infinite timings,
+// and for timings so small the division overflows: callers embed the
+// result in JSON metric reports, whose encoder rejects non-finite
+// floats outright.
 func GBps(bytesPerIter int64, secsPerIter float64) float64 {
-	if secsPerIter <= 0 {
+	if secsPerIter <= 0 || math.IsNaN(secsPerIter) || math.IsInf(secsPerIter, 0) {
 		return 0
 	}
-	return float64(bytesPerIter) / secsPerIter / 1e9
+	g := float64(bytesPerIter) / secsPerIter / 1e9
+	if math.IsInf(g, 0) || math.IsNaN(g) {
+		return 0
+	}
+	return g
 }

@@ -204,6 +204,23 @@ func TestGBps(t *testing.T) {
 	}
 }
 
+// TestGBpsNonFinite: degenerate timings must never leak ±Inf or NaN
+// into a result — those poison downstream JSON encoding, which rejects
+// non-finite floats.
+func TestGBpsNonFinite(t *testing.T) {
+	// A denormal-positive timing passes a `<= 0` guard but overflows
+	// the division to +Inf.
+	if got := GBps(1<<40, 5e-324); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("GBps(1<<40, 5e-324) = %v, want finite", got)
+	}
+	if got := GBps(1e9, math.NaN()); got != 0 {
+		t.Errorf("GBps(1e9, NaN) = %v, want 0", got)
+	}
+	if got := GBps(1e9, math.Inf(1)); got != 0 {
+		t.Errorf("GBps(1e9, +Inf) = %v, want 0", got)
+	}
+}
+
 // expvarTestSeq makes each TestPublishExpvar invocation pick a fresh
 // name: the expvar registry is process-global and go test -count=N
 // reruns tests in one process.

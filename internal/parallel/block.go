@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	rtrace "runtime/trace"
 	"sync"
 	"time"
 
@@ -34,14 +36,16 @@ type BlockExecutor struct {
 
 	scratchY, scratchX []float64 // RunBatch per-column scratch
 
-	collector obs.Collector
-	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
+	collector  obs.Collector
+	stats      []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
+	traceNames []string        // per-worker runtime/trace region names
 }
 
 type blockJob struct {
 	x     []float64
 	y     []float64       // nil for multiply phase
 	stats []obs.ChunkStat // nil ⇒ workers skip timing entirely
+	ctx   context.Context // non-nil ⇒ wrap the phase in a trace region
 }
 
 // NewBlockExecutor cuts the matrix into a gridR×gridC block grid with
@@ -103,6 +107,7 @@ func (e *BlockExecutor) SetCollector(c obs.Collector) {
 		ri := i / e.gridC
 		e.stats[i] = obs.ChunkStat{Worker: i, Lo: e.rowB[ri], Hi: e.rowB[ri+1], NNZ: b.NNZ()}
 	}
+	e.traceNames = traceNames("block", len(e.blocks))
 }
 
 func maxInt(a, b int) int {
@@ -118,7 +123,13 @@ func (e *BlockExecutor) worker(idx int) {
 			e.errs[idx] = e.runBlockJob(idx, j)
 		} else {
 			t0 := time.Now()
-			e.errs[idx] = e.runBlockJob(idx, j)
+			if j.ctx != nil {
+				rtrace.WithRegion(j.ctx, e.traceNames[idx], func() {
+					e.errs[idx] = e.runBlockJob(idx, j)
+				})
+			} else {
+				e.errs[idx] = e.runBlockJob(idx, j)
+			}
 			j.stats[idx].Busy += time.Since(t0)
 		}
 		e.wg.Done()
@@ -181,15 +192,19 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
+	var ctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
+		var end func()
+		ctx, end = traceTask("spmv.block.run")
+		defer end()
 		t0 = time.Now()
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- blockJob{x: x, stats: e.stats}
+		e.start[i] <- blockJob{x: x, stats: e.stats, ctx: ctx}
 	}
 	e.wg.Wait()
 	if err := errors.Join(e.errs...); err != nil {
@@ -197,7 +212,7 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- blockJob{x: x, y: y, stats: e.stats}
+		e.start[i] <- blockJob{x: x, y: y, stats: e.stats, ctx: ctx}
 	}
 	e.wg.Wait()
 	if e.collector != nil {

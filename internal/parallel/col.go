@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	rtrace "runtime/trace"
 	"sync"
 	"time"
 
@@ -30,8 +32,9 @@ type ColExecutor struct {
 
 	scratchY, scratchX []float64 // RunBatch per-column scratch
 
-	collector obs.Collector
-	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
+	collector  obs.Collector
+	stats      []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
+	traceNames []string        // per-worker runtime/trace region names
 }
 
 type colJob struct {
@@ -39,6 +42,7 @@ type colJob struct {
 	y      []float64
 	reduce [2]int          // row range this worker reduces
 	stats  []obs.ChunkStat // nil ⇒ workers skip timing entirely
+	ctx    context.Context // non-nil ⇒ wrap the phase in a trace region
 }
 
 // NewColExecutor partitions f into at most nthreads column chunks.
@@ -77,6 +81,7 @@ func (e *ColExecutor) SetCollector(c obs.Collector) {
 		lo, hi := ch.ColRange()
 		e.stats[i] = obs.ChunkStat{Worker: i, Lo: lo, Hi: hi, NNZ: ch.NNZ()}
 	}
+	e.traceNames = traceNames("col", len(e.chunks))
 }
 
 func (e *ColExecutor) worker(i int) {
@@ -87,7 +92,13 @@ func (e *ColExecutor) worker(i int) {
 			e.errs[i] = e.runColJob(ch, mine, j)
 		} else {
 			t0 := time.Now()
-			e.errs[i] = e.runColJob(ch, mine, j)
+			if j.ctx != nil {
+				rtrace.WithRegion(j.ctx, e.traceNames[i], func() {
+					e.errs[i] = e.runColJob(ch, mine, j)
+				})
+			} else {
+				e.errs[i] = e.runColJob(ch, mine, j)
+			}
 			j.stats[i].Busy += time.Since(t0)
 		}
 		e.wg.Done()
@@ -100,12 +111,7 @@ func (e *ColExecutor) worker(i int) {
 func (e *ColExecutor) runColJob(ch core.ColChunk, mine []float64, j colJob) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if j.y == nil {
-				lo, hi := ch.ColRange()
-				err = fmt.Errorf("parallel: chunk cols [%d,%d): %w", lo, hi, core.PanicError(r))
-			} else {
-				err = fmt.Errorf("parallel: reduce rows [%d,%d): %w", j.reduce[0], j.reduce[1], core.PanicError(r))
-			}
+			err = colJobError(ch, j, r)
 		}
 	}()
 	if j.y == nil {
@@ -128,6 +134,18 @@ func (e *ColExecutor) runColJob(ch core.ColChunk, mine []float64, j colJob) (err
 	return nil
 }
 
+// colJobError converts a recovered column-worker panic into an error:
+// multiply-phase errors name the chunk's column range, reduce-phase
+// errors the reduced row range. Kept out of runColJob so the hot
+// function stays free of formatting calls.
+func colJobError(ch core.ColChunk, j colJob, r any) error {
+	if j.y == nil {
+		lo, hi := ch.ColRange()
+		return fmt.Errorf("parallel: chunk cols [%d,%d): %w", lo, hi, core.PanicError(r))
+	}
+	return fmt.Errorf("parallel: reduce rows [%d,%d): %w", j.reduce[0], j.reduce[1], core.PanicError(r))
+}
+
 // Threads returns the number of workers.
 func (e *ColExecutor) Threads() int { return len(e.chunks) }
 
@@ -147,15 +165,19 @@ func (e *ColExecutor) Run(y, x []float64) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
+	var ctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
+		var end func()
+		ctx, end = traceTask("spmv.col.run")
+		defer end()
 		t0 = time.Now()
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- colJob{x: x, stats: e.stats}
+		e.start[i] <- colJob{x: x, stats: e.stats, ctx: ctx}
 	}
 	e.wg.Wait()
 	if err := errors.Join(e.errs...); err != nil {
@@ -165,7 +187,7 @@ func (e *ColExecutor) Run(y, x []float64) error {
 	for i := range e.start {
 		lo := i * e.rows / n
 		hi := (i + 1) * e.rows / n
-		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}, stats: e.stats}
+		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}, stats: e.stats, ctx: ctx}
 	}
 	e.wg.Wait()
 	if e.collector != nil {

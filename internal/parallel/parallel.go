@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strconv"
 	"sync"
 	"time"
@@ -58,14 +59,16 @@ type Executor struct {
 	// rows stay zero without per-run work.
 	scratchY, scratchX []float64
 
-	collector obs.Collector
-	stats     []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
+	collector  obs.Collector
+	stats      []obs.ChunkStat // reused telemetry buffer; nil ⇒ collection off
+	traceNames []string        // per-worker runtime/trace region names
 }
 
 type job struct {
 	y, x  []float64
 	k     int             // panel width; <= 1 ⇒ scalar SpMV
 	stats []obs.ChunkStat // nil ⇒ workers skip timing entirely
+	ctx   context.Context // non-nil ⇒ wrap the kernel in a trace region
 }
 
 // NewExecutor partitions f into at most nthreads nnz-balanced row
@@ -118,6 +121,30 @@ func workerLabeled(partition string, i int, fn func()) {
 		func(context.Context) { fn() })
 }
 
+// traceNames precomputes the per-worker runtime/trace region names for
+// a partition scheme ("spmv.<scheme>.chunk<i>"), so the enabled path
+// never formats strings per dispatch.
+func traceNames(partition string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "spmv." + partition + ".chunk" + strconv.Itoa(i)
+	}
+	return names
+}
+
+// traceTask opens a runtime/trace task covering one Run when tracing
+// is active. Executors call it only on the collector-enabled path, so
+// the disabled path keeps its single nil check; with tracing inactive
+// it costs one atomic load and returns a nil context, which workers
+// read as "no region". The returned end function is never nil.
+func traceTask(name string) (context.Context, func()) {
+	if !rtrace.IsEnabled() {
+		return nil, func() {}
+	}
+	ctx, task := rtrace.NewTask(context.Background(), name)
+	return ctx, task.End
+}
+
 // SetCollector attaches (or, with nil, detaches) a telemetry sink.
 // Must not be called concurrently with Run/RunIters — set it up right
 // after construction, alongside the executor's other configuration.
@@ -125,6 +152,7 @@ func (e *Executor) SetCollector(c obs.Collector) {
 	e.collector = c
 	if c == nil {
 		e.stats = nil
+		e.traceNames = nil
 		return
 	}
 	e.stats = make([]obs.ChunkStat, len(e.chunks))
@@ -132,6 +160,7 @@ func (e *Executor) SetCollector(c obs.Collector) {
 		lo, hi := ch.RowRange()
 		e.stats[i] = obs.ChunkStat{Worker: i, Lo: lo, Hi: hi, NNZ: ch.NNZ()}
 	}
+	e.traceNames = traceNames("row", len(e.chunks))
 }
 
 func (e *Executor) worker(i int) {
@@ -141,7 +170,13 @@ func (e *Executor) worker(i int) {
 			e.errs[i] = runChunk(ch, j)
 		} else {
 			t0 := time.Now()
-			e.errs[i] = runChunk(ch, j)
+			if j.ctx != nil {
+				rtrace.WithRegion(j.ctx, e.traceNames[i], func() {
+					e.errs[i] = runChunk(ch, j)
+				})
+			} else {
+				e.errs[i] = runChunk(ch, j)
+			}
 			j.stats[i].Busy += time.Since(t0)
 		}
 		e.wg.Done()
@@ -209,13 +244,17 @@ func (e *Executor) Run(y, x []float64) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
+	var ctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
+		var end func()
+		ctx, end = traceTask("spmv.row.run")
+		defer end()
 		t0 = time.Now()
 	}
-	e.dispatch(job{y: y, x: x, stats: e.stats})
+	e.dispatch(job{y: y, x: x, stats: e.stats, ctx: ctx})
 	if e.collector != nil {
 		// Workers are quiescent after Wait, so handing the collector a
 		// copy of the stats buffer is race-free.
@@ -260,10 +299,14 @@ func (e *Executor) RunBatch(y, x []float64, k int) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
+	var ctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
+		var end func()
+		ctx, end = traceTask("spmv.row.batch")
+		defer end()
 		t0 = time.Now()
 	}
 	if e.batch {
@@ -273,7 +316,7 @@ func (e *Executor) RunBatch(y, x []float64, k int) error {
 				yr[i] = 0
 			}
 		}
-		e.dispatch(job{y: y, x: x, k: k, stats: e.stats})
+		e.dispatch(job{y: y, x: x, k: k, stats: e.stats, ctx: ctx})
 	} else {
 		if e.scratchY == nil {
 			e.scratchY = make([]float64, e.rows)
@@ -283,7 +326,7 @@ func (e *Executor) RunBatch(y, x []float64, k int) error {
 			for j := range e.scratchX {
 				e.scratchX[j] = x[j*k+c]
 			}
-			e.dispatch(job{y: e.scratchY, x: e.scratchX, stats: e.stats})
+			e.dispatch(job{y: e.scratchY, x: e.scratchX, stats: e.stats, ctx: ctx})
 			if err := errors.Join(e.errs...); err != nil {
 				return fmt.Errorf("batch column %d: %w", c, err)
 			}

@@ -1,0 +1,113 @@
+// Package archive is the longitudinal leg of the profiling subsystem:
+// benchmark results persisted as BENCH_<host>.json records and a
+// benchstat-style statistical comparator over them. A timing without
+// repetition and a significance test is an anecdote (Schubert et al.'s
+// point about SpMV measurement); the archive stores mean, stddev and
+// sample count per cell so a later run — same host, different commit —
+// can be compared with Welch's t-test instead of eyeballing.
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Schema is the current archive file schema version.
+const Schema = 1
+
+// Record is one benchmark cell: a (matrix, format, threads)
+// configuration measured over Samples repetitions.
+type Record struct {
+	// Name is the cell key "<matrix>/<format>/t<threads>"; comparisons
+	// match records by it.
+	Name    string `json:"name"`
+	Matrix  string `json:"matrix"`
+	Format  string `json:"format"`
+	Threads int    `json:"threads"`
+	// Scale is the suite size multiplier of the run; comparing runs at
+	// different scales is meaningless, so Compare refuses mismatches.
+	Scale float64 `json:"scale"`
+	// Iters is the timed iterations behind each sample; Samples the
+	// number of repeated measurements summarized by Mean/Stddev.
+	Iters   int `json:"iters"`
+	Samples int `json:"samples"`
+	// MeanSecs and StddevSecs summarize seconds per iteration across
+	// samples (sample stddev, n-1 denominator; 0 when Samples < 2).
+	MeanSecs   float64 `json:"mean_secs_per_iter"`
+	StddevSecs float64 `json:"stddev_secs_per_iter"`
+	// BytesPerIter is the §II-B traffic model; GBps the effective
+	// bandwidth at MeanSecs.
+	BytesPerIter int64   `json:"bytes_per_iter,omitempty"`
+	GBps         float64 `json:"gbps,omitempty"`
+}
+
+// CellName builds a Record's Name from its coordinates.
+func CellName(matrix, format string, threads int) string {
+	return fmt.Sprintf("%s/%s/t%d", matrix, format, threads)
+}
+
+// File is the persisted archive document.
+type File struct {
+	Schema int `json:"schema"`
+	// Host, GoOS, GoArch identify where the numbers were taken; a
+	// cross-host comparison is flagged, not silently performed.
+	Host   string `json:"host"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	// GitSHA and Date identify when.
+	GitSHA  string   `json:"git_sha,omitempty"`
+	Date    string   `json:"date,omitempty"`
+	Records []Record `json:"records"`
+}
+
+// DefaultPath returns the conventional archive path for a host inside
+// dir: BENCH_<host>.json (an unknown host becomes "unknown").
+func DefaultPath(dir, host string) string {
+	host = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, host)
+	if host == "" {
+		host = "unknown"
+	}
+	return filepath.Join(dir, "BENCH_"+host+".json")
+}
+
+// Load reads and validates an archive file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("archive: %s: unsupported schema %d (want %d)", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Write persists the archive as indented JSON, sorted by record name
+// so diffs of committed archives stay readable.
+func Write(path string, f *File) error {
+	f.Schema = Schema
+	sort.Slice(f.Records, func(i, j int) bool { return f.Records[i].Name < f.Records[j].Name })
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package archive
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// synth builds a record from synthetic samples drawn around mean with
+// the given relative noise, mimicking what the bench layer stores.
+func synth(name string, rng *rand.Rand, mean, relNoise float64, n int) Record {
+	var xs []float64
+	for i := 0; i < n; i++ {
+		xs = append(xs, mean*(1+relNoise*rng.NormFloat64()))
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	m := sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return Record{
+		Name: name, Scale: 0.25, Iters: 10, Samples: n,
+		MeanSecs: m, StddevSecs: math.Sqrt(ss / float64(n-1)),
+	}
+}
+
+// TestComparatorSelfTest pins the acceptance criterion: an injected
+// ~10% slowdown on synthetic archive data is flagged significant (and,
+// above the threshold, a regression); equal-distribution data is not.
+func TestComparatorSelfTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var old, cur []Record
+	// 1% measurement noise, 10 samples: a 12% shift is far outside
+	// noise, a resample of the same distribution is not.
+	for i := 0; i < 8; i++ {
+		name := CellName("synthetic", "csr", i+1)
+		old = append(old, synth(name, rng, 1e-3, 0.01, 10))
+		cur = append(cur, synth(name, rng, 1.12e-3, 0.01, 10))
+	}
+	results, err := Compare(old, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
+	}
+	for _, r := range results {
+		if !r.Significant || !r.Regression {
+			t.Errorf("%s: injected 12%% slowdown not flagged: %+v", r.Name, r)
+		}
+		if r.Method != "welch" {
+			t.Errorf("%s: expected welch method, got %s", r.Name, r.Method)
+		}
+	}
+
+	// Equal distributions: expect no regressions. A single cell can
+	// trip a 5% test by construction; all eight at once must not.
+	old, cur = nil, nil
+	for i := 0; i < 8; i++ {
+		name := CellName("synthetic", "csr", i+1)
+		old = append(old, synth(name, rng, 1e-3, 0.01, 10))
+		cur = append(cur, synth(name, rng, 1e-3, 0.01, 10))
+	}
+	results, err = Compare(old, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(results); len(regs) != 0 {
+		t.Errorf("equal distributions flagged as regressions: %+v", regs)
+	}
+}
+
+// TestComparatorImprovementNotRegression: a significant speedup is
+// significant but never a regression.
+func TestComparatorImprovementNotRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	name := CellName("m", "csr-du", 4)
+	old := []Record{synth(name, rng, 1e-3, 0.01, 10)}
+	cur := []Record{synth(name, rng, 0.8e-3, 0.01, 10)}
+	results, err := Compare(old, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Significant || results[0].Regression {
+		t.Errorf("20%% speedup: %+v", results[0])
+	}
+}
+
+// TestComparatorCIFallback: single-sample records use the interval
+// heuristic — a big shift is caught, a sub-percent one is not.
+func TestComparatorCIFallback(t *testing.T) {
+	name := CellName("m", "csr", 1)
+	one := func(mean float64) Record {
+		return Record{Name: name, Scale: 1, Samples: 1, MeanSecs: mean}
+	}
+	results, err := Compare([]Record{one(1e-3)}, []Record{one(1.2e-3)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; r.Method != "ci" || !r.Significant || !r.Regression {
+		t.Errorf("single-sample 20%% slowdown: %+v", r)
+	}
+	results, err = Compare([]Record{one(1e-3)}, []Record{one(1.005e-3)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; r.Significant {
+		t.Errorf("0.5%% shift inside the 1%% interval flagged: %+v", r)
+	}
+}
+
+// TestCompareGuards: scale mismatches error, unmatched cells skip,
+// threshold is honored.
+func TestCompareGuards(t *testing.T) {
+	a := Record{Name: "x/csr/t1", Scale: 1, Samples: 1, MeanSecs: 1}
+	b := a
+	b.Scale = 0.5
+	if _, err := Compare([]Record{a}, []Record{b}, Options{}); err == nil {
+		t.Error("scale mismatch not rejected")
+	}
+	results, err := Compare([]Record{a}, []Record{{Name: "y/csr/t1", Scale: 1, Samples: 1, MeanSecs: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("unmatched cell compared: %+v", results)
+	}
+	// 15% slowdown with a 25% threshold: significant, not a regression.
+	rng := rand.New(rand.NewSource(9))
+	old := []Record{synth("m/csr/t1", rng, 1e-3, 0.01, 10)}
+	cur := []Record{synth("m/csr/t1", rng, 1.15e-3, 0.01, 10)}
+	results, err = Compare(old, cur, Options{Slowdown: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; !r.Significant || r.Regression {
+		t.Errorf("threshold not honored: %+v", r)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	for _, tc := range []struct{ df, lo, hi float64 }{
+		{1, 12.7, 12.71}, {5, 2.57, 2.58}, {13, 2.145, 2.179}, {1000, 1.95, 1.97},
+	} {
+		got := tCritical(tc.df)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("tCritical(%v) = %v, want in [%v,%v]", tc.df, got, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestArchiveRoundTrip: Write then Load preserves records; schema and
+// host conventions hold.
+func TestArchiveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := DefaultPath(dir, "test host!")
+	if base := filepath.Base(path); base != "BENCH_test-host-.json" {
+		t.Errorf("DefaultPath sanitized to %q", base)
+	}
+	f := &File{
+		Host: "testhost", GitSHA: "abc123", Date: "2026-08-05",
+		Records: []Record{
+			{Name: "b/csr/t2", Matrix: "b", Format: "csr", Threads: 2, Scale: 0.25,
+				Iters: 10, Samples: 5, MeanSecs: 2e-3, StddevSecs: 1e-5,
+				BytesPerIter: 1 << 20, GBps: 0.5},
+			{Name: "a/csr/t1", Matrix: "a", Format: "csr", Threads: 1, Scale: 0.25,
+				Iters: 10, Samples: 5, MeanSecs: 1e-3, StddevSecs: 1e-5},
+		},
+	}
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Host != "testhost" || len(back.Records) != 2 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if back.Records[0].Name != "a/csr/t1" {
+		t.Errorf("records not sorted by name: %v", back.Records[0].Name)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}
+
+func TestPrintVerdicts(t *testing.T) {
+	var sb strings.Builder
+	err := Print(&sb, []Result{
+		{Name: "a", OldMean: 1, NewMean: 1.2, Delta: 0.2, Method: "welch", Significant: true, Regression: true},
+		{Name: "b", OldMean: 1, NewMean: 0.8, Delta: -0.2, Method: "welch", Significant: true},
+		{Name: "c", OldMean: 1, NewMean: 1.001, Delta: 0.001, Method: "ci"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "improved", "~"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing verdict %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"spmv/internal/core"
+)
+
+// Result is the comparison of one benchmark cell across two archives.
+type Result struct {
+	Name string `json:"name"`
+	// OldMean and NewMean are seconds per iteration; Delta is
+	// (new-old)/old, positive = slower.
+	OldMean float64 `json:"old_mean_secs"`
+	NewMean float64 `json:"new_mean_secs"`
+	Delta   float64 `json:"delta"`
+	// Method is "welch" when both sides had >= 2 samples with spread,
+	// "ci" for the overlapping-interval fallback.
+	Method string `json:"method"`
+	// T and DF are the Welch statistic and degrees of freedom (welch
+	// method only).
+	T  float64 `json:"t,omitempty"`
+	DF float64 `json:"df,omitempty"`
+	// Significant reports a statistically distinguishable change;
+	// Regression additionally requires the slowdown to exceed the
+	// caller's threshold.
+	Significant bool `json:"significant"`
+	Regression  bool `json:"regression"`
+}
+
+// Options configure Compare. The zero value uses the defaults.
+type Options struct {
+	// Slowdown is the relative slowdown a significant change must
+	// exceed to count as a regression; 0 means the default of 0.10
+	// (the CI gate's ">10% slower" rule).
+	Slowdown float64
+}
+
+func (o Options) withDefaults() Options {
+	if core.IsZero(o.Slowdown) {
+		o.Slowdown = 0.10
+	}
+	return o
+}
+
+// Compare matches old and new records by Name and tests each pair for
+// a statistically significant timing change: Welch's t-test at α=0.05
+// when both sides carry sample spread, an overlapping-interval
+// heuristic otherwise. Cells present on only one side are skipped —
+// a new benchmark is not a regression. Records measured at different
+// scales error out rather than comparing apples to oranges.
+func Compare(old, cur []Record, o Options) ([]Result, error) {
+	o = o.withDefaults()
+	byName := make(map[string]Record, len(old))
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	var out []Result
+	for _, n := range cur {
+		p, ok := byName[n.Name]
+		if !ok {
+			continue
+		}
+		if math.Abs(p.Scale-n.Scale) > 1e-12 {
+			return nil, fmt.Errorf("archive: %s: scale changed %g -> %g; rebuild the baseline",
+				n.Name, p.Scale, n.Scale)
+		}
+		r := compareCell(p, n)
+		r.Regression = r.Significant && r.Delta > o.Slowdown
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// compareCell tests one matched pair.
+func compareCell(old, cur Record) Result {
+	r := Result{Name: cur.Name, OldMean: old.MeanSecs, NewMean: cur.MeanSecs}
+	if old.MeanSecs > 0 {
+		r.Delta = (cur.MeanSecs - old.MeanSecs) / old.MeanSecs
+	}
+	if old.Samples >= 2 && cur.Samples >= 2 && old.StddevSecs > 0 && cur.StddevSecs > 0 {
+		r.Method = "welch"
+		r.T, r.DF = welch(old, cur)
+		r.Significant = math.Abs(r.T) > tCritical(r.DF)
+		return r
+	}
+	// Fallback: treat each mean as the center of an interval of
+	// half-width max(2s/sqrt(n), 1% of mean) and call the change
+	// significant only when the intervals do not overlap. With a
+	// single sample (or zero spread) this is the honest "clearly
+	// outside noise" test benchstat falls back to.
+	r.Method = "ci"
+	r.Significant = math.Abs(cur.MeanSecs-old.MeanSecs) > halfWidth(old)+halfWidth(cur)
+	return r
+}
+
+func halfWidth(rec Record) float64 {
+	hw := 0.01 * rec.MeanSecs
+	if rec.Samples >= 2 && rec.StddevSecs > 0 {
+		if s := 2 * rec.StddevSecs / math.Sqrt(float64(rec.Samples)); s > hw {
+			hw = s
+		}
+	}
+	return hw
+}
+
+// welch computes the Welch t statistic and the Welch–Satterthwaite
+// degrees of freedom for two summarized samples.
+func welch(a, b Record) (t, df float64) {
+	va := a.StddevSecs * a.StddevSecs / float64(a.Samples)
+	vb := b.StddevSecs * b.StddevSecs / float64(b.Samples)
+	se := math.Sqrt(va + vb)
+	if se <= 0 {
+		return 0, 1
+	}
+	t = (b.MeanSecs - a.MeanSecs) / se
+	num := (va + vb) * (va + vb)
+	den := va*va/float64(a.Samples-1) + vb*vb/float64(b.Samples-1)
+	if den <= 0 {
+		return t, 1
+	}
+	return t, num / den
+}
+
+// tTable holds two-sided α=0.05 critical values of Student's t.
+var tTable = []struct{ df, t float64 }{
+	{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+	{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+	{12, 2.179}, {14, 2.145}, {16, 2.120}, {18, 2.101}, {20, 2.086},
+	{25, 2.060}, {30, 2.042}, {40, 2.021}, {60, 2.000}, {120, 1.980},
+}
+
+// tCritical interpolates the α=0.05 two-sided critical value for the
+// given degrees of freedom, approaching the normal 1.96 above df=120.
+func tCritical(df float64) float64 {
+	if df <= tTable[0].df {
+		return tTable[0].t
+	}
+	for i := 1; i < len(tTable); i++ {
+		if df <= tTable[i].df {
+			lo, hi := tTable[i-1], tTable[i]
+			frac := (df - lo.df) / (hi.df - lo.df)
+			return lo.t + frac*(hi.t-lo.t)
+		}
+	}
+	return 1.96
+}
+
+// Regressions filters the results down to flagged regressions.
+func Regressions(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Regression {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Print renders the comparison as a benchstat-style table.
+func Print(w io.Writer, results []Result) error {
+	if _, err := fmt.Fprintf(w, "%-40s %12s %12s %8s  %s\n",
+		"benchmark", "old s/iter", "new s/iter", "delta", "verdict"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		verdict := "~"
+		switch {
+		case r.Regression:
+			verdict = "REGRESSION"
+		case r.Significant && r.Delta < 0:
+			verdict = "improved"
+		case r.Significant:
+			verdict = "slower"
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %12.4g %12.4g %+7.1f%%  %s (%s)\n",
+			r.Name, r.OldMean, r.NewMean, r.Delta*100, verdict, r.Method); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package prof
+
+import (
+	"spmv/internal/obs"
+)
+
+// StreamShare is one stream's slice of a measured run: the predicted
+// bytes restated as a traffic fraction and the bandwidth that fraction
+// effectively moved at.
+type StreamShare struct {
+	Name  string  `json:"name"`
+	Bytes int64   `json:"bytes"`
+	Frac  float64 `json:"frac"`
+	GBps  float64 `json:"gbps"`
+}
+
+// Attribution joins a structural profile with a measured timing: the
+// predicted per-iteration traffic (the §II-B model the profile
+// itemizes) divided by the measured seconds, decomposed per stream.
+// Under the bandwidth-bound thesis the per-stream GB/s says which
+// stream the kernel spends its memory time on — the ctl/val split is
+// exactly what separates an index-bound from a value-bound matrix.
+type Attribution struct {
+	// SecsPerIter is the measured steady-state seconds per SpMV.
+	SecsPerIter float64 `json:"secs_per_iter"`
+	// PredictedBytes is obs.BytesPerSpMV for the profiled format — by
+	// construction the sum of the profile's streams.
+	PredictedBytes int64 `json:"predicted_bytes_per_iter"`
+	// GBps is the effective bandwidth of the whole run.
+	GBps float64 `json:"gbps"`
+	// Streams decomposes the traffic; Fracs sum to 1 and GBps entries
+	// sum to the total.
+	Streams []StreamShare `json:"streams"`
+
+	// Threads, TimeImbalance and NNZImbalance carry the last measured
+	// run's executor telemetry when a RunStat was supplied.
+	Threads       int     `json:"threads,omitempty"`
+	WallSecs      float64 `json:"measured_wall_secs,omitempty"`
+	BusySecs      float64 `json:"measured_busy_secs,omitempty"`
+	TimeImbalance float64 `json:"time_imbalance,omitempty"`
+	NNZImbalance  float64 `json:"nnz_imbalance,omitempty"`
+}
+
+// Attribute builds the predicted-vs-measured bandwidth attribution for
+// a profile and stores it on the profile. secsPerIter is the measured
+// timing; last, when non-nil, is the most recent run's telemetry (its
+// thread count and imbalance are copied through). It returns the
+// attribution for convenience.
+func Attribute(p *FormatProfile, secsPerIter float64, last *obs.RunStat) *Attribution {
+	a := &Attribution{
+		SecsPerIter:    secsPerIter,
+		PredictedBytes: p.WorkingSet,
+		GBps:           obs.GBps(p.WorkingSet, secsPerIter),
+	}
+	for _, s := range p.Streams {
+		share := StreamShare{Name: s.Name, Bytes: s.Bytes}
+		if p.WorkingSet > 0 {
+			share.Frac = float64(s.Bytes) / float64(p.WorkingSet)
+		}
+		share.GBps = share.Frac * a.GBps
+		a.Streams = append(a.Streams, share)
+	}
+	if last != nil && last.Threads() > 0 {
+		a.Threads = last.Threads()
+		a.WallSecs = last.Wall.Seconds()
+		a.BusySecs = last.Busy().Seconds()
+		a.TimeImbalance = last.TimeImbalance()
+		a.NNZImbalance = last.NNZImbalance()
+	}
+	p.Attribution = a
+	return a
+}

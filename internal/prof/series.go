@@ -1,0 +1,149 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"spmv/internal/obs"
+)
+
+// Series is an obs.Collector that records every run as a time-series
+// point: wall time and per-worker busy times, iteration by iteration.
+// Where Recorder aggregates, Series preserves order — the view that
+// makes imbalance *drift* visible (a matrix whose tail rows decode
+// wider units slows specific workers as the x vector churns the cache,
+// which an aggregate mean hides).
+//
+// Series is safe for concurrent use and bounded: past the point cap
+// new runs are counted in Dropped rather than stored.
+type Series struct {
+	mu      sync.Mutex
+	max     int
+	points  []Point
+	dropped int
+}
+
+// DefaultMaxPoints bounds a Series when NewSeries is given n <= 0.
+const DefaultMaxPoints = 4096
+
+// Point is one recorded run.
+type Point struct {
+	// Run is the 0-based index of the run in arrival order.
+	Run int `json:"run"`
+	// WallNS is the run's wall time; Vectors its result-vector count.
+	WallNS  int64 `json:"wall_ns"`
+	Vectors int   `json:"vectors"`
+	// Imbalance is the run's measured time imbalance (1.0 = perfect).
+	Imbalance float64 `json:"imbalance"`
+	// BusyNS holds each worker's busy time.
+	BusyNS []int64 `json:"busy_ns"`
+}
+
+// NewSeries returns a Series storing at most maxPoints runs
+// (DefaultMaxPoints when maxPoints <= 0).
+func NewSeries(maxPoints int) *Series {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	return &Series{max: maxPoints}
+}
+
+// RunDone implements obs.Collector.
+func (s *Series) RunDone(st *obs.RunStat) {
+	busy := make([]int64, len(st.Chunks))
+	for i := range st.Chunks {
+		busy[i] = int64(st.Chunks[i].Busy)
+	}
+	im := st.TimeImbalance()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) >= s.max {
+		s.dropped++
+		return
+	}
+	s.points = append(s.points, Point{
+		Run:       len(s.points) + s.dropped,
+		WallNS:    int64(st.Wall),
+		Vectors:   st.Vectors,
+		Imbalance: im,
+		BusyNS:    busy,
+	})
+}
+
+// SeriesSummary condenses a recorded series: per-iteration means and
+// the imbalance drift between the first and second half, which is the
+// one-number answer to "is the load balance degrading over iterations".
+type SeriesSummary struct {
+	Runs          int     `json:"runs"`
+	Dropped       int     `json:"dropped,omitempty"`
+	MeanWallSecs  float64 `json:"mean_wall_secs"`
+	MeanImbalance float64 `json:"mean_imbalance"`
+	MaxImbalance  float64 `json:"max_imbalance"`
+	// ImbalanceDrift is mean(second half) - mean(first half); positive
+	// means balance worsens as iterations accumulate.
+	ImbalanceDrift float64 `json:"imbalance_drift"`
+}
+
+// SeriesDoc is the JSON document WriteJSON emits.
+type SeriesDoc struct {
+	Summary SeriesSummary `json:"summary"`
+	Points  []Point       `json:"points"`
+}
+
+// Snapshot returns a copy of the recorded points.
+func (s *Series) Snapshot() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Doc assembles the exportable document: summary plus points.
+func (s *Series) Doc() SeriesDoc {
+	s.mu.Lock()
+	pts := make([]Point, len(s.points))
+	copy(pts, s.points)
+	dropped := s.dropped
+	s.mu.Unlock()
+
+	doc := SeriesDoc{Points: pts}
+	doc.Summary.Runs = len(pts)
+	doc.Summary.Dropped = dropped
+	if len(pts) == 0 {
+		return doc
+	}
+	var wall time.Duration
+	sumIm := 0.0
+	for _, p := range pts {
+		wall += time.Duration(p.WallNS)
+		sumIm += p.Imbalance
+		if p.Imbalance > doc.Summary.MaxImbalance {
+			doc.Summary.MaxImbalance = p.Imbalance
+		}
+	}
+	n := len(pts)
+	doc.Summary.MeanWallSecs = wall.Seconds() / float64(n)
+	doc.Summary.MeanImbalance = sumIm / float64(n)
+	if n >= 2 {
+		half := n / 2
+		first, second := 0.0, 0.0
+		for _, p := range pts[:half] {
+			first += p.Imbalance
+		}
+		for _, p := range pts[half:] {
+			second += p.Imbalance
+		}
+		doc.Summary.ImbalanceDrift = second/float64(n-half) - first/float64(half)
+	}
+	return doc
+}
+
+// WriteJSON emits the series with its summary as indented JSON.
+func (s *Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Doc())
+}

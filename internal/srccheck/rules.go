@@ -139,7 +139,8 @@ func IsHotFunc(name string) bool {
 	switch name {
 	case "SpMV", "SpMVAdd", "SpMVT", "SpMM", "SpMVBatch",
 		"Mul", "MulAdd", "MulTrans",
-		"Dot", "Axpy", "DecodeAt":
+		"Dot", "Axpy", "DecodeAt",
+		"runChunk", "runColJob", "runBlockJob":
 		return true
 	}
 	for _, prefix := range []string{"spmv", "decode", "addRange"} {

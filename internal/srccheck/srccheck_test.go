@@ -127,8 +127,11 @@ func TestParseAllowlistErrors(t *testing.T) {
 func TestIsHotFunc(t *testing.T) {
 	hot := []string{"SpMV", "SpMVAdd", "SpMVBatch", "Mul", "Dot", "spmvRange",
 		"spmvBatch4", "spmvBatchK", "decodeUnit", "addRange",
-		"(*Matrix).SpMV", "(*chunk).SpMVBatch"}
-	cold := []string{"FromCOO", "Verify", "Name", "String", "Split", "Print"}
+		"(*Matrix).SpMV", "(*chunk).SpMVBatch",
+		"runChunk", "runColJob", "runBlockJob",
+		"(*Executor).runChunk", "(*BlockExecutor).runBlockJob"}
+	cold := []string{"FromCOO", "Verify", "Name", "String", "Split", "Print",
+		"worker", "colJobError", "traceTask"}
 	for _, name := range hot {
 		if !IsHotFunc(name) {
 			t.Errorf("IsHotFunc(%q) = false, want true", name)

@@ -46,6 +46,29 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
+// MeanStddev returns the arithmetic mean and the sample (n-1) standard
+// deviation of xs. Fewer than two values yield stddev 0 — a single
+// measurement has no spread to report.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
 // SlowdownThreshold is the paper's "non-negligible slowdown" cutoff:
 // a speedup below 0.98 counts as a slowdown (Tables III/IV).
 const SlowdownThreshold = 0.98

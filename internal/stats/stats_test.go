@@ -83,3 +83,20 @@ func TestMFLOPS(t *testing.T) {
 		t.Error("MFLOPS with zero time should be 0")
 	}
 }
+
+func TestMeanStddev(t *testing.T) {
+	m, s := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	// Sample stddev of this classic set: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(s-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s, want)
+	}
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Errorf("empty: %v, %v", m, s)
+	}
+	if m, s := MeanStddev([]float64{3}); m != 3 || s != 0 {
+		t.Errorf("single: %v, %v", m, s)
+	}
+}

@@ -92,6 +92,7 @@ import (
 	"spmv/internal/obs"
 	"spmv/internal/parallel"
 	"spmv/internal/precond"
+	"spmv/internal/prof"
 	"spmv/internal/reorder"
 	"spmv/internal/solver"
 	"spmv/internal/sym"
@@ -370,6 +371,36 @@ func BytesPerSpMM(f Format, k int) int64 { return obs.BytesPerSpMM(f, k) }
 // honest per-vector bandwidth of a batched run is
 // GB/s = BytesPerVector(f, k) / (secs/k) / 1e9.
 func BytesPerVector(f Format, k int) float64 { return obs.BytesPerVector(f, k) }
+
+// Profiling. Profile walks a built format and reports where its bytes
+// live; Attribute joins a profile with a measured timing.
+type (
+	// FormatProfile is the structural profile of a built format: its
+	// per-stream byte split of the traffic model plus format-specific
+	// statistics (CSR-DU ctl units, CSR-VI dictionary, BCSR fill).
+	FormatProfile = prof.FormatProfile
+	// Attribution splits a measured bandwidth across a profile's
+	// streams in proportion to their predicted traffic.
+	Attribution = prof.Attribution
+	// ProfileSeries is a Collector recording a per-iteration time
+	// series (wall time, load imbalance) of an executor's runs.
+	ProfileSeries = prof.Series
+)
+
+// Profile returns the structural profile of a built format. The
+// profiled stream bytes sum exactly to BytesPerSpMV(f).
+func Profile(f Format) *FormatProfile { return prof.New(f) }
+
+// AttributeBandwidth splits a measured seconds-per-iteration across
+// the profile's streams; last, when non-nil, contributes the run's
+// thread count and load-imbalance telemetry.
+func AttributeBandwidth(p *FormatProfile, secsPerIter float64, last *RunStat) *Attribution {
+	return prof.Attribute(p, secsPerIter, last)
+}
+
+// NewProfileSeries returns a time-series Collector keeping at most
+// maxPoints runs (<= 0 means a default cap).
+func NewProfileSeries(maxPoints int) *ProfileSeries { return prof.NewSeries(maxPoints) }
 
 // Solvers.
 type (

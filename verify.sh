@@ -30,6 +30,22 @@ echo "== spmvbench -rhs smoke"
 # the RHS sweep printer, at a scale that finishes in seconds.
 go run ./cmd/spmvbench -rhs 4 -scale 0.02 -iters 2 -threads 2 > /dev/null
 
+echo "== spmvbench -profile smoke"
+# Structural profiling end to end: builds the cell, measures it, and
+# emits the FormatProfile JSON with bandwidth attribution.
+go run ./cmd/spmvbench -profile -format csr-du -scale 0.02 -iters 2 -threads 2 > /dev/null
+
+echo "== spmvbench archive/compare smoke"
+# Benchmark archive round trip: write a tiny archive, then compare a
+# fresh run against it. The 10x slowdown threshold checks the plumbing
+# (load, match, t-test, verdict printing), not the host's noise floor.
+ARCHDIR=$(mktemp -d)
+trap 'rm -rf "$ARCHDIR"' EXIT
+go run ./cmd/spmvbench -scale 0.02 -iters 2 -threads 2 -samples 2 \
+	-archive "$ARCHDIR" > /dev/null
+go run ./cmd/spmvbench -scale 0.02 -iters 2 -threads 2 -samples 2 \
+	-slowdown 10 -compare "$ARCHDIR"/BENCH_*.json > /dev/null
+
 echo "== spmvlint"
 # Layer 1: project-specific AST/type rules (panics, verifier,
 # droppederr, floateq, hotpath). Layer 2: compile gate diffing
