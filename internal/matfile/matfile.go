@@ -109,8 +109,35 @@ func Write(w io.Writer, f core.Format) error {
 // verified section by section; the rebuilt matrix is additionally run
 // through its format verifier before being returned, so a matrix that
 // loads without error is safe to hand to the trusting SpMV kernels.
+//
+// Read cannot know how many bytes r really holds, so a section header
+// claiming a huge length is only bounded by the header's nnz-derived
+// cap; allocation for large claims grows incrementally as bytes
+// actually arrive, never up front. When the input's total size is
+// known — a file, an HTTP upload — prefer ReadSized, which rejects
+// lying lengths outright.
 func Read(r io.Reader) (core.Format, error) {
-	br := bufio.NewReader(r)
+	return readAll(r, -1)
+}
+
+// ReadSized is Read for inputs of known total size (an upload body, a
+// stat-able file). Every section length is checked against the bytes
+// actually remaining in the input *before* any allocation, so a
+// corrupt or hostile header claiming a multi-gigabyte section fails
+// with core.ErrCorrupt immediately instead of attempting the
+// allocation — the alloc-bomb guard an attacker-reachable upload
+// endpoint needs.
+func ReadSized(r io.Reader, total int64) (core.Format, error) {
+	if total < 0 {
+		return nil, core.Shapef("matfile: negative input size %d", total)
+	}
+	return readAll(r, total)
+}
+
+func readAll(r io.Reader, total int64) (core.Format, error) {
+	src := &countingReader{r: r}
+	br := bufio.NewReader(src)
+	sr := &sectionReader{br: br, src: src, total: total}
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, core.Truncatedf("matfile: magic: %v", err)
@@ -163,7 +190,7 @@ func Read(r io.Reader) (core.Format, error) {
 	// validating FromRaw revalidates all invariants at O(nnz) cost, which
 	// the encoders' construction already pays. That keeps the reader
 	// immune to malformed ctl/command streams.
-	f, err := readBody(br, name, rows, cols, nnz, maxSection, withCRC)
+	f, err := readBody(sr, name, rows, cols, nnz, maxSection, withCRC)
 	if err != nil {
 		return nil, err
 	}
@@ -176,18 +203,18 @@ func Read(r io.Reader) (core.Format, error) {
 	return f, nil
 }
 
-func readBody(br *bufio.Reader, name string, rows, cols, nnz, maxSection int64, withCRC bool) (core.Format, error) {
+func readBody(sr *sectionReader, name string, rows, cols, nnz, maxSection int64, withCRC bool) (core.Format, error) {
 	switch name {
 	case "csr", "csr16":
-		rp, err := readSection(br, maxSection, withCRC)
+		rp, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		ci, err := readSection(br, maxSection, withCRC)
+		ci, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		vs, err := readSection(br, maxSection, withCRC)
+		vs, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
@@ -209,11 +236,11 @@ func readBody(br *bufio.Reader, name string, rows, cols, nnz, maxSection int64, 
 		}
 		return rebuildCSR(colInd, rowPtr, values, rows, cols, name == "csr16")
 	case "csr-du", "csr-du-rle":
-		ctl, err := readSection(br, maxSection, withCRC)
+		ctl, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		vals, err := readSection(br, maxSection, withCRC)
+		vals, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
@@ -224,11 +251,11 @@ func readBody(br *bufio.Reader, name string, rows, cols, nnz, maxSection int64, 
 		// RLE is recorded in the stream itself; FromRaw detects RLE units.
 		return csrdu.FromRaw(ctl, values, int(rows), int(cols))
 	case "dcsr":
-		cmds, err := readSection(br, maxSection, withCRC)
+		cmds, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		vals, err := readSection(br, maxSection, withCRC)
+		vals, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
@@ -238,25 +265,25 @@ func readBody(br *bufio.Reader, name string, rows, cols, nnz, maxSection int64, 
 		}
 		return dcsr.FromRaw(cmds, values, int(rows), int(cols))
 	case "csr-vi":
-		rowPtr, err := readSection(br, maxSection, withCRC)
+		rowPtr, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		colInd, err := readSection(br, maxSection, withCRC)
+		colInd, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		width, vi, uniq, err := readVISections(br, maxSection, withCRC)
+		width, vi, uniq, err := readVISections(sr, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
 		return rebuildVI(bytesInt32(rowPtr), bytesInt32(colInd), width, vi, uniq, rows, cols, nnz)
 	case "csr-du-vi":
-		ctl, err := readSection(br, maxSection, withCRC)
+		ctl, err := sr.section(maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
-		width, vi, uniq, err := readVISections(br, maxSection, withCRC)
+		width, vi, uniq, err := readVISections(sr, maxSection, withCRC)
 		if err != nil {
 			return nil, err
 		}
@@ -274,19 +301,19 @@ func readBody(br *bufio.Reader, name string, rows, cols, nnz, maxSection int64, 
 
 // readVISections reads the width/val_ind/unique section triple shared
 // by the csr-vi and csr-du-vi layouts.
-func readVISections(r *bufio.Reader, maxSection int64, withCRC bool) (width int, vi []byte, uniq []float64, err error) {
-	wb, err := readSection(r, maxSection, withCRC)
+func readVISections(sr *sectionReader, maxSection int64, withCRC bool) (width int, vi []byte, uniq []float64, err error) {
+	wb, err := sr.section(maxSection, withCRC)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	if len(wb) != 1 {
 		return 0, nil, nil, core.Shapef("matfile: width section is %d bytes, want 1", len(wb))
 	}
-	vi, err = readSection(r, maxSection, withCRC)
+	vi, err = sr.section(maxSection, withCRC)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	uq, err := readSection(r, maxSection, withCRC)
+	uq, err := sr.section(maxSection, withCRC)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -306,30 +333,6 @@ func writeSections(w *bufio.Writer, sections ...[]byte) error {
 		}
 	}
 	return nil
-}
-
-func readSection(r io.Reader, maxLen int64, withCRC bool) ([]byte, error) {
-	var n int64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, core.Truncatedf("matfile: section length: %v", err)
-	}
-	if n < 0 || n > maxLen {
-		return nil, core.Corruptf("matfile: invalid section length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, core.Truncatedf("matfile: section body: %v", err)
-	}
-	if withCRC {
-		var stored uint32
-		if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
-			return nil, core.Truncatedf("matfile: section checksum: %v", err)
-		}
-		if sum := crc32.ChecksumIEEE(buf); sum != stored {
-			return nil, core.Corruptf("matfile: section checksum mismatch (%08x != %08x)", sum, stored)
-		}
-	}
-	return buf, nil
 }
 
 // validRowPtr checks that a row pointer is monotone and spans exactly

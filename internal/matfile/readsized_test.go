@@ -1,0 +1,112 @@
+package matfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/matgen"
+)
+
+// allocBombFile builds a syntactically valid v2 header claiming a huge
+// nnz (which inflates the per-section cap to many gigabytes) followed
+// by a section length header demanding sectionLen bytes that the file
+// does not contain. Before the sized-read guard, loading this would
+// attempt a multi-gigabyte allocation from a few dozen input bytes.
+func allocBombFile(sectionLen int64) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(version)
+	var hdr bytes.Buffer
+	name := "csr"
+	hdr.WriteByte(byte(len(name)))
+	hdr.WriteString(name)
+	for _, v := range []int64{1000, 1000, math.MaxInt32} {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		hdr.Write(tmp[:])
+	}
+	buf.Write(hdr.Bytes())
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hdr.Bytes()))
+	buf.Write(crc[:])
+	var slen [8]byte
+	binary.LittleEndian.PutUint64(slen[:], uint64(sectionLen))
+	buf.Write(slen[:])
+	// A token amount of body — nowhere near sectionLen.
+	buf.Write(make([]byte, 64))
+	return buf.Bytes()
+}
+
+// TestReadSizedRejectsAllocBomb is the corrupt-header regression test:
+// a section length exceeding the input's remaining bytes must fail
+// with core.ErrCorrupt before any allocation is attempted.
+func TestReadSizedRejectsAllocBomb(t *testing.T) {
+	// 8 GiB claimed, inside the nnz-derived cap but far beyond the file.
+	data := allocBombFile(8 << 30)
+	if _, err := ReadSized(bytes.NewReader(data), int64(len(data))); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("ReadSized(alloc bomb): got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadUnsizedAllocBombTruncates checks the unsized path's defense:
+// allocation grows only as bytes actually arrive, so the same bomb
+// fails with a truncation error after consuming the real input, not
+// with an 8 GiB up-front allocation.
+func TestReadUnsizedAllocBombTruncates(t *testing.T) {
+	data := allocBombFile(8 << 30)
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, core.ErrTruncated) {
+		t.Fatalf("Read(alloc bomb): got %v, want ErrTruncated", err)
+	}
+}
+
+// TestReadSizedNegativeTotal checks the argument guard.
+func TestReadSizedNegativeTotal(t *testing.T) {
+	if _, err := ReadSized(bytes.NewReader(nil), -1); !errors.Is(err, core.ErrShape) {
+		t.Fatalf("ReadSized(-1): got %v, want ErrShape", err)
+	}
+}
+
+// TestReadSizedRoundTrip checks the sized path loads a valid file
+// identically to Read.
+func TestReadSizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := matgen.FEMLike(rng, 80, 4, matgen.Values{})
+	m, err := csr.FromCOO(c)
+	if err != nil {
+		t.Fatalf("csr: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := ReadSized(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("ReadSized: %v", err)
+	}
+	checkEqual(t, m, back, c.Cols())
+}
+
+// TestReadSizedLyingShortTotal checks that a total smaller than the
+// real file still rejects sections honestly (remaining goes negative).
+func TestReadSizedLyingShortTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := matgen.FEMLike(rng, 80, 4, matgen.Values{})
+	m, err := csr.FromCOO(c)
+	if err != nil {
+		t.Fatalf("csr: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := ReadSized(bytes.NewReader(buf.Bytes()), 40); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("ReadSized(short total): got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,91 @@
+package matfile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"spmv/internal/core"
+)
+
+// countingReader counts the bytes pulled from the underlying reader,
+// so the section reader can tell how much of a size-bounded input
+// remains even through the bufio layer's readahead.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// sectionReader reads the container's length-prefixed sections. Every
+// length is checked against the header-derived per-section cap; when
+// the input's total size is known it is additionally checked against
+// the bytes actually remaining *before* any allocation — the
+// alloc-bomb guard for attacker-reachable inputs (uploads, files).
+type sectionReader struct {
+	br    *bufio.Reader
+	src   *countingReader
+	total int64 // total input size, or -1 when unknown
+}
+
+// remaining reports the bytes left in a size-bounded input: the total
+// minus what the caller has consumed so far (bytes read from the
+// source, minus those still sitting unread in the bufio buffer).
+func (s *sectionReader) remaining() int64 {
+	return s.total - (s.src.n - int64(s.br.Buffered()))
+}
+
+// section reads one length-prefixed blob and, for v2 containers,
+// verifies its trailing CRC32.
+func (s *sectionReader) section(maxLen int64, withCRC bool) ([]byte, error) {
+	var n int64
+	if err := binary.Read(s.br, binary.LittleEndian, &n); err != nil {
+		return nil, core.Truncatedf("matfile: section length: %v", err)
+	}
+	if n < 0 || n > maxLen {
+		return nil, core.Corruptf("matfile: invalid section length %d", n)
+	}
+	var buf []byte
+	if s.total >= 0 {
+		// Sized input: a length the input cannot possibly satisfy is
+		// rejected here, before the allocation it would imply.
+		need := n
+		if withCRC {
+			need += 4
+		}
+		if rem := s.remaining(); need > rem {
+			return nil, core.Corruptf("matfile: section length %d exceeds remaining input %d", n, rem)
+		}
+		buf = make([]byte, n)
+		if _, err := io.ReadFull(s.br, buf); err != nil {
+			return nil, core.Truncatedf("matfile: section body: %v", err)
+		}
+	} else {
+		// Unsized input: allocation must not outrun the data. CopyN into
+		// a growing buffer allocates as bytes actually arrive, so a lying
+		// multi-gigabyte length fails with a truncation error after
+		// consuming only what the stream really holds.
+		var bb bytes.Buffer
+		if copied, err := io.CopyN(&bb, s.br, n); err != nil {
+			return nil, core.Truncatedf("matfile: section body: %d of %d bytes: %v", copied, n, err)
+		}
+		buf = bb.Bytes()
+	}
+	if withCRC {
+		var stored uint32
+		if err := binary.Read(s.br, binary.LittleEndian, &stored); err != nil {
+			return nil, core.Truncatedf("matfile: section checksum: %v", err)
+		}
+		if sum := crc32.ChecksumIEEE(buf); sum != stored {
+			return nil, core.Corruptf("matfile: section checksum mismatch (%08x != %08x)", sum, stored)
+		}
+	}
+	return buf, nil
+}

@@ -28,10 +28,11 @@ type BlockExecutor struct {
 	blocks       []*csr.Matrix // gridR*gridC, row-major
 	partial      [][]float64   // one per block
 
-	start  []chan blockJob
-	errs   []error
-	wg     sync.WaitGroup
-	once   sync.Once
+	start []chan blockJob
+	errs  []error
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex // serializes Run/RunBatch/Close; guards closed
 	closed bool
 
 	scratchY, scratchX []float64 // RunBatch per-column scratch
@@ -93,10 +94,12 @@ func NewBlockExecutor(c *core.COO, gridR, gridC int) (*BlockExecutor, error) {
 }
 
 // SetCollector attaches (or, with nil, detaches) a telemetry sink.
-// Must not be called concurrently with Run/RunIters. A worker's Lo/Hi
-// span is its grid block's row range; workers in column 0 additionally
-// accumulate their block row's reduction time.
+// It takes the run lock, so attaching mid-stream is safe. A worker's
+// Lo/Hi span is its grid block's row range; workers in column 0
+// additionally accumulate their block row's reduction time.
 func (e *BlockExecutor) SetCollector(c obs.Collector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.collector = c
 	if c == nil {
 		e.stats = nil
@@ -177,10 +180,31 @@ func (e *BlockExecutor) Threads() int { return len(e.blocks) }
 
 // Run computes y = A*x. A failed multiply phase returns before the
 // reduction, leaving y untouched. After Close, Run returns an error
-// wrapping core.ErrUsage.
+// wrapping core.ErrUsage. Run, RunBatch and Close serialize on an
+// internal mutex (see Executor).
 func (e *BlockExecutor) Run(y, x []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run(nil, y, x)
+}
+
+// RunCtx is Run with a cancellation context, checked before each
+// dispatch phase (see Executor.RunCtx for the preemption contract).
+func (e *BlockExecutor) RunCtx(ctx context.Context, y, x []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run(ctx, y, x)
+}
+
+// run is Run without the lock; ctx may be nil.
+func (e *BlockExecutor) run(ctx context.Context, y, x []float64) error {
 	if e.closed {
 		return errClosed()
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	rows := e.rowB[e.gridR]
 	cols := e.colB[e.gridC]
@@ -192,19 +216,19 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
-	var ctx context.Context
+	var tctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
 		var end func()
-		ctx, end = traceTask("spmv.block.run")
+		tctx, end = traceTask("spmv.block.run")
 		defer end()
 		t0 = time.Now()
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- blockJob{x: x, stats: e.stats, ctx: ctx}
+		e.start[i] <- blockJob{x: x, stats: e.stats, ctx: tctx}
 	}
 	e.wg.Wait()
 	if err := errors.Join(e.errs...); err != nil {
@@ -212,7 +236,7 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- blockJob{x: x, y: y, stats: e.stats, ctx: ctx}
+		e.start[i] <- blockJob{x: x, y: y, stats: e.stats, ctx: tctx}
 	}
 	e.wg.Wait()
 	if e.collector != nil {
@@ -233,6 +257,21 @@ func (e *BlockExecutor) Run(y, x []float64) error {
 // column executor, the reduction phase shares y across workers, so
 // there is no fused multi-vector path.
 func (e *BlockExecutor) RunBatch(y, x []float64, k int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(nil, y, x, k)
+}
+
+// RunBatchCtx is RunBatch with a cancellation context, checked before
+// each panel column.
+func (e *BlockExecutor) RunBatchCtx(ctx context.Context, y, x []float64, k int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(ctx, y, x, k)
+}
+
+// runBatch is RunBatch without the lock; ctx may be nil.
+func (e *BlockExecutor) runBatch(ctx context.Context, y, x []float64, k int) error {
 	if e.closed {
 		return errClosed()
 	}
@@ -242,13 +281,14 @@ func (e *BlockExecutor) RunBatch(y, x []float64, k int) error {
 		return fmt.Errorf("parallel: %w", err)
 	}
 	if k == 1 {
-		return e.Run(y[:rows], x[:cols])
+		return e.run(ctx, y[:rows], x[:cols])
 	}
 	if e.scratchY == nil {
 		e.scratchY = make([]float64, rows)
 		e.scratchX = make([]float64, cols)
 	}
-	return runBatchColumns(y, x, k, e.scratchY, e.scratchX, e.Run)
+	return runBatchColumns(ctx, y, x, k, e.scratchY, e.scratchX,
+		func(yc, xc []float64) error { return e.run(ctx, yc, xc) })
 }
 
 // RunBatchIters performs iters consecutive batched multiplications.
@@ -274,12 +314,16 @@ func (e *BlockExecutor) RunIters(iters int, y, x []float64) error {
 }
 
 // Close stops the workers. Run and RunIters return an error wrapping
-// core.ErrUsage afterwards; Close itself is idempotent.
+// core.ErrUsage afterwards. Close is idempotent and safe to call
+// concurrently with itself and with Run/RunBatch.
 func (e *BlockExecutor) Close() {
-	e.once.Do(func() {
-		e.closed = true
-		for i := range e.start {
-			close(e.start[i])
-		}
-	})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for i := range e.start {
+		close(e.start[i])
+	}
 }

@@ -24,10 +24,11 @@ type ColExecutor struct {
 	cols    int
 	private [][]float64
 
-	start  []chan colJob
-	errs   []error
-	wg     sync.WaitGroup
-	once   sync.Once
+	start []chan colJob
+	errs  []error
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex // serializes Run/RunBatch/Close; guards closed
 	closed bool
 
 	scratchY, scratchX []float64 // RunBatch per-column scratch
@@ -67,10 +68,12 @@ func NewColExecutor(f core.Format, nthreads int) (*ColExecutor, error) {
 }
 
 // SetCollector attaches (or, with nil, detaches) a telemetry sink.
-// Must not be called concurrently with Run/RunIters. A worker's
+// It takes the run lock, so attaching mid-stream is safe. A worker's
 // reported busy time covers both its multiply and reduction phases;
 // its Lo/Hi span is its column range.
 func (e *ColExecutor) SetCollector(c obs.Collector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.collector = c
 	if c == nil {
 		e.stats = nil
@@ -152,10 +155,31 @@ func (e *ColExecutor) Threads() int { return len(e.chunks) }
 // Run computes y = A*x: a multiply phase over column chunks, a barrier,
 // then a parallel reduction over row ranges. A failed multiply phase
 // returns before the reduction, leaving y untouched. After Close, Run
-// returns an error wrapping core.ErrUsage.
+// returns an error wrapping core.ErrUsage. Run, RunBatch and Close
+// serialize on an internal mutex (see Executor).
 func (e *ColExecutor) Run(y, x []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run(nil, y, x)
+}
+
+// RunCtx is Run with a cancellation context, checked before each
+// dispatch phase (see Executor.RunCtx for the preemption contract).
+func (e *ColExecutor) RunCtx(ctx context.Context, y, x []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run(ctx, y, x)
+}
+
+// run is Run without the lock; ctx may be nil.
+func (e *ColExecutor) run(ctx context.Context, y, x []float64) error {
 	if e.closed {
 		return errClosed()
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if err := core.CheckVectorDims(e.rows, e.cols, y, x); err != nil {
 		return fmt.Errorf("parallel: %w", err)
@@ -165,19 +189,19 @@ func (e *ColExecutor) Run(y, x []float64) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
-	var ctx context.Context
+	var tctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
 		var end func()
-		ctx, end = traceTask("spmv.col.run")
+		tctx, end = traceTask("spmv.col.run")
 		defer end()
 		t0 = time.Now()
 	}
 	e.wg.Add(n)
 	for i := range e.start {
-		e.start[i] <- colJob{x: x, stats: e.stats, ctx: ctx}
+		e.start[i] <- colJob{x: x, stats: e.stats, ctx: tctx}
 	}
 	e.wg.Wait()
 	if err := errors.Join(e.errs...); err != nil {
@@ -187,7 +211,7 @@ func (e *ColExecutor) Run(y, x []float64) error {
 	for i := range e.start {
 		lo := i * e.rows / n
 		hi := (i + 1) * e.rows / n
-		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}, stats: e.stats, ctx: ctx}
+		e.start[i] <- colJob{y: y, reduce: [2]int{lo, hi}, stats: e.stats, ctx: tctx}
 	}
 	e.wg.Wait()
 	if e.collector != nil {
@@ -207,6 +231,21 @@ func (e *ColExecutor) Run(y, x []float64) error {
 // vector path; RunBatch exists for Runner parity and correctness, not
 // amortization — use the row-partitioned executor for batched work.
 func (e *ColExecutor) RunBatch(y, x []float64, k int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(nil, y, x, k)
+}
+
+// RunBatchCtx is RunBatch with a cancellation context, checked before
+// each panel column.
+func (e *ColExecutor) RunBatchCtx(ctx context.Context, y, x []float64, k int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(ctx, y, x, k)
+}
+
+// runBatch is RunBatch without the lock; ctx may be nil.
+func (e *ColExecutor) runBatch(ctx context.Context, y, x []float64, k int) error {
 	if e.closed {
 		return errClosed()
 	}
@@ -214,13 +253,14 @@ func (e *ColExecutor) RunBatch(y, x []float64, k int) error {
 		return fmt.Errorf("parallel: %w", err)
 	}
 	if k == 1 {
-		return e.Run(y[:e.rows], x[:e.cols])
+		return e.run(ctx, y[:e.rows], x[:e.cols])
 	}
 	if e.scratchY == nil {
 		e.scratchY = make([]float64, e.rows)
 		e.scratchX = make([]float64, e.cols)
 	}
-	return runBatchColumns(y, x, k, e.scratchY, e.scratchX, e.Run)
+	return runBatchColumns(ctx, y, x, k, e.scratchY, e.scratchX,
+		func(yc, xc []float64) error { return e.run(ctx, yc, xc) })
 }
 
 // RunBatchIters performs iters consecutive batched multiplications.
@@ -246,12 +286,16 @@ func (e *ColExecutor) RunIters(iters int, y, x []float64) error {
 }
 
 // Close stops the workers. Run and RunIters return an error wrapping
-// core.ErrUsage afterwards; Close itself is idempotent.
+// core.ErrUsage afterwards. Close is idempotent and safe to call
+// concurrently with itself and with Run/RunBatch.
 func (e *ColExecutor) Close() {
-	e.once.Do(func() {
-		e.closed = true
-		for i := range e.start {
-			close(e.start[i])
-		}
-	})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for i := range e.start {
+		close(e.start[i])
+	}
 }

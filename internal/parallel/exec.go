@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -16,10 +17,18 @@ import (
 type Runner interface {
 	// Run computes y = A*x.
 	Run(y, x []float64) error
+	// RunCtx is Run with a cancellation context: a context that is done
+	// before dispatch returns ctx.Err() without running. Contexts bound
+	// queueing delay, not kernel time — an in-flight chunk kernel is
+	// never preempted.
+	RunCtx(ctx context.Context, y, x []float64) error
 	// RunIters performs iters consecutive scalar multiplications.
 	RunIters(iters int, y, x []float64) error
 	// RunBatch computes Y = A*X over row-major n×k panels.
 	RunBatch(y, x []float64, k int) error
+	// RunBatchCtx is RunBatch with a cancellation context, checked
+	// before dispatch and between fallback panel columns.
+	RunBatchCtx(ctx context.Context, y, x []float64, k int) error
 	// RunBatchIters performs iters consecutive batched multiplications.
 	RunBatchIters(iters int, y, x []float64, k int) error
 	// Threads returns the worker count.
@@ -27,6 +36,7 @@ type Runner interface {
 	// SetCollector attaches (or detaches, with nil) a telemetry sink.
 	SetCollector(obs.Collector)
 	// Close stops the workers; Run afterwards wraps core.ErrUsage.
+	// Close is idempotent and safe concurrently with Run/RunBatch.
 	Close()
 }
 
@@ -81,9 +91,15 @@ func New(f core.Format, opts ExecOptions) (Runner, error) {
 // reducing executors: gather each panel column into contiguous scratch
 // vectors, run the scalar executor, scatter the result column back.
 // The scalar path's own telemetry fires once per column, each an
-// honest single-vector run.
-func runBatchColumns(y, x []float64, k int, yc, xc []float64, run func(y, x []float64) error) error {
+// honest single-vector run. A non-nil ctx is checked before each
+// column, so a canceled batch stops between columns.
+func runBatchColumns(ctx context.Context, y, x []float64, k int, yc, xc []float64, run func(y, x []float64) error) error {
 	for c := 0; c < k; c++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("batch column %d: %w", c, err)
+			}
+		}
 		for j := range xc {
 			xc[j] = x[j*k+c]
 		}

@@ -31,9 +31,15 @@ import (
 )
 
 // Executor runs row-partitioned multithreaded SpMV for one matrix.
-// Create with NewExecutor, use Run/RunIters any number of times
-// (not concurrently), and Close when done. Run after Close returns an
-// error wrapping core.ErrUsage.
+// Create with NewExecutor, use Run/RunIters any number of times, and
+// Close when done. Run after Close returns an error wrapping
+// core.ErrUsage.
+//
+// Run, RunBatch and Close serialize on an internal mutex, so a server
+// pool may share one executor across goroutines and shut it down while
+// runs are in flight: concurrent calls queue, double-Close is a no-op,
+// and a Close racing a Run never panics — the loser observes the
+// closed state and returns the usage error.
 //
 // The executor is fault-tolerant: operand lengths are validated before
 // any worker touches them, and a kernel panic inside a worker — the
@@ -47,10 +53,11 @@ type Executor struct {
 	gaps   [][2]int // row ranges covered by no chunk (zeroed per run)
 	batch  bool     // every chunk implements core.BatchChunk
 
-	start  []chan job
-	errs   []error // per-worker error slot for the current run
-	wg     sync.WaitGroup
-	once   sync.Once
+	start []chan job
+	errs  []error // per-worker error slot for the current run
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex // serializes Run/RunBatch/Close; guards closed
 	closed bool
 
 	// Per-column scratch for the RunBatch fallback on formats without a
@@ -146,9 +153,12 @@ func traceTask(name string) (context.Context, func()) {
 }
 
 // SetCollector attaches (or, with nil, detaches) a telemetry sink.
-// Must not be called concurrently with Run/RunIters — set it up right
-// after construction, alongside the executor's other configuration.
+// It takes the run lock, so attaching mid-stream is safe; set it up
+// right after construction alongside the executor's other
+// configuration all the same.
 func (e *Executor) SetCollector(c obs.Collector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.collector = c
 	if c == nil {
 		e.stats = nil
@@ -229,8 +239,31 @@ func (e *Executor) Threads() int { return len(e.chunks) }
 // matrix itself is untouched, so the caller can Verify it and retry or
 // fail over.
 func (e *Executor) Run(y, x []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run(nil, y, x)
+}
+
+// RunCtx is Run with a cancellation context: a context that is already
+// done when the run would start returns ctx.Err() without dispatching.
+// A kernel already in flight is never preempted — SpMV over one chunk
+// is short and preemption points would cost the hot loop — so the
+// context bounds queueing delay, not kernel time.
+func (e *Executor) RunCtx(ctx context.Context, y, x []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.run(ctx, y, x)
+}
+
+// run is Run without the lock; ctx may be nil.
+func (e *Executor) run(ctx context.Context, y, x []float64) error {
 	if e.closed {
 		return errClosed()
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if err := core.CheckVectorDims(e.rows, e.cols, y, x); err != nil {
 		return fmt.Errorf("parallel: %w", err)
@@ -244,17 +277,17 @@ func (e *Executor) Run(y, x []float64) error {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
-	var ctx context.Context
+	var tctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
 		var end func()
-		ctx, end = traceTask("spmv.row.run")
+		tctx, end = traceTask("spmv.row.run")
 		defer end()
 		t0 = time.Now()
 	}
-	e.dispatch(job{y: y, x: x, stats: e.stats, ctx: ctx})
+	e.dispatch(job{y: y, x: x, stats: e.stats, ctx: tctx})
 	if e.collector != nil {
 		// Workers are quiescent after Wait, so handing the collector a
 		// copy of the stats buffer is race-free.
@@ -286,26 +319,47 @@ func (e *Executor) dispatch(j job) {
 // Error semantics match Run; on a collector the whole batch is one
 // RunStat with Vectors = k.
 func (e *Executor) RunBatch(y, x []float64, k int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(nil, y, x, k)
+}
+
+// RunBatchCtx is RunBatch with a cancellation context, checked before
+// dispatch and between fallback columns (see RunCtx for the preemption
+// contract).
+func (e *Executor) RunBatchCtx(ctx context.Context, y, x []float64, k int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(ctx, y, x, k)
+}
+
+// runBatch is RunBatch without the lock; ctx may be nil.
+func (e *Executor) runBatch(ctx context.Context, y, x []float64, k int) error {
 	if e.closed {
 		return errClosed()
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if err := core.CheckPanelDims(e.rows, e.cols, y, x, k); err != nil {
 		return fmt.Errorf("parallel: %w", err)
 	}
 	if k == 1 {
-		return e.Run(y[:e.rows], x[:e.cols])
+		return e.run(ctx, y[:e.rows], x[:e.cols])
 	}
 	for i := range e.errs {
 		e.errs[i] = nil
 	}
 	var t0 time.Time
-	var ctx context.Context
+	var tctx context.Context
 	if e.collector != nil {
 		for i := range e.stats {
 			e.stats[i].Busy = 0
 		}
 		var end func()
-		ctx, end = traceTask("spmv.row.batch")
+		tctx, end = traceTask("spmv.row.batch")
 		defer end()
 		t0 = time.Now()
 	}
@@ -316,17 +370,22 @@ func (e *Executor) RunBatch(y, x []float64, k int) error {
 				yr[i] = 0
 			}
 		}
-		e.dispatch(job{y: y, x: x, k: k, stats: e.stats, ctx: ctx})
+		e.dispatch(job{y: y, x: x, k: k, stats: e.stats, ctx: tctx})
 	} else {
 		if e.scratchY == nil {
 			e.scratchY = make([]float64, e.rows)
 			e.scratchX = make([]float64, e.cols)
 		}
 		for c := 0; c < k; c++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("batch column %d: %w", c, err)
+				}
+			}
 			for j := range e.scratchX {
 				e.scratchX[j] = x[j*k+c]
 			}
-			e.dispatch(job{y: e.scratchY, x: e.scratchX, stats: e.stats, ctx: ctx})
+			e.dispatch(job{y: e.scratchY, x: e.scratchX, stats: e.stats, ctx: tctx})
 			if err := errors.Join(e.errs...); err != nil {
 				return fmt.Errorf("batch column %d: %w", c, err)
 			}
@@ -370,12 +429,18 @@ func (e *Executor) RunIters(iters int, y, x []float64) error {
 }
 
 // Close stops the workers. Run and RunIters return an error wrapping
-// core.ErrUsage afterwards; Close itself is idempotent.
+// core.ErrUsage afterwards. Close is idempotent and safe to call
+// concurrently with itself and with Run/RunBatch: it waits for an
+// in-flight run to finish, then closes the worker channels exactly
+// once.
 func (e *Executor) Close() {
-	e.once.Do(func() {
-		e.closed = true
-		for i := range e.start {
-			close(e.start[i])
-		}
-	})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for i := range e.start {
+		close(e.start[i])
+	}
 }

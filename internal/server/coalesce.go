@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"spmv/internal/core"
+)
+
+// Sentinel errors of the request pipeline, mapped to HTTP statuses by
+// the handlers.
+var (
+	errQueueFull = core.Usagef("server: admission queue full")
+	errEvicted   = core.Usagef("server: matrix evicted")
+	errDraining  = core.Usagef("server: draining")
+)
+
+// mulReq is one queued y = A·x request. done is buffered so the
+// coalescer's delivery never blocks on a handler that gave up: the
+// result lands in the buffer and is garbage-collected with the
+// request.
+type mulReq struct {
+	ctx  context.Context
+	x    []float64
+	done chan mulRes
+}
+
+type mulRes struct {
+	y   []float64
+	err error
+}
+
+// coalescer turns concurrent single-vector requests on one matrix into
+// SpMM panels. One goroutine per matrix owns the executor: it drains
+// up to maxK queued requests at a time and runs them as one RunBatch
+// panel, so under load the matrix stream is read once per k results
+// (PR 4: k=8 costs 0.25–0.36× the bytes/vector of k=1). The queue is
+// the admission bound — enqueue on a full queue fails immediately with
+// errQueueFull, which the handler turns into a 429.
+type coalescer struct {
+	e        *entry
+	maxK     int
+	queueCap int
+	baseCtx  context.Context // canceled only by server Close
+	metrics  *Metrics
+	hooks    *Hooks
+
+	mu       sync.Mutex
+	pending  []*mulReq
+	stopped  bool
+	stopErr  error
+	graceful bool
+
+	wake chan struct{} // buffered 1: "pending is non-empty"
+	quit chan struct{}
+	done chan struct{} // closed when the loop has exited
+}
+
+func newCoalescer(e *entry, maxK, queueCap int, baseCtx context.Context, m *Metrics, h *Hooks) *coalescer {
+	c := &coalescer{
+		e:        e,
+		maxK:     maxK,
+		queueCap: queueCap,
+		baseCtx:  baseCtx,
+		metrics:  m,
+		hooks:    h,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// enqueue admits a request or rejects it immediately: errQueueFull
+// when the bounded queue is at capacity, the stop error when the
+// matrix is shutting down. It never blocks and never spawns.
+func (c *coalescer) enqueue(req *mulReq) error {
+	c.mu.Lock()
+	if c.stopped {
+		err := c.stopErr
+		c.mu.Unlock()
+		return err
+	}
+	if len(c.pending) >= c.queueCap {
+		c.mu.Unlock()
+		return errQueueFull
+	}
+	c.pending = append(c.pending, req)
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// depth reports the current queue depth.
+func (c *coalescer) depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// stop shuts the coalescer down, failing queued requests with cause,
+// and waits for the loop to exit. Idempotent.
+func (c *coalescer) stop(cause error) {
+	c.shutdown(cause, false)
+}
+
+// drain shuts the coalescer down gracefully: no new requests are
+// admitted, but everything already queued is executed before the loop
+// exits. Idempotent against stop (first caller's policy wins).
+func (c *coalescer) drain() {
+	c.shutdown(errDraining, true)
+}
+
+func (c *coalescer) shutdown(cause error, graceful bool) {
+	c.mu.Lock()
+	if !c.stopped {
+		c.stopped = true
+		c.stopErr = cause
+		c.graceful = graceful
+		close(c.quit)
+	}
+	c.mu.Unlock()
+	<-c.done
+}
+
+// take removes up to maxK runnable requests from the queue. Requests
+// whose context is already done are answered with the context error
+// here, before they cost any panel work.
+func (c *coalescer) take() []*mulReq {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	batch := make([]*mulReq, 0, c.maxK)
+	for len(c.pending) > 0 && len(batch) < c.maxK {
+		req := c.pending[0]
+		copy(c.pending, c.pending[1:])
+		c.pending[len(c.pending)-1] = nil
+		c.pending = c.pending[:len(c.pending)-1]
+		if err := req.ctx.Err(); err != nil {
+			req.done <- mulRes{err: err}
+			continue
+		}
+		batch = append(batch, req)
+	}
+	return batch
+}
+
+func (c *coalescer) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.wake:
+			for {
+				batch := c.take()
+				if len(batch) == 0 {
+					break
+				}
+				c.execute(batch)
+			}
+		case <-c.quit:
+			// Graceful drain executes the backlog; a hard stop fails it.
+			for {
+				batch := c.take()
+				if len(batch) == 0 {
+					return
+				}
+				if c.graceful {
+					c.execute(batch)
+				} else {
+					for _, req := range batch {
+						req.done <- mulRes{err: c.stopErr}
+					}
+				}
+			}
+		}
+	}
+}
+
+// execute runs one coalesced batch and delivers each request's result.
+// The whole step is panic-contained: the executors already recover
+// kernel panics chunk-by-chunk, and this recover catches everything
+// else (fault hooks, panel assembly), so one poisoned batch costs its
+// own requests a 500 and nothing more — the loop, the executor pool
+// and every other queued request stay healthy.
+func (c *coalescer) execute(batch []*mulReq) {
+	k := len(batch)
+	c.metrics.recordWidth(k)
+	rows, cols := c.e.format.Rows(), c.e.format.Cols()
+	ys, err := func() (ys [][]float64, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c.metrics.PanicsRecovered.Add(1)
+				err = fmt.Errorf("server: recovered panic in batch of %d: %v", k, r)
+			}
+		}()
+		if h := c.hooks; h != nil && h.BeforeExecute != nil {
+			if err := h.BeforeExecute(c.e.id, k); err != nil {
+				return nil, err
+			}
+		}
+		if k == 1 {
+			// Width-1 delegates to the scalar kernel, preserving the
+			// bitwise-identical-to-Run guarantee end to end.
+			y := make([]float64, rows)
+			if err := c.e.runner.RunCtx(batch[0].ctx, y, batch[0].x); err != nil {
+				return nil, err
+			}
+			return [][]float64{y}, nil
+		}
+		xp := make([]float64, cols*k)
+		yp := make([]float64, rows*k)
+		for i, req := range batch {
+			for j, v := range req.x {
+				xp[j*k+i] = v
+			}
+		}
+		// The batch runs under the server's context, not any one
+		// request's: a request deadline bounds queueing delay, and a
+		// panel in flight completes for the sake of its batchmates.
+		if err := c.e.runner.RunBatchCtx(c.baseCtx, yp, xp, k); err != nil {
+			return nil, err
+		}
+		ys = make([][]float64, k)
+		for i := range batch {
+			y := make([]float64, rows)
+			for r := 0; r < rows; r++ {
+				y[r] = yp[r*k+i]
+			}
+			ys[i] = y
+		}
+		return ys, nil
+	}()
+	for i, req := range batch {
+		if err != nil {
+			req.done <- mulRes{err: err}
+			continue
+		}
+		req.done <- mulRes{y: ys[i]}
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/server/faulttest"
+)
+
+// TestCoalescedBitwiseIdentical is the coalescer-correctness gate:
+// k concurrent single-vector requests on one matrix must return
+// results bitwise identical to k sequential requests (which run as
+// width-1 batches, bitwise-delegating to the scalar kernel per the
+// PR-4 guarantee). The slow-down hook keeps the executor busy so
+// later requests pile into the queue and actually coalesce.
+func TestCoalescedBitwiseIdentical(t *testing.T) {
+	for _, format := range []string{"csr", "csr-du", "csr-vi"} {
+		t.Run(format, func(t *testing.T) {
+			hooks := &Hooks{}
+			s := newTestServer(t, Config{MaxBatch: 4, Hooks: hooks})
+			body := faulttest.ValidMMIO(21, 48)
+			resp := upload(t, s, body, format)
+
+			const k = 12
+			xs := make([][]float64, k)
+			for i := range xs {
+				x := testVec(resp.Cols)
+				for j := range x {
+					x[j] += float64(i)
+				}
+				xs[i] = x
+			}
+
+			// Sequential pass: one request at a time, each a width-1
+			// batch running the scalar kernel.
+			want := make([][]float64, k)
+			for i, x := range xs {
+				code, y := multiply(t, s, resp.ID, x, nil)
+				if code != http.StatusOK {
+					t.Fatalf("sequential %d: status %d", i, code)
+				}
+				want[i] = y
+			}
+
+			// Concurrent pass: the hook stalls execution so the queue
+			// fills and the coalescer drains it in wide panels.
+			hooks.BeforeExecute = faulttest.SlowDown(5 * time.Millisecond)
+			got := make([][]float64, k)
+			codes := make([]int, k)
+			var wg sync.WaitGroup
+			for i := range xs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					codes[i], got[i] = multiply(t, s, resp.ID, xs[i],
+						map[string]string{"X-Client-ID": string(rune('a' + i))})
+				}(i)
+			}
+			wg.Wait()
+
+			for i := range got {
+				if codes[i] != http.StatusOK {
+					t.Fatalf("concurrent %d: status %d", i, codes[i])
+				}
+				for j := range got[i] {
+					if !core.SameBits(got[i][j], want[i][j]) {
+						t.Fatalf("request %d: y[%d] = %x, want %x — coalesced result diverges from sequential",
+							i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+
+			widths := s.Metrics().BatchWidths()
+			var wide int64
+			for w := 2; w < len(widths); w++ {
+				wide += widths[w]
+			}
+			if wide == 0 {
+				t.Fatalf("no coalesced batch of width > 1 recorded: %v", widths)
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Package faulttest is the fault-injection harness for the SpMV
+// server: generators for corrupt and hostile upload payloads (seeded
+// by the PR-1 matfile/mmio corruption work), injectable execution
+// faults for the server.Hooks points, and slow-client helpers. The
+// soak and fuzz tests in internal/server are built on it.
+package faulttest
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/formats"
+	"spmv/internal/matfile"
+	"spmv/internal/matgen"
+	"spmv/internal/mmio"
+)
+
+// ValidMMIO renders an n×n FEM-like test matrix as MatrixMarket text.
+func ValidMMIO(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	c := matgen.FEMLike(rng, n, 4, matgen.Values{})
+	var buf bytes.Buffer
+	if err := mmio.Write(&buf, c); err != nil {
+		panic(core.Usagef("faulttest: mmio render: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// ValidMatfile renders an n×n test matrix as a matfile v2 container in
+// the named format (one of the matfile-supported names).
+func ValidMatfile(seed int64, n int, format string) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	c := matgen.FEMLike(rng, n, 4, matgen.Values{})
+	f, err := formats.Build(format, c)
+	if err != nil {
+		panic(core.Usagef("faulttest: build %s: %v", format, err))
+	}
+	var buf bytes.Buffer
+	if err := matfile.Write(&buf, f); err != nil {
+		panic(core.Usagef("faulttest: matfile render: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// CorruptUploads derives a corpus of corrupt payloads from a valid
+// one: single-byte flips across the file (the PR-1 corruption table
+// technique), truncations, and a few structural mutations. Every
+// returned payload differs from the original.
+func CorruptUploads(valid []byte) [][]byte {
+	var out [][]byte
+	flip := func(off int) {
+		if off < len(valid) {
+			b := append([]byte(nil), valid...)
+			b[off] ^= 0x40
+			out = append(out, b)
+		}
+	}
+	// Flips spread over header and body.
+	for _, off := range []int{0, 4, 5, 9, 17, 25, len(valid) / 2, len(valid) - 1} {
+		flip(off)
+	}
+	// Truncations: header-only, mid-section, one byte short.
+	for _, n := range []int{3, 8, len(valid) / 2, len(valid) - 1} {
+		if n >= 0 && n < len(valid) {
+			out = append(out, append([]byte(nil), valid[:n]...))
+		}
+	}
+	// Garbage and empty.
+	out = append(out, []byte("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n"))
+	out = append(out, []byte("not a matrix at all"))
+	out = append(out, []byte{})
+	return out
+}
+
+// AllocBombMatfile is a tiny matfile whose section header claims a
+// multi-gigabyte length — the upload-endpoint attack the ReadSized
+// guard exists for. It reuses a valid container's header bytes and
+// replaces the first section length.
+func AllocBombMatfile(valid []byte) []byte {
+	// Header: magic(4) + version(1) + nameLen(1) + name + 3*8 dims + 4 CRC.
+	if len(valid) < 7 {
+		return valid
+	}
+	nameLen := int(valid[5])
+	hdrEnd := 6 + nameLen + 24 + 4
+	if hdrEnd+8 > len(valid) {
+		return valid
+	}
+	b := append([]byte(nil), valid[:hdrEnd]...)
+	b = append(b, 0, 0, 0, 0, 0, 0, 2, 0) // little-endian 8<<48... huge length
+	b = append(b, make([]byte, 32)...)
+	return b
+}
+
+// PanicEvery returns a BeforeExecute hook that panics on every nth
+// call — the injected "kernel panic" of the soak test. Real kernel
+// panics (index out of range on corrupt streams) carry runtime.Error
+// values, which are errors, so the injected panic is an error value
+// too.
+func PanicEvery(n int64) func(string, int) error {
+	var calls atomic.Int64
+	return func(id string, width int) error {
+		if calls.Add(1)%n == 0 {
+			panic(core.Corruptf("faulttest: injected kernel panic on %s (width %d)", id, width))
+		}
+		return nil
+	}
+}
+
+// FailEvery returns a BeforeExecute hook failing every nth call with a
+// typed corrupt error — the "matrix went bad in memory" fault.
+func FailEvery(n int64) func(string, int) error {
+	var calls atomic.Int64
+	return func(id string, width int) error {
+		if calls.Add(1)%n == 0 {
+			return core.Corruptf("faulttest: injected execution fault on %s", id)
+		}
+		return nil
+	}
+}
+
+// SlowDown returns a BeforeExecute hook that sleeps d on every call,
+// inflating service time so admission queues actually fill under test
+// load.
+func SlowDown(d time.Duration) func(string, int) error {
+	return func(string, int) error {
+		time.Sleep(d)
+		return nil
+	}
+}
+
+// Chain composes BeforeExecute hooks left to right, stopping at the
+// first error.
+func Chain(hooks ...func(string, int) error) func(string, int) error {
+	return func(id string, width int) error {
+		for _, h := range hooks {
+			if h == nil {
+				continue
+			}
+			if err := h(id, width); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// DribbleReader yields its payload one small chunk at a time with a
+// delay between chunks — a slow client on the upload path.
+type DribbleReader struct {
+	Payload []byte
+	Chunk   int
+	Delay   time.Duration
+	off     int
+}
+
+// Read implements io.Reader.
+func (d *DribbleReader) Read(p []byte) (int, error) {
+	if d.off >= len(d.Payload) {
+		return 0, io.EOF
+	}
+	if d.off > 0 && d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	chunk := d.Chunk
+	if chunk <= 0 {
+		chunk = 64
+	}
+	n := copy(p[:min(len(p), chunk)], d.Payload[d.off:])
+	d.off += n
+	return n, nil
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"spmv/internal/server/faulttest"
+)
+
+// FuzzServeUpload drives arbitrary bytes through the upload endpoint
+// and, when one is admitted, through a multiply — the full
+// attacker-reachable parse path (sniff, mmio/matfile decode, verify,
+// build, execute). The property: the server never crashes, answers
+// only sane statuses, and anything admitted serves finite-length
+// results. Seeded with the valid payloads and the PR-1-style
+// corruption corpus.
+func FuzzServeUpload(f *testing.F) {
+	mmioSeed := faulttest.ValidMMIO(41, 20)
+	f.Add(mmioSeed)
+	for _, format := range []string{"csr", "csr-du", "csr-vi", "csr-du-vi", "dcsr"} {
+		f.Add(faulttest.ValidMatfile(41, 16, format))
+	}
+	for _, c := range faulttest.CorruptUploads(mmioSeed) {
+		f.Add(c)
+	}
+	for _, c := range faulttest.CorruptUploads(faulttest.ValidMatfile(42, 16, "csr")) {
+		f.Add(c)
+	}
+	f.Add(faulttest.AllocBombMatfile(faulttest.ValidMatfile(43, 16, "csr")))
+
+	s := New(Config{
+		// Tight budget: the fuzzer cannot accumulate matrices, and the
+		// eviction path gets fuzzed for free.
+		MemoryBudget:   1 << 20,
+		MaxUploadBytes: 1 << 20,
+		Threads:        1,
+	})
+	defer s.Close()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/matrices", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusCreated, http.StatusOK:
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+			return
+		default:
+			t.Fatalf("upload: unexpected status %d: %s", w.Code, w.Body.String())
+		}
+		var resp UploadResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("accepted upload with undecodable response: %v", err)
+		}
+		x := make([]float64, resp.Cols)
+		for i := range x {
+			x[i] = 1
+		}
+		mb, err := json.Marshal(MultiplyRequest{X: x})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		mreq := httptest.NewRequest("POST", "/matrices/"+resp.ID+"/multiply", bytes.NewReader(mb))
+		mw := httptest.NewRecorder()
+		s.ServeHTTP(mw, mreq)
+		// 404 can follow an eviction under the tight budget; anything
+		// else must be a clean 200 with a full-length result.
+		if mw.Code == http.StatusNotFound {
+			return
+		}
+		if mw.Code != http.StatusOK {
+			t.Fatalf("multiply on admitted matrix: status %d: %s", mw.Code, mw.Body.String())
+		}
+		var mresp MultiplyResponse
+		if err := json.Unmarshal(mw.Body.Bytes(), &mresp); err != nil {
+			t.Fatalf("multiply response: %v", err)
+		}
+		if len(mresp.Y) != resp.Rows {
+			t.Fatalf("result has %d rows, matrix has %d", len(mresp.Y), resp.Rows)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"spmv/internal/obs"
+)
+
+// Metrics is the server's live counter set, exposed on /metrics and —
+// when the host process publishes it — through expvar. All fields are
+// atomics: request handlers, the coalescer loops, and the metrics
+// endpoint touch them concurrently.
+type Metrics struct {
+	// Registry traffic.
+	UploadsTotal    atomic.Int64 // upload requests admitted to ingest
+	UploadsRejected atomic.Int64 // corrupt/oversized/unsupported uploads
+	Builds          atomic.Int64 // matrices actually built
+	BuildCacheHits  atomic.Int64 // uploads answered by the content cache
+	Evictions       atomic.Int64 // LRU evictions under the memory budget
+
+	// Request pipeline.
+	RequestsTotal    atomic.Int64 // multiply requests received
+	Served           atomic.Int64 // multiply requests answered 200
+	Shed             atomic.Int64 // 429s: queue full or per-client cap
+	Rejected503      atomic.Int64 // 503s: draining or evicted mid-queue
+	DeadlineExceeded atomic.Int64 // 504s: request deadline or disconnect
+	Failures         atomic.Int64 // 500s: execution errors
+	PanicsRecovered  atomic.Int64 // panics contained by the degradation path
+
+	// widths[k] counts coalesced batches of width k; widths[0] is
+	// unused. Sized at construction to the coalescer's MaxBatch.
+	widths []atomic.Int64
+}
+
+func newMetrics(maxBatch int) *Metrics {
+	return &Metrics{widths: make([]atomic.Int64, maxBatch+1)}
+}
+
+// BatchWidths returns the coalesced-batch width histogram: index k
+// holds the number of executed panels of width k (index 0 is unused).
+func (m *Metrics) BatchWidths() []int64 {
+	out := make([]int64, len(m.widths))
+	for i := range m.widths {
+		out[i] = m.widths[i].Load()
+	}
+	return out
+}
+
+func (m *Metrics) recordWidth(k int) {
+	if k >= 1 && k < len(m.widths) {
+		m.widths[k].Add(1)
+	}
+}
+
+// MatrixMetrics is the per-matrix slice of a metrics snapshot.
+type MatrixMetrics struct {
+	Format     string       `json:"format"`
+	Rows       int          `json:"rows"`
+	Cols       int          `json:"cols"`
+	NNZ        int          `json:"nnz"`
+	SizeBytes  int64        `json:"size_bytes"`
+	QueueDepth int          `json:"queue_depth"`
+	Served     int64        `json:"served"`
+	Shed       int64        `json:"shed"`
+	Obs        obs.Snapshot `json:"obs"`
+}
+
+// MetricsSnapshot is the JSON document served on /metrics.
+type MetricsSnapshot struct {
+	UploadsTotal     int64 `json:"uploads_total"`
+	UploadsRejected  int64 `json:"uploads_rejected"`
+	Builds           int64 `json:"builds"`
+	BuildCacheHits   int64 `json:"build_cache_hits"`
+	Evictions        int64 `json:"evictions"`
+	RequestsTotal    int64 `json:"requests_total"`
+	Served           int64 `json:"served"`
+	Shed             int64 `json:"shed"`
+	Rejected503      int64 `json:"rejected_503"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Failures         int64 `json:"failures"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+
+	RegistryEntries int   `json:"registry_entries"`
+	RegistryBytes   int64 `json:"registry_bytes"`
+
+	// CoalesceWidths maps batch width (as a decimal string, for JSON
+	// object keys) to the number of panels executed at that width.
+	CoalesceWidths map[string]int64 `json:"coalesce_widths"`
+
+	Matrices map[string]MatrixMetrics `json:"matrices"`
+}
+
+// Snapshot assembles the full metrics document.
+func (s *Server) Snapshot() MetricsSnapshot {
+	m := s.metrics
+	snap := MetricsSnapshot{
+		UploadsTotal:     m.UploadsTotal.Load(),
+		UploadsRejected:  m.UploadsRejected.Load(),
+		Builds:           m.Builds.Load(),
+		BuildCacheHits:   m.BuildCacheHits.Load(),
+		Evictions:        m.Evictions.Load(),
+		RequestsTotal:    m.RequestsTotal.Load(),
+		Served:           m.Served.Load(),
+		Shed:             m.Shed.Load(),
+		Rejected503:      m.Rejected503.Load(),
+		DeadlineExceeded: m.DeadlineExceeded.Load(),
+		Failures:         m.Failures.Load(),
+		PanicsRecovered:  m.PanicsRecovered.Load(),
+		CoalesceWidths:   map[string]int64{},
+		Matrices:         map[string]MatrixMetrics{},
+	}
+	for k := 1; k < len(m.widths); k++ {
+		if n := m.widths[k].Load(); n > 0 {
+			snap.CoalesceWidths[strconv.Itoa(k)] = n
+		}
+	}
+	entries, bytes := s.reg.stats()
+	snap.RegistryEntries = entries
+	snap.RegistryBytes = bytes
+	for _, e := range s.reg.snapshot() {
+		snap.Matrices[e.id] = MatrixMetrics{
+			Format:     e.format.Name(),
+			Rows:       e.format.Rows(),
+			Cols:       e.format.Cols(),
+			NNZ:        e.format.NNZ(),
+			SizeBytes:  e.size,
+			QueueDepth: e.co.depth(),
+			Served:     e.served.Load(),
+			Shed:       e.shed.Load(),
+			Obs:        e.rec.Snapshot(),
+		}
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		// The header is already out; nothing useful can be written.
+		s.logf("metrics encode: %v", err)
+	}
+}

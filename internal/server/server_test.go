@@ -1,0 +1,445 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/formats"
+	"spmv/internal/matfile"
+	"spmv/internal/mmio"
+	"spmv/internal/server/faulttest"
+)
+
+// newTestServer builds a Server with test-friendly defaults and
+// registers cleanup.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Threads == 0 {
+		cfg.Threads = 2
+	}
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do runs one request through the handler stack without a network.
+func do(s *Server, method, target string, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, target, bytes.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// upload posts body and decodes the response, failing the test on a
+// non-2xx status.
+func upload(t *testing.T, s *Server, body []byte, format string) UploadResponse {
+	t.Helper()
+	target := "/matrices"
+	if format != "" {
+		target += "?format=" + format
+	}
+	w := do(s, "POST", target, body, nil)
+	if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp UploadResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("upload response: %v", err)
+	}
+	return resp
+}
+
+// multiply posts x and returns the status plus decoded y (nil unless 200).
+func multiply(t *testing.T, s *Server, id string, x []float64, hdr map[string]string) (int, []float64) {
+	t.Helper()
+	body, err := json.Marshal(MultiplyRequest{X: x})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	w := do(s, "POST", "/matrices/"+id+"/multiply", body, hdr)
+	if w.Code != http.StatusOK {
+		return w.Code, nil
+	}
+	var resp MultiplyResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("multiply response: %v", err)
+	}
+	return w.Code, resp.Y
+}
+
+// refMul computes the reference product for an mmio payload.
+func refMul(t *testing.T, body []byte, format string, x []float64) []float64 {
+	t.Helper()
+	c, err := mmio.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("mmio: %v", err)
+	}
+	f, err := formats.Build(format, c)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	y := make([]float64, f.Rows())
+	f.SpMV(y, x)
+	return y
+}
+
+func testVec(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 3.5
+	}
+	return x
+}
+
+func TestUploadAndMultiply(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := faulttest.ValidMMIO(1, 40)
+	resp := upload(t, s, body, "csr-du")
+	if resp.Format != "csr-du" || resp.Cached {
+		t.Fatalf("unexpected upload response: %+v", resp)
+	}
+	x := testVec(resp.Cols)
+	code, y := multiply(t, s, resp.ID, x, nil)
+	if code != http.StatusOK {
+		t.Fatalf("multiply: status %d", code)
+	}
+	want := refMul(t, body, "csr-du", x)
+	for i := range want {
+		if !core.SameBits(y[i], want[i]) {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestUploadMatfile(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := faulttest.ValidMatfile(2, 30, "csr-vi")
+	resp := upload(t, s, body, "")
+	if resp.Format != "csr-vi" {
+		t.Fatalf("matfile upload picked format %q, want csr-vi", resp.Format)
+	}
+	x := testVec(resp.Cols)
+	code, y := multiply(t, s, resp.ID, x, nil)
+	if code != http.StatusOK || len(y) != resp.Rows {
+		t.Fatalf("multiply: status %d, len %d", code, len(y))
+	}
+	// Explicit mismatching format parameter is a usage error.
+	w := do(s, "POST", "/matrices?format=csr", body, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched format: status %d, want 400", w.Code)
+	}
+}
+
+func TestUploadCacheAndSingleflight(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrentBuilds: 8})
+	body := faulttest.ValidMMIO(3, 40)
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := do(s, "POST", "/matrices?format=csr", body, nil)
+			if w.Code == http.StatusCreated || w.Code == http.StatusOK {
+				var resp UploadResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err == nil {
+					ids[i] = resp.ID
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id == "" || id != ids[0] {
+			t.Fatalf("upload %d: id %q, want all equal %q", i, id, ids[0])
+		}
+	}
+	if builds := s.Metrics().Builds.Load(); builds != 1 {
+		t.Fatalf("concurrent identical uploads built %d times, want 1", builds)
+	}
+	// A later identical upload is a pure cache hit.
+	resp := upload(t, s, body, "csr")
+	if !resp.Cached {
+		t.Fatalf("re-upload not served from cache")
+	}
+}
+
+// stillParses reports whether a mutated payload remains a valid
+// matrix by the ingest rules — some mmio text mutations (e.g. a
+// truncated final digit) legitimately still parse.
+func stillParses(body []byte) bool {
+	if bytes.HasPrefix(body, []byte("SPMV")) {
+		_, err := matfile.ReadSized(bytes.NewReader(body), int64(len(body)))
+		return err == nil
+	}
+	c, err := mmio.Read(bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	_, err = formats.Build("csr", c)
+	return err == nil
+}
+
+func TestCorruptUploadsRejected(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var rejections int
+	for _, valid := range [][]byte{
+		faulttest.ValidMMIO(4, 30),
+		faulttest.ValidMatfile(4, 30, "csr"),
+	} {
+		for i, corrupt := range faulttest.CorruptUploads(valid) {
+			if bytes.Equal(corrupt, valid) {
+				continue
+			}
+			w := do(s, "POST", "/matrices", corrupt, nil)
+			if stillParses(corrupt) {
+				if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+					t.Errorf("benign mutation %d: status %d, want 2xx (%s)",
+						i, w.Code, strings.TrimSpace(w.Body.String()))
+				}
+				continue
+			}
+			rejections++
+			if w.Code != http.StatusBadRequest {
+				// A flipped byte inside a matfile payload that still
+				// checksums clean is impossible (CRC32); anything
+				// accepted here is a hardening hole.
+				t.Errorf("corrupt payload %d: status %d, want 400 (%s)",
+					i, w.Code, strings.TrimSpace(w.Body.String()))
+			}
+		}
+	}
+	if rejections < 20 {
+		t.Fatalf("corpus exercised only %d rejections", rejections)
+	}
+	if rejected := s.Metrics().UploadsRejected.Load(); rejected == 0 {
+		t.Fatalf("no rejected uploads counted")
+	}
+}
+
+func TestAllocBombUploadRejected(t *testing.T) {
+	s := newTestServer(t, Config{})
+	bomb := faulttest.AllocBombMatfile(faulttest.ValidMatfile(5, 30, "csr"))
+	w := do(s, "POST", "/matrices", bomb, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("alloc bomb: status %d, want 400", w.Code)
+	}
+}
+
+func TestOversizedUploadRejected(t *testing.T) {
+	s := newTestServer(t, Config{MaxUploadBytes: 128})
+	w := do(s, "POST", "/matrices", faulttest.ValidMMIO(6, 40), nil)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413", w.Code)
+	}
+}
+
+func TestMultiplyValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	resp := upload(t, s, faulttest.ValidMMIO(7, 30), "csr")
+	if code, _ := multiply(t, s, "nope", testVec(resp.Cols), nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", code)
+	}
+	if code, _ := multiply(t, s, resp.ID, testVec(resp.Cols+1), nil); code != http.StatusBadRequest {
+		t.Fatalf("wrong x length: status %d, want 400", code)
+	}
+	w := do(s, "POST", "/matrices/"+resp.ID+"/multiply", []byte("{not json"), nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", w.Code)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(s, "POST", "/matrices?format=no-such-format", faulttest.ValidMMIO(8, 30), nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", w.Code)
+	}
+}
+
+func TestDeleteMatrix(t *testing.T) {
+	s := newTestServer(t, Config{})
+	resp := upload(t, s, faulttest.ValidMMIO(9, 30), "csr")
+	if w := do(s, "DELETE", "/matrices/"+resp.ID, nil, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", w.Code)
+	}
+	if code, _ := multiply(t, s, resp.ID, testVec(resp.Cols), nil); code != http.StatusNotFound {
+		t.Fatalf("multiply after delete: status %d, want 404", code)
+	}
+	if w := do(s, "DELETE", "/matrices/"+resp.ID, nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("double delete: status %d, want 404", w.Code)
+	}
+}
+
+// matrixBytes builds the csr form of an mmio payload and reports its
+// in-memory size — the unit of the registry budget.
+func matrixBytes(t *testing.T, body []byte) int64 {
+	t.Helper()
+	c, err := mmio.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("mmio: %v", err)
+	}
+	f, err := formats.Build("csr", c)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return f.SizeBytes()
+}
+
+func TestSingleMatrixOverBudgetRejected(t *testing.T) {
+	s := newTestServer(t, Config{MemoryBudget: 1, Threads: 1})
+	w := do(s, "POST", "/matrices?format=csr", faulttest.ValidMMIO(10, 60), nil)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget matrix: status %d, want 413", w.Code)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget sized to hold roughly two of the three matrices.
+	size := matrixBytes(t, faulttest.ValidMMIO(10, 60))
+	s2 := newTestServer(t, Config{MemoryBudget: size*2 + size/2, Threads: 1})
+	var resps []UploadResponse
+	for seed := int64(10); seed < 13; seed++ {
+		resps = append(resps, upload(t, s2, faulttest.ValidMMIO(seed, 60), "csr"))
+	}
+	if ev := s2.Metrics().Evictions.Load(); ev == 0 {
+		t.Fatalf("no evictions under budget pressure")
+	}
+	// The oldest entry is gone; the newest survives.
+	if code, _ := multiply(t, s2, resps[0].ID, testVec(resps[0].Cols), nil); code != http.StatusNotFound {
+		t.Fatalf("evicted matrix: status %d, want 404", code)
+	}
+	if code, _ := multiply(t, s2, resps[2].ID, testVec(resps[2].Cols), nil); code != http.StatusOK {
+		t.Fatalf("resident matrix: status %d, want 200", code)
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	s := newTestServer(t, Config{
+		Hooks: &Hooks{BeforeExecute: faulttest.SlowDown(200 * time.Millisecond)},
+	})
+	resp := upload(t, s, faulttest.ValidMMIO(11, 30), "csr")
+	code, _ := multiply(t, s, resp.ID, testVec(resp.Cols), map[string]string{"X-Deadline-Ms": "1"})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("tiny deadline: status %d, want 504", code)
+	}
+	if n := s.Metrics().DeadlineExceeded.Load(); n == 0 {
+		t.Fatalf("deadline not counted")
+	}
+}
+
+func TestPerClientFairness(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxPerClient: 1,
+		Hooks:        &Hooks{BeforeExecute: faulttest.SlowDown(100 * time.Millisecond)},
+	})
+	resp := upload(t, s, faulttest.ValidMMIO(12, 30), "csr")
+	x := testVec(resp.Cols)
+	var wg sync.WaitGroup
+	codes := make([]int, 4)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = multiply(t, s, resp.ID, x, map[string]string{"X-Client-ID": "greedy"})
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("fairness cap: ok=%d shed=%d, want both nonzero", ok, shed)
+	}
+}
+
+func TestExecutionFaultIs500PoolStaysHealthy(t *testing.T) {
+	s := newTestServer(t, Config{
+		Hooks: &Hooks{BeforeExecute: faulttest.PanicEvery(1)},
+	})
+	resp := upload(t, s, faulttest.ValidMMIO(13, 30), "csr")
+	x := testVec(resp.Cols)
+	if code, _ := multiply(t, s, resp.ID, x, nil); code != http.StatusInternalServerError {
+		t.Fatalf("injected panic: status %d, want 500", code)
+	}
+	if n := s.Metrics().PanicsRecovered.Load(); n != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", n)
+	}
+	// Disarm the fault: the same matrix keeps serving.
+	s.cfg.Hooks.BeforeExecute = nil
+	if code, _ := multiply(t, s, resp.ID, x, nil); code != http.StatusOK {
+		t.Fatalf("after recovered panic: status %d, want 200", code)
+	}
+}
+
+func TestDrainRejectsNewServesQueued(t *testing.T) {
+	s := newTestServer(t, Config{})
+	resp := upload(t, s, faulttest.ValidMMIO(14, 30), "csr")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if code, _ := multiply(t, s, resp.ID, testVec(resp.Cols), nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("multiply after drain: status %d, want 503", code)
+	}
+	if w := do(s, "POST", "/matrices", faulttest.ValidMMIO(15, 30), nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("upload after drain: status %d, want 503", w.Code)
+	}
+	if w := do(s, "GET", "/healthz", nil, nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: status %d, want 503", w.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	resp := upload(t, s, faulttest.ValidMMIO(16, 30), "csr")
+	if code, _ := multiply(t, s, resp.ID, testVec(resp.Cols), nil); code != http.StatusOK {
+		t.Fatalf("multiply failed")
+	}
+	w := do(s, "GET", "/metrics", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", w.Code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	if snap.Served != 1 || snap.RegistryEntries != 1 {
+		t.Fatalf("snapshot: served=%d entries=%d", snap.Served, snap.RegistryEntries)
+	}
+	mm, ok := snap.Matrices[resp.ID]
+	if !ok || mm.Obs.Runs == 0 {
+		t.Fatalf("per-matrix metrics missing or empty: %+v", mm)
+	}
+	if snap.CoalesceWidths["1"] == 0 {
+		t.Fatalf("width-1 batch not recorded: %v", snap.CoalesceWidths)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(s, "GET", "/debug/pprof/", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("pprof index: status %d", w.Code)
+	}
+}

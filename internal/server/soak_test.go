@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spmv/internal/server/faulttest"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most
+// want, or the deadline passes.
+func waitGoroutines(want int, d time.Duration) int {
+	deadline := time.Now().Add(d)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(deadline) {
+			return n
+		}
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSoakFaultInjection is the acceptance soak: a real HTTP server
+// under sustained overload with injected kernel panics, corrupt
+// uploads, canceled requests and slow clients must shed load with
+// 429/503 (never queue unboundedly), keep answering healthy requests,
+// recover every panic, leak no goroutines, and drain cleanly.
+func TestSoakFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Every 5th batch panics ("kernel panic"), every 7th fails typed,
+	// and every batch is slowed so the admission queue genuinely fills.
+	hooks := &Hooks{BeforeExecute: faulttest.Chain(
+		faulttest.SlowDown(2*time.Millisecond),
+		faulttest.PanicEvery(5),
+		faulttest.FailEvery(7),
+	)}
+	s := New(Config{
+		Threads:         2,
+		MaxBatch:        4,
+		QueueDepth:      8,
+		MaxPerClient:    4,
+		DefaultDeadline: 2 * time.Second,
+		Hooks:           hooks,
+	})
+	ts := httptest.NewServer(s)
+
+	seedBody := faulttest.ValidMMIO(31, 40)
+	var seeded UploadResponse
+	{
+		resp, err := http.Post(ts.URL+"/matrices?format=csr-du", "text/plain", bytes.NewReader(seedBody))
+		if err != nil {
+			t.Fatalf("seed upload: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("seed upload: status %d: %s", resp.StatusCode, b)
+		}
+		if err := json.Unmarshal(b, &seeded); err != nil {
+			t.Fatalf("seed decode: %v", err)
+		}
+	}
+	xBody, err := json.Marshal(MultiplyRequest{X: testVec(seeded.Cols)})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	corpus := faulttest.CorruptUploads(seedBody)
+	corpus = append(corpus, faulttest.AllocBombMatfile(faulttest.ValidMatfile(31, 30, "csr")))
+
+	var statuses sync.Map // status code -> *atomic.Int64
+	count := func(code int) {
+		v, _ := statuses.LoadOrStore(code, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+
+	const clients = 12
+	const perClient = 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 5 * time.Second}
+			for i := 0; i < perClient; i++ {
+				switch {
+				case i%10 == 3:
+					// Corrupt or hostile upload.
+					payload := corpus[(c*perClient+i)%len(corpus)]
+					resp, err := cl.Post(ts.URL+"/matrices", "application/octet-stream", bytes.NewReader(payload))
+					if err == nil {
+						count(resp.StatusCode)
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				case i%10 == 6:
+					// Client disconnect: cancel mid-request.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					req, _ := http.NewRequestWithContext(ctx, "POST",
+						ts.URL+"/matrices/"+seeded.ID+"/multiply", bytes.NewReader(xBody))
+					req.Header.Set("X-Client-ID", fmt.Sprintf("c%d", c))
+					resp, err := cl.Do(req)
+					if err == nil {
+						count(resp.StatusCode)
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					cancel()
+				default:
+					req, _ := http.NewRequest("POST",
+						ts.URL+"/matrices/"+seeded.ID+"/multiply", bytes.NewReader(xBody))
+					req.Header.Set("X-Client-ID", fmt.Sprintf("c%d", c))
+					resp, err := cl.Do(req)
+					if err != nil {
+						continue
+					}
+					count(resp.StatusCode)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	loadInt := func(code int) int64 {
+		if v, ok := statuses.Load(code); ok {
+			return v.(*atomic.Int64).Load()
+		}
+		return 0
+	}
+	allowed := map[int]bool{200: true, 201: true, 400: true, 429: true, 500: true, 503: true, 504: true}
+	statuses.Range(func(k, v any) bool {
+		if !allowed[k.(int)] {
+			t.Errorf("unexpected status %d (%d times)", k, v.(*atomic.Int64).Load())
+		}
+		return true
+	})
+	if loadInt(200) == 0 {
+		t.Fatalf("no healthy request survived the storm")
+	}
+	if loadInt(429) == 0 {
+		t.Fatalf("overload never shed load with 429 — admission control inactive")
+	}
+	if loadInt(400) == 0 {
+		t.Fatalf("no corrupt upload rejected")
+	}
+
+	m := s.Metrics()
+	if m.PanicsRecovered.Load() == 0 {
+		t.Fatalf("injected kernel panics never hit the recovery path")
+	}
+	if m.Shed.Load() == 0 {
+		t.Fatalf("shed counter is zero despite 429s")
+	}
+	var snap MetricsSnapshot
+	{
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("metrics decode: %v", err)
+		}
+	}
+	var wide int64
+	for w, n := range snap.CoalesceWidths {
+		if w != "1" {
+			wide += n
+		}
+	}
+	if wide == 0 {
+		t.Fatalf("no coalesced batches under concurrent load: %v", snap.CoalesceWidths)
+	}
+	if d := snap.Matrices[seeded.ID].QueueDepth; d > 8 {
+		t.Fatalf("queue depth %d exceeds the configured bound 8", d)
+	}
+
+	// The pool must still be healthy: disarm faults, serve cleanly.
+	hooks.BeforeExecute = nil
+	resp, err := http.Post(ts.URL+"/matrices/"+seeded.ID+"/multiply", "application/json", bytes.NewReader(xBody))
+	if err != nil {
+		t.Fatalf("post-storm multiply: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm multiply: status %d, want 200", resp.StatusCode)
+	}
+
+	// Graceful drain, then the goroutine ledger must balance.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ts.Close()
+	if n := waitGoroutines(baseline+2, 5*time.Second); n > baseline+2 {
+		t.Fatalf("goroutine leak: %d before, %d after drain", baseline, n)
+	}
+}

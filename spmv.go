@@ -94,6 +94,7 @@ import (
 	"spmv/internal/precond"
 	"spmv/internal/prof"
 	"spmv/internal/reorder"
+	"spmv/internal/server"
 	"spmv/internal/solver"
 	"spmv/internal/sym"
 	"spmv/internal/vbr"
@@ -487,6 +488,31 @@ func WriteMatrix(w io.Writer, f Format) error { return matfile.Write(w, f) }
 // ReadMatrix loads a matrix written by WriteMatrix; the concrete type
 // matches the stored format.
 func ReadMatrix(r io.Reader) (Format, error) { return matfile.Read(r) }
+
+// ReadMatrixSized loads a matrix written by WriteMatrix from a stream
+// whose total length is known (a file's size, an HTTP body's length).
+// Unlike ReadMatrix it rejects section lengths exceeding the remaining
+// input before allocating anything, so hostile headers claiming
+// gigabyte sections cost nothing — use it whenever the bytes crossed a
+// trust boundary.
+func ReadMatrixSized(r io.Reader, total int64) (Format, error) { return matfile.ReadSized(r, total) }
+
+// Serving (DESIGN.md §12, cmd/spmvd).
+
+type (
+	// Server is the embeddable SpMV-as-a-service HTTP handler: a
+	// verified matrix registry with content-addressed caching and LRU
+	// eviction, and an admission-controlled, deadline-bounded multiply
+	// pipeline that coalesces concurrent requests into SpMM panels.
+	Server = server.Server
+	// ServerConfig configures NewServer; its zero value serves with
+	// sensible defaults.
+	ServerConfig = server.Config
+)
+
+// NewServer returns the SpMV HTTP service as an http.Handler. Shut it
+// down with Drain (graceful) or Close (immediate).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // Analysis helpers.
 

@@ -46,6 +46,21 @@ go run ./cmd/spmvbench -scale 0.02 -iters 2 -threads 2 -samples 2 \
 go run ./cmd/spmvbench -scale 0.02 -iters 2 -threads 2 -samples 2 \
 	-slowdown 10 -compare "$ARCHDIR"/BENCH_*.json > /dev/null
 
+echo "== spmvd selfcheck"
+# Server smoke, end to end over real TCP against a loopback daemon:
+# upload admitted and queryable, multiply matches the reference
+# product, corrupt upload rejected with 400, deterministic overload
+# sheds with 429, and SIGTERM drains cleanly (the real signal path —
+# the daemon signals itself).
+go run ./cmd/spmvd -selfcheck -quiet
+
+echo "== server soak (race)"
+# The fault-injection soak under the race detector: sustained
+# overload with injected kernel panics, corrupt uploads and client
+# disconnects must shed load, recover every panic, leak no goroutines
+# and drain cleanly.
+go test -race -run "^TestSoakFaultInjection$" ./internal/server/
+
 echo "== spmvlint"
 # Layer 1: project-specific AST/type rules (panics, verifier,
 # droppederr, floateq, hotpath). Layer 2: compile gate diffing
@@ -56,10 +71,14 @@ go run ./cmd/spmvlint ./...
 if [ "$FUZZTIME" != "0" ]; then
 	# Each fuzz target asserts: if the decoder accepts the input, the
 	# matrix verifies clean and its SpMV matches the reference CSR.
+	# Note: the server target's exec counter can look frozen for up to
+	# a minute at a time — that is the fuzz engine minimizing a new
+	# interesting input (default -fuzzminimizetime=60s), not a hang.
 	for target in \
 		"spmv/internal/csrdu FuzzFromRaw" \
 		"spmv/internal/dcsr FuzzFromRaw" \
-		"spmv/internal/matfile FuzzRead"; do
+		"spmv/internal/matfile FuzzRead" \
+		"spmv/internal/server FuzzServeUpload"; do
 		pkg=${target% *}
 		fn=${target#* }
 		echo "== go test -fuzz=$fn -fuzztime=$FUZZTIME $pkg"
