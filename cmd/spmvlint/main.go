@@ -1,26 +1,33 @@
 // Command spmvlint runs the project's static-analysis gate: the
-// source-level rule suite of internal/srccheck (layer 1) and the
-// compiled-code BCE/escape regression gate of internal/srccheck/compile
-// (layer 2).
+// source-level rule suite of internal/srccheck (layer 1, including the
+// CFG-based concurrency rules), the compiled-code BCE/escape
+// regression gate of internal/srccheck/compile over the kernel
+// packages (layer 2), and the request-path heap-allocation gate over
+// the serving stack (layer 3).
 //
 // Usage:
 //
 //	spmvlint [flags] [./...]
 //
 // With no package arguments (or "./..."), the whole module is checked.
-// Exit status is 1 when any rule fires or the compile gate regresses,
-// 2 on internal errors, 0 otherwise.
+// Exit status is 1 when any rule fires, the kernel gate regresses in a
+// hot function, or the alloc gate regresses anywhere, 2 on internal
+// errors, 0 otherwise.
 //
 // Flags:
 //
 //	-json             machine-readable output
-//	-update-baseline  rewrite the compile-gate baselines from current diagnostics
-//	-disable=LIST     comma-separated rule names to skip ("compile" skips layer 2)
+//	-update-baseline  rewrite the compile/alloc-gate baselines from current diagnostics
+//	-disable=LIST     comma-separated rule names to skip ("compile" skips
+//	                  the BCE/escape gate, "alloc" the allocation gate)
 //	-root=DIR         module root (default: nearest go.mod at or above the cwd)
 //	-allowlist=FILE   allowlist path (default: <root>/.spmvlint)
+//	-prune            rewrite the allowlist dropping entries that no longer match
 //
 // The allowlist lives at <root>/.spmvlint; see internal/srccheck's
 // Allowlist for the format. Keep it nearly empty: fix findings instead.
+// Entries that no longer suppress anything are themselves an error —
+// run with -prune to drop them.
 package main
 
 import (
@@ -38,9 +45,12 @@ import (
 func main() { os.Exit(run(os.Args[1:])) }
 
 type jsonReport struct {
-	Issues       []srccheck.Issue `json:"issues"`
-	Regressions  []compile.Delta  `json:"regressions,omitempty"`
-	Improvements []compile.Delta  `json:"improvements,omitempty"`
+	Issues            []srccheck.Issue      `json:"issues"`
+	Regressions       []compile.Delta       `json:"regressions,omitempty"`
+	Improvements      []compile.Delta       `json:"improvements,omitempty"`
+	AllocRegressions  []compile.Delta       `json:"alloc_regressions,omitempty"`
+	AllocImprovements []compile.Delta       `json:"alloc_improvements,omitempty"`
+	StaleAllowlist    []srccheck.StaleEntry `json:"stale_allowlist,omitempty"`
 }
 
 func run(args []string) int {
@@ -51,12 +61,14 @@ func run(args []string) int {
 	disable := fs.String("disable", "", "comma-separated rule names to skip (\"compile\" skips the BCE/escape gate)")
 	rootFlag := fs.String("root", "", "module root (default: nearest go.mod at or above the cwd)")
 	allowFlag := fs.String("allowlist", "", "allowlist file (default: <root>/.spmvlint)")
+	prune := fs.Bool("prune", false, "rewrite the allowlist dropping entries that no longer match any finding")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spmvlint [flags] [./...]\n\nrules:\n")
 		for _, r := range srccheck.DefaultRules() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.Name(), r.Doc())
 		}
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", "compile", "BCE/escape diagnostics must not regress against internal/srccheck/baseline")
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", "alloc", "request-path heap allocations must not regress against internal/srccheck/baseline")
 		fmt.Fprintf(os.Stderr, "\nflags:\n")
 		fs.PrintDefaults()
 	}
@@ -92,7 +104,12 @@ func run(args []string) int {
 			rules = append(rules, r)
 		}
 	}
+	// Staleness is only decidable when every source rule ran over the
+	// whole module: a partial run would report merely-unexercised
+	// entries as dead.
+	fullRun := len(prefixes) == 0 && len(rules) == len(srccheck.DefaultRules())
 	var issues []srccheck.Issue
+	var stale []srccheck.StaleEntry
 	if len(rules) > 0 {
 		mod, err := srccheck.Load(root)
 		if err != nil {
@@ -109,48 +126,105 @@ func run(args []string) int {
 			return 2
 		}
 		issues = filterIssues(srccheck.Run(mod, rules, allow), prefixes)
+		if fullRun {
+			stale = allow.Stale()
+		}
+		if *prune {
+			if !fullRun {
+				fmt.Fprintf(os.Stderr, "spmvlint: -prune needs a full run: no -disable of source rules, no package arguments\n")
+				return 2
+			}
+			if len(stale) > 0 {
+				if err := srccheck.PruneAllowlist(allowPath, stale); err != nil {
+					fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+					return 2
+				}
+				fmt.Fprintf(os.Stderr, "spmvlint: pruned %d stale allowlist entries from %s\n", len(stale), allowPath)
+			}
+			stale = nil
+		}
+	} else if *prune {
+		fmt.Fprintf(os.Stderr, "spmvlint: -prune needs a full run: no -disable of source rules, no package arguments\n")
+		return 2
 	}
 
-	// Layer 2: compile gate.
+	// Layers 2 and 3: the BCE/escape kernel gate and the request-path
+	// allocation gate share one instrumented build over the union of
+	// their package sets.
 	var regressions, improvements []compile.Delta
+	var allocRegressions, allocImprovements []compile.Delta
 	gateErr := false
-	if !disabled["compile"] {
-		cfg := &compile.Config{Root: root}
+	if !disabled["compile"] || !disabled["alloc"] {
+		union := append([]string{}, compile.KernelPackages()...)
+		seen := map[string]bool{}
+		for _, p := range union {
+			seen[p] = true
+		}
+		for _, p := range compile.AllocPackages() {
+			if !seen[p] {
+				union = append(union, p)
+			}
+		}
+		cfg := &compile.Config{Root: root, Packages: union}
 		byPkg, err := cfg.Collect()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
 			return 2
 		}
 		baselineDir := filepath.Join(root, "internal", "srccheck", "baseline")
-		pkgs := make([]string, 0, len(byPkg))
-		for pkg := range byPkg {
-			pkgs = append(pkgs, pkg)
-		}
-		for _, pkg := range pkgs {
-			if *update {
-				if err := compile.WriteBaseline(baselineDir, pkg, byPkg[pkg]); err != nil {
+		if !disabled["compile"] {
+			for _, pkg := range compile.KernelPackages() {
+				if *update {
+					if err := compile.WriteBaseline(baselineDir, pkg, byPkg[pkg]); err != nil {
+						fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+						return 2
+					}
+					continue
+				}
+				base, err := compile.LoadBaseline(baselineDir, pkg)
+				if err != nil {
 					fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
 					return 2
 				}
-				continue
+				reg, imp := compile.Compare(base, byPkg[pkg], srccheck.IsHotFunc)
+				regressions = append(regressions, reg...)
+				improvements = append(improvements, imp...)
 			}
-			base, err := compile.LoadBaseline(baselineDir, pkg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
-				return 2
+		}
+		if !disabled["alloc"] {
+			for _, pkg := range compile.AllocPackages() {
+				filtered := compile.FilterAlloc(byPkg[pkg], srccheck.IsRequestPathFunc)
+				key := compile.AllocBaselineKey(pkg)
+				if *update {
+					if err := compile.WriteBaseline(baselineDir, key, filtered); err != nil {
+						fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+						return 2
+					}
+					continue
+				}
+				base, err := compile.LoadBaseline(baselineDir, key)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+					return 2
+				}
+				reg, imp := compile.Compare(base, filtered, nil)
+				allocRegressions = append(allocRegressions, reg...)
+				allocImprovements = append(allocImprovements, imp...)
 			}
-			reg, imp := compile.Compare(base, byPkg[pkg], srccheck.IsHotFunc)
-			regressions = append(regressions, reg...)
-			improvements = append(improvements, imp...)
 		}
 	}
 
-	// Report. Hot-function regressions fail the gate; cold ones and
-	// stale baseline entries are advisory.
+	// Report. Hot-function kernel regressions and every alloc-gate
+	// regression fail the run; cold kernel regressions and stale
+	// baseline entries are advisory.
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		report := jsonReport{Issues: issues, Regressions: regressions, Improvements: improvements}
+		report := jsonReport{
+			Issues: issues, Regressions: regressions, Improvements: improvements,
+			AllocRegressions: allocRegressions, AllocImprovements: allocImprovements,
+			StaleAllowlist: stale,
+		}
 		if report.Issues == nil {
 			report.Issues = []srccheck.Issue{}
 		}
@@ -169,8 +243,17 @@ func run(args []string) int {
 			}
 			fmt.Printf("%s: %s\n", verdict, d.String())
 		}
+		for _, d := range allocRegressions {
+			fmt.Printf("alloc gate: new heap allocation on the request path: %s\n", d.String())
+		}
 		for _, d := range improvements {
 			fmt.Printf("stale baseline entry (diagnostics improved — lock in with -update-baseline): %s\n", d.String())
+		}
+		for _, d := range allocImprovements {
+			fmt.Printf("stale alloc baseline entry (allocations improved — lock in with -update-baseline): %s\n", d.String())
+		}
+		for _, s := range stale {
+			fmt.Printf("stale allowlist entry (matches no finding — drop it or run -prune): line %d: %s\n", s.Line, s.Text)
 		}
 	}
 	for _, d := range regressions {
@@ -178,7 +261,10 @@ func run(args []string) int {
 			gateErr = true
 		}
 	}
-	if len(issues) > 0 || gateErr {
+	if len(allocRegressions) > 0 {
+		gateErr = true
+	}
+	if len(issues) > 0 || gateErr || len(stale) > 0 {
 		return 1
 	}
 	return 0

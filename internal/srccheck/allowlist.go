@@ -20,12 +20,21 @@ import (
 // Blank lines and #-comments are ignored. The intent is for this file
 // to stay nearly empty: fix findings instead of allowlisting them, and
 // justify every entry with a comment.
+// Every entry's matches are counted: after a full run, entries that
+// suppressed nothing are stale — the finding they covered was fixed —
+// and Stale returns them so spmvlint can fail the run or rewrite the
+// file (-prune). A suppression that outlives its finding is worse
+// than dead weight: it silently swallows the next genuine finding at
+// the same location.
 type Allowlist struct {
 	entries []allowEntry
 }
 
 type allowEntry struct {
 	rule, pathGlob, funcGlob string
+	line                     int    // 1-based line in the source file
+	text                     string // raw line, for reporting
+	hits                     int
 }
 
 // ParseAllowlist reads allowlist entries from r.
@@ -43,7 +52,7 @@ func ParseAllowlist(r io.Reader) (*Allowlist, error) {
 		if len(fields) < 2 || len(fields) > 3 {
 			return nil, fmt.Errorf("allowlist line %d: want \"rule path-glob [func-glob]\", got %q", line, text)
 		}
-		e := allowEntry{rule: fields[0], pathGlob: fields[1], funcGlob: "*"}
+		e := allowEntry{rule: fields[0], pathGlob: fields[1], funcGlob: "*", line: line, text: text}
 		if len(fields) == 3 {
 			e.funcGlob = fields[2]
 		}
@@ -84,17 +93,69 @@ func LoadAllowlist(filename string) (*Allowlist, error) {
 func (a *Allowlist) Len() int { return len(a.entries) }
 
 // Match reports whether a finding of the given rule, at the given
-// module-relative file and enclosing function, is suppressed.
+// module-relative file and enclosing function, is suppressed. Every
+// entry that matches is credited a hit (not just the first), so
+// staleness reflects what each line actually suppresses.
 func (a *Allowlist) Match(rule, relpath, fn string) bool {
-	for _, e := range a.entries {
+	matched := false
+	for i := range a.entries {
+		e := &a.entries[i]
 		if e.rule != rule && e.rule != "*" {
 			continue
 		}
 		if matchGlob(e.pathGlob, relpath) && matchGlob(e.funcGlob, fn) {
-			return true
+			e.hits++
+			matched = true
 		}
 	}
-	return false
+	return matched
+}
+
+// StaleEntry is one allowlist line that suppressed no finding.
+type StaleEntry struct {
+	Line int    `json:"line"`
+	Text string `json:"text"`
+}
+
+// Stale returns the entries with zero hits, in file order. Only
+// meaningful after a complete Run with the full rule set: an entry
+// for a disabled rule or a skipped package would be reported stale
+// when it is merely unexercised, so callers must not consult Stale on
+// partial runs.
+func (a *Allowlist) Stale() []StaleEntry {
+	var out []StaleEntry
+	for _, e := range a.entries {
+		if e.hits == 0 {
+			out = append(out, StaleEntry{Line: e.line, Text: e.text})
+		}
+	}
+	return out
+}
+
+// PruneAllowlist rewrites the allowlist file dropping the given stale
+// entry lines; comments, blank lines and live entries survive
+// untouched. A missing file is a no-op.
+func PruneAllowlist(filename string, stale []StaleEntry) error {
+	data, err := os.ReadFile(filename)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	drop := map[int]bool{}
+	for _, s := range stale {
+		drop[s.Line] = true
+	}
+	lines := strings.Split(string(data), "\n")
+	kept := lines[:0]
+	for i, l := range lines {
+		if drop[i+1] {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return os.WriteFile(filename, []byte(strings.Join(kept, "\n")), 0o644)
 }
 
 // matchGlob wraps path.Match for patterns already validated at parse

@@ -45,6 +45,47 @@ func KernelPackages() []string {
 	}
 }
 
+// AllocPackages is the allocation-gate scope: the serving stack whose
+// per-request functions must hold their heap-allocation counts. The
+// coalescer lives in internal/server; the executor fan-out in
+// internal/parallel (which is also kernel-gated — one build feeds
+// both gates).
+func AllocPackages() []string {
+	return []string{
+		"internal/server",
+		"internal/parallel",
+	}
+}
+
+// AllocBaselineKey names the pseudo-package under which a package's
+// allocation baseline is stored, keeping the files distinct from the
+// BCE/escape baselines for the same package.
+func AllocBaselineKey(pkg string) string { return "alloc/" + pkg }
+
+// IsAllocCategory reports whether a gated category represents a heap
+// allocation (as opposed to a bounds check).
+func IsAllocCategory(cat string) bool {
+	return cat == "escapes to heap" || cat == "moved to heap"
+}
+
+// FilterAlloc keeps the heap-allocation diagnostics attributed to
+// request-path functions — the alloc gate's input. Diagnostics at
+// package scope (Func == "") are kept too: a global that escapes is
+// charged once, but a new one still deserves a look.
+func FilterAlloc(diags []Diag, isRequestPath func(string) bool) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if !IsAllocCategory(d.Category) {
+			continue
+		}
+		if d.Func != "" && isRequestPath != nil && !isRequestPath(d.Func) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // Diag is one compiler diagnostic of a gated category.
 type Diag struct {
 	File     string `json:"file"` // module-relative path

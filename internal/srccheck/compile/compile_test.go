@@ -224,6 +224,122 @@ func TestGateCatchesNewAllocation(t *testing.T) {
 	}
 }
 
+func TestFilterAlloc(t *testing.T) {
+	isReq := func(fn string) bool { return strings.HasPrefix(fn, "handle") }
+	diags := []Diag{
+		{File: "s.go", Func: "handleMultiply", Category: "escapes to heap"}, // kept
+		{File: "s.go", Func: "handleMultiply", Category: "IsInBounds"},      // not an allocation
+		{File: "s.go", Func: "newServer", Category: "escapes to heap"},      // not request path
+		{File: "s.go", Func: "handleUpload", Category: "moved to heap"},     // kept
+		{File: "s.go", Func: "", Category: "escapes to heap"},               // package scope: kept
+	}
+	got := FilterAlloc(diags, isReq)
+	if len(got) != 3 {
+		t.Fatalf("FilterAlloc kept %d diagnostics, want 3: %+v", len(got), got)
+	}
+	for _, d := range got {
+		if !IsAllocCategory(d.Category) {
+			t.Errorf("non-allocation category %q survived the filter", d.Category)
+		}
+		if d.Func == "newServer" {
+			t.Errorf("off-request-path function survived the filter")
+		}
+	}
+}
+
+// sandboxCleanHandler is a request-path function (by the "handle"
+// naming convention) with no visible heap allocations.
+const sandboxCleanHandler = `package server
+
+// handleSum walks its input without allocating.
+func handleSum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+`
+
+// sandboxDirtyHandler adds a per-request allocation the alloc gate
+// must flag.
+const sandboxDirtyHandler = `package server
+
+var sink []float64
+
+// handleSum now copies its input to a leaked scratch slice.
+func handleSum(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sink = tmp
+	var s float64
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+`
+
+// TestAllocGateCatchesHandlerAllocation is the acceptance test for the
+// allocation gate: baseline a clean handler, introduce a per-request
+// heap allocation, and expect a (fatal) regression even though the
+// function is not a hot kernel.
+func TestAllocGateCatchesHandlerAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	root := t.TempDir()
+	pkgDir := filepath.Join(root, "server")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module sandbox\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	write := func(src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(pkgDir, "server.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := &Config{Root: root, Packages: []string{"server"}}
+	isReq := func(fn string) bool { return strings.HasPrefix(fn, "handle") }
+
+	write(sandboxCleanHandler)
+	before, err := cfg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDir := filepath.Join(root, "baseline")
+	key := AllocBaselineKey("server")
+	if err := WriteBaseline(baseDir, key, FilterAlloc(before["server"], isReq)); err != nil {
+		t.Fatal(err)
+	}
+
+	write(sandboxDirtyHandler)
+	after, err := cfg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(baseDir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := Compare(base, FilterAlloc(after["server"], isReq), nil)
+	if len(reg) == 0 {
+		t.Fatalf("alloc gate missed the planted allocation; diags = %+v", after["server"])
+	}
+	found := false
+	for _, d := range reg {
+		if strings.Contains(d.Key, "handleSum") && strings.Contains(d.Key, "heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alloc regressions %+v do not include handleSum's heap diagnostic", reg)
+	}
+}
+
 // TestCollectAttributesFunctions checks end-to-end that Collect maps
 // diagnostics to their enclosing functions via the func locator.
 func TestCollectAttributesFunctions(t *testing.T) {

@@ -1,0 +1,460 @@
+// Package flow is spmvlint's intra-procedural control-flow layer: it
+// builds a statement-level control-flow graph for one function body
+// out of the already-parsed AST — branches, loops, switches, selects,
+// labeled break/continue, goto and defer are all modeled — and offers
+// the reachability queries the concurrency rules are written against.
+//
+// The engine is deliberately small and stdlib-only, mirroring the
+// loader in the parent package: no x/tools, no SSA. Rules do not need
+// value numbering — they ask path questions ("can the function return
+// without this lock being released?", "does every path from this go
+// statement pass a receive?"), and those reduce to reachability over a
+// CFG where the nodes satisfying a predicate cut the search.
+//
+// Two modeling choices matter to the rules:
+//
+//   - Terminating calls (panic, os.Exit, log.Fatal*, runtime.Goexit)
+//     end their block with no successor instead of an edge to Exit, so
+//     a panic path never counts as "reaching the function exit". A
+//     lock held at a panic is the deferred-unlock pattern's problem,
+//     not lockbalance's.
+//   - defer statements are ordinary nodes in their block. A rule that
+//     treats a deferred call as satisfying its predicate (the usual
+//     reading: the deferred call runs at every exit downstream of the
+//     defer) gets defer-aware path semantics for free, because the
+//     defer node cuts the search exactly on the paths that executed it.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of statements. Nodes holds the
+// statements (and the control expressions of the constructs that ended
+// the block: if/for conditions, switch tags, range operands) in
+// execution order. A block with no successors that is not the graph's
+// Exit ends in a terminating call or falls off a dead branch.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// LoopDepth counts the for/range statements enclosing the block; a
+	// defer in a block with LoopDepth > 0 runs once per iteration's
+	// registration but executes only at function exit.
+	LoopDepth int
+}
+
+// Graph is the CFG of one function body. Entry starts the body; Exit
+// is the single synthetic exit every return (and the fall-off end)
+// feeds into.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the CFG for a function body. A nil body (declaration
+// without body) yields a graph whose entry connects straight to exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: map[string]*labelBlocks{},
+	}
+	b.g.Entry = b.newBlock(0)
+	b.g.Exit = b.newBlock(0)
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// labelBlocks tracks the targets a label can name: the labeled
+// statement itself (for goto) and, when the label names a loop or
+// switch, its break/continue targets.
+type labelBlocks struct {
+	target  *Block // goto target (start of the labeled statement)
+	breakTo *Block
+	contTo  *Block
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// break/continue target stacks for the innermost enclosing
+	// breakable (for/range/switch/select) and continuable (for/range)
+	// statements.
+	breaks    []*Block
+	continues []*Block
+
+	labels    map[string]*labelBlocks
+	loopDepth int
+	// pendingLabel is the label naming the next loop/switch statement,
+	// so "continue L"/"break L" resolve to the right construct.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(depth int) *Block {
+	blk := &Block{Index: len(b.g.Blocks), LoopDepth: depth}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur→to (if cur can still fall through) and leaves
+// cur untouched.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+}
+
+// startBlock makes blk the current block.
+func (b *builder) startBlock(blk *Block) { b.cur = blk }
+
+// terminate ends the current block with no successor (panic/os.Exit
+// path) and continues in a fresh unreachable block.
+func (b *builder) terminate() {
+	b.cur = b.newBlock(b.loopDepth)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil && b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		thenB := b.newBlock(b.loopDepth)
+		after := b.newBlock(b.loopDepth)
+		b.jump(thenB)
+		if s.Else != nil {
+			elseB := b.newBlock(b.loopDepth)
+			b.jump(elseB)
+			b.startBlock(thenB)
+			b.stmt(s.Body)
+			b.jump(after)
+			b.startBlock(elseB)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			b.jump(after)
+			b.startBlock(thenB)
+			b.stmt(s.Body)
+			b.jump(after)
+		}
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock(b.loopDepth)
+		body := b.newBlock(b.loopDepth + 1)
+		post := b.newBlock(b.loopDepth + 1)
+		after := b.newBlock(b.loopDepth)
+		b.jump(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(body)
+			b.jump(after)
+		} else {
+			b.jump(body) // for {}: after is reachable only via break
+		}
+		b.pushLoop(after, post, label, head)
+		b.startBlock(body)
+		b.loopDepth++
+		b.stmt(s.Body)
+		b.loopDepth--
+		b.jump(post)
+		b.startBlock(post)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.jump(head)
+		b.popLoop()
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock(b.loopDepth)
+		body := b.newBlock(b.loopDepth + 1)
+		after := b.newBlock(b.loopDepth)
+		b.jump(head)
+		b.startBlock(head)
+		b.add(s) // the range step itself (receives for channel ranges)
+		b.jump(body)
+		b.jump(after)
+		b.pushLoop(after, head, label, head)
+		b.startBlock(body)
+		b.loopDepth++
+		b.stmt(s.Body)
+		b.loopDepth--
+		b.jump(head)
+		b.popLoop()
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock(b.loopDepth)
+		b.pushBreak(after, label)
+		entry := b.cur
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			caseB := b.newBlock(b.loopDepth)
+			b.startBlock(entry)
+			b.jump(caseB)
+			b.startBlock(caseB)
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(after)
+		}
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever: no successor.
+			b.startBlock(entry)
+			b.terminate()
+		}
+		b.popBreak()
+		b.startBlock(after)
+
+	case *ast.LabeledStmt:
+		// A forward goto may already have created the target block as a
+		// placeholder; the labeled statement then flows through it.
+		lb := b.labelInfo(s.Label.Name)
+		target := lb.target
+		if target == nil {
+			target = b.newBlock(b.loopDepth)
+			lb.target = target
+		}
+		b.jump(target)
+		b.startBlock(target)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if to := b.breakTarget(s.Label); to != nil {
+				b.jump(to)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if to := b.continueTarget(s.Label); to != nil {
+				b.jump(to)
+			}
+			b.terminate()
+		case token.GOTO:
+			lb := b.labelInfo(s.Label.Name)
+			if lb.target == nil {
+				// Forward goto: create the target now; the LabeledStmt
+				// reuses the same block when it is reached.
+				lb.target = b.newBlock(b.loopDepth)
+			}
+			b.jump(lb.target)
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by caseClauses via the fallthrough edge; nothing
+			// to do here (the clause linker inspects the last statement).
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.terminate()
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.AssignStmt,
+		*ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.terminate()
+		}
+
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses links a switch body: entry fans out to every case (and
+// to after when there is no default), cases flow to after, and a
+// trailing fallthrough flows into the next case's body instead.
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, _ *Block) {
+	after := b.newBlock(b.loopDepth)
+	entry := b.cur
+	b.pushBreak(after, label)
+	hasDefault := false
+	// Build each case body block first so fallthrough can link forward.
+	caseBodies := make([]*Block, len(body.List))
+	for i := range body.List {
+		caseBodies[i] = b.newBlock(b.loopDepth)
+	}
+	for i, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.startBlock(entry)
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.jump(caseBodies[i])
+		b.startBlock(caseBodies[i])
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(body.List) {
+			b.jump(caseBodies[i+1])
+			b.terminate()
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault {
+		b.startBlock(entry)
+		b.jump(after)
+	}
+	b.popBreak()
+	b.startBlock(after)
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// ---- break/continue/label bookkeeping ----
+
+func (b *builder) labelInfo(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+// takeLabel consumes the pending label (set by the enclosing
+// LabeledStmt) for the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(breakTo, contTo *Block, label string, _ *Block) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, contTo)
+	if label != "" {
+		lb := b.labelInfo(label)
+		lb.breakTo = breakTo
+		lb.contTo = contTo
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(to *Block, label string) {
+	b.breaks = append(b.breaks, to)
+	b.continues = append(b.continues, nil)
+	if label != "" {
+		b.labelInfo(label).breakTo = to
+	}
+}
+
+func (b *builder) popBreak() { b.popLoop() }
+
+func (b *builder) breakTarget(label *ast.Ident) *Block {
+	if label != nil {
+		return b.labelInfo(label.Name).breakTo
+	}
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i] != nil {
+			return b.breaks[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(label *ast.Ident) *Block {
+	if label != nil {
+		return b.labelInfo(label.Name).contTo
+	}
+	for i := len(b.continues) - 1; i >= 0; i-- {
+		if b.continues[i] != nil {
+			return b.continues[i]
+		}
+	}
+	return nil
+}
+
+// isTerminatingCall reports whether an expression statement is a call
+// that never returns: the panic builtin, os.Exit, runtime.Goexit and
+// the log.Fatal family. Matching is syntactic — spmvlint's loader has
+// type info, but a shadowed "panic" or a local "os" are vanishingly
+// rare and the cost of a miss is one conservative extra CFG edge.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,363 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses one function body and builds its CFG.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// callPred matches a call to a plain identifier with the given name.
+func callPred(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// findCall locates the call site of a named function in the graph.
+func findCall(t *testing.T, g *Graph, name string) Site {
+	t.Helper()
+	pred := callPred(name)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if nodeSatisfies(n, pred) {
+				return Site{Block: b, Index: i}
+			}
+		}
+	}
+	t.Fatalf("no call to %s in graph", name)
+	return Site{}
+}
+
+// mustAfter asserts whether every path from the call to `from` passes
+// a call to `want` before exit.
+func mustAfter(t *testing.T, body, from, want string, expect bool) {
+	t.Helper()
+	g := buildFunc(t, body)
+	site := findCall(t, g, from)
+	if got := g.MustReach(site, callPred(want)); got != expect {
+		t.Errorf("MustReach(%s → %s) = %v, want %v in:\n%s", from, want, got, expect, body)
+	}
+}
+
+func TestIfShapes(t *testing.T) {
+	// Unlock on both branches: balanced.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			unlock()
+			return
+		}
+		unlock()
+	`, "lock", "unlock", true)
+
+	// Early return without unlock: a leaking path exists.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			return
+		}
+		unlock()
+	`, "lock", "unlock", false)
+
+	// if/else where only one arm unlocks.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			unlock()
+		} else {
+			other()
+		}
+	`, "lock", "unlock", false)
+}
+
+func TestForShapes(t *testing.T) {
+	// The obligation is met after the loop regardless of iteration count.
+	mustAfter(t, `
+		lock()
+		for i := 0; i < n; i++ {
+			work()
+		}
+		unlock()
+	`, "lock", "unlock", true)
+
+	// break skips the in-loop unlock; the loop exit path lacks it.
+	mustAfter(t, `
+		lock()
+		for {
+			if cond() {
+				break
+			}
+			unlock()
+			return
+		}
+	`, "lock", "unlock", false)
+
+	// continue loops back; unlock after the loop still dominates exit.
+	mustAfter(t, `
+		lock()
+		for i := 0; i < n; i++ {
+			if cond() {
+				continue
+			}
+			work()
+		}
+		unlock()
+	`, "lock", "unlock", true)
+
+	// An endless loop with no break never reaches exit: vacuously met.
+	mustAfter(t, `
+		lock()
+		for {
+			work()
+		}
+	`, "lock", "unlock", true)
+
+	// range loop.
+	mustAfter(t, `
+		lock()
+		for range xs {
+			work()
+		}
+		unlock()
+	`, "lock", "unlock", true)
+}
+
+func TestSwitchShapes(t *testing.T) {
+	// default covers every path.
+	mustAfter(t, `
+		lock()
+		switch tag() {
+		case 1:
+			unlock()
+		default:
+			unlock()
+		}
+	`, "lock", "unlock", true)
+
+	// No default: the no-match path bypasses both cases.
+	mustAfter(t, `
+		lock()
+		switch tag() {
+		case 1:
+			unlock()
+		case 2:
+			unlock()
+		}
+	`, "lock", "unlock", false)
+
+	// fallthrough reaches the next case's unlock.
+	mustAfter(t, `
+		lock()
+		switch tag() {
+		case 1:
+			work()
+			fallthrough
+		case 2:
+			unlock()
+		default:
+			unlock()
+		}
+	`, "lock", "unlock", true)
+
+	// Terminating panic in one case is vacuously satisfied.
+	mustAfter(t, `
+		lock()
+		switch tag() {
+		case 1:
+			panic("boom")
+		default:
+			unlock()
+		}
+	`, "lock", "unlock", true)
+}
+
+func TestSelectShapes(t *testing.T) {
+	// Both comm cases unlock.
+	mustAfter(t, `
+		lock()
+		select {
+		case <-a:
+			unlock()
+		case <-b:
+			unlock()
+		}
+	`, "lock", "unlock", true)
+
+	// One case returns without unlocking.
+	mustAfter(t, `
+		lock()
+		select {
+		case <-a:
+			unlock()
+		case <-b:
+			return
+		}
+	`, "lock", "unlock", false)
+}
+
+func TestGotoShapes(t *testing.T) {
+	// Forward goto jumps over the unlock.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			goto out
+		}
+		unlock()
+	out:
+		work()
+	`, "lock", "unlock", false)
+
+	// Forward goto into the cleanup label: every path unlocks.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			goto out
+		}
+		work()
+	out:
+		unlock()
+	`, "lock", "unlock", true)
+
+	// Backward goto forms a loop; the path out still unlocks.
+	mustAfter(t, `
+		lock()
+	again:
+		if cond() {
+			goto again
+		}
+		unlock()
+	`, "lock", "unlock", true)
+}
+
+func TestDeferNodes(t *testing.T) {
+	// A defer is an ordinary node: a cut predicate matching the deferred
+	// call sees it on every path downstream of the defer statement.
+	mustAfter(t, `
+		lock()
+		defer unlock()
+		if cond() {
+			return
+		}
+		work()
+	`, "lock", "unlock", true)
+
+	// The defer only covers paths that executed it.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			return
+		}
+		defer unlock()
+	`, "lock", "unlock", false)
+}
+
+func TestLoopDepth(t *testing.T) {
+	g := buildFunc(t, `
+		defer top()
+		for i := 0; i < n; i++ {
+			defer inner()
+			for range xs {
+				defer innermost()
+			}
+		}
+	`)
+	depths := map[string]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			depths[d.Call.Fun.(*ast.Ident).Name] = b.LoopDepth
+		}
+	}
+	want := map[string]int{"top": 0, "inner": 1, "innermost": 2}
+	for name, d := range want {
+		if depths[name] != d {
+			t.Errorf("defer %s at loop depth %d, want %d", name, depths[name], d)
+		}
+	}
+}
+
+func TestTerminatingCalls(t *testing.T) {
+	// os.Exit ends the path: the missing unlock is vacuously satisfied.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			os.Exit(1)
+		}
+		unlock()
+	`, "lock", "unlock", true)
+
+	// log.Fatalf likewise.
+	mustAfter(t, `
+		lock()
+		if cond() {
+			log.Fatalf("x")
+		}
+		unlock()
+	`, "lock", "unlock", true)
+}
+
+func TestReachable(t *testing.T) {
+	g := buildFunc(t, `
+		work()
+		return
+		dead()
+	`)
+	reach := g.Reachable()
+	deadSite := findCall(t, g, "dead")
+	if reach[deadSite.Block] {
+		t.Errorf("statements after return counted as reachable")
+	}
+	workSite := findCall(t, g, "work")
+	if !reach[workSite.Block] {
+		t.Errorf("entry statements not reachable")
+	}
+}
+
+func TestFindNodeNested(t *testing.T) {
+	// A node nested in an assignment resolves to the containing block
+	// statement's site.
+	g := buildFunc(t, `
+		x := helper()
+		use(x)
+	`)
+	site := findCall(t, g, "helper")
+	if site.Block == nil {
+		t.Fatalf("nested call not located")
+	}
+	if !g.MustReach(site, callPred("use")) {
+		t.Errorf("use() should dominate exit from the assignment site")
+	}
+}
+
+func TestPredicateDoesNotEnterFuncLit(t *testing.T) {
+	// The unlock inside the spawned goroutine must not satisfy the
+	// spawner's obligation.
+	mustAfter(t, `
+		lock()
+		go func() {
+			unlock()
+		}()
+	`, "lock", "unlock", false)
+}

@@ -1,0 +1,130 @@
+package flow
+
+import "go/ast"
+
+// Reachable returns the set of blocks reachable from Entry. Statements
+// in unreachable blocks (code after return/break, bodies of dead
+// branches the builder still visits) are excluded from path queries.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+// Site locates one AST node inside the graph: the block holding it and
+// its index in the block's node list.
+type Site struct {
+	Block *Block
+	Index int
+}
+
+// FindNode locates n (by identity) in the graph, or returns a zero
+// Site with ok=false. Nodes nested inside a block-level statement
+// (e.g. a call inside an assignment) are found through their
+// containing block node.
+func (g *Graph) FindNode(n ast.Node) (Site, bool) {
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			if node == n {
+				return Site{Block: b, Index: i}, true
+			}
+			found := false
+			ast.Inspect(node, func(x ast.Node) bool {
+				if x == n {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return Site{Block: b, Index: i}, true
+			}
+		}
+	}
+	return Site{}, false
+}
+
+// CanReachExitWithout reports whether some path from the given site
+// (starting after the node at from.Index) reaches the function exit
+// without first passing a node that satisfies cut. Nodes satisfying
+// cut end the search along their path — they "satisfy" it — so the
+// query reads: can the function return while the obligation expressed
+// by cut is still outstanding?
+//
+// Terminating blocks (panic paths, infinite loops with no break) never
+// reach Exit and therefore never count against the obligation. cut is
+// evaluated on every block-level node and, via ast.Inspect, on its
+// descendants, so a cut predicate matching a call expression works
+// whether the call is a statement, an assignment operand or a deferred
+// call.
+func (g *Graph) CanReachExitWithout(from Site, cut func(ast.Node) bool) bool {
+	// state: 0 unvisited, 1 visiting/visited.
+	visited := map[*Block]bool{}
+	var walk func(b *Block, startIdx int) bool
+	walk = func(b *Block, startIdx int) bool {
+		for i := startIdx; i < len(b.Nodes); i++ {
+			if nodeSatisfies(b.Nodes[i], cut) {
+				return false // obligation met on this path
+			}
+		}
+		if b == g.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from.Block, from.Index+1)
+}
+
+// MustReach reports whether every path from the site to the function
+// exit passes a node satisfying want. It is the negation of
+// CanReachExitWithout; paths that never return (panic, endless loop)
+// are vacuously satisfied.
+func (g *Graph) MustReach(from Site, want func(ast.Node) bool) bool {
+	return !g.CanReachExitWithout(from, want)
+}
+
+// nodeSatisfies applies pred to n and its descendants — except the
+// bodies of nested function literals, which execute (if ever) in a
+// different control-flow context: a receive inside a spawned goroutine
+// is not a receive on the spawner's path. Predicates that do want to
+// look inside a literal (lockbalance's deferred-closure unlock) get
+// the enclosing DeferStmt/GoStmt node first and can inspect it
+// themselves.
+func nodeSatisfies(n ast.Node, pred func(ast.Node) bool) bool {
+	if n == nil {
+		return false
+	}
+	ok := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil || ok {
+			return false
+		}
+		if pred(x) {
+			ok = true
+			return false
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,218 @@
+package srccheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// This file holds the shared resolution helpers of the concurrency
+// (flow) rules: mapping call expressions to sync primitives, naming
+// lock objects, walking function bodies, and channel provenance.
+
+// funcBody is one analyzable body: a top-level declaration or a
+// function literal nested inside one. Rules that build CFGs do so per
+// body, so a go statement inside a closure is analyzed against the
+// closure's control flow, not the declaration's.
+type funcBody struct {
+	name string // enclosing declaration name (for messages)
+	decl *ast.FuncDecl
+	body *ast.BlockStmt
+}
+
+// forEachFuncBody yields every function body in the package: each
+// FuncDecl and each FuncLit, innermost last.
+func forEachFuncBody(pkg *Package, fn func(fb funcBody)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(funcBody{name: fd.Name.Name, decl: fd, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(funcBody{name: fd.Name.Name, decl: fd, body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// syncCall resolves a call expression to a method on a sync primitive.
+// It returns the receiver expression (the lock/group itself), the
+// primitive type name ("Mutex", "RWMutex", "WaitGroup") and the method
+// name, or ok=false for anything else.
+func syncCall(pkg *Package, call *ast.CallExpr) (recv ast.Expr, prim, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, "", "", false
+	}
+	recvType := fn.Type().(*types.Signature).Recv()
+	if recvType == nil {
+		return nil, "", "", false
+	}
+	named := namedOf(recvType.Type())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	return sel.X, named.Obj().Name(), fn.Name(), true
+}
+
+// namedOf unwraps pointers to the named type underneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// exprKey renders an expression as its source text, the intra-
+// procedural identity of a lock or channel ("c.mu", "wg", "e.start").
+func exprKey(e ast.Expr) string { return types.ExprString(e) }
+
+// containsLockType reports whether a type (passed or assigned by
+// value) carries a sync primitive that must not be copied: sync.Mutex,
+// sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond, directly or in
+// any struct field or array element.
+func containsLockType(t types.Type) bool {
+	return containsLock(t, map[types.Type]bool{})
+}
+
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n := namedOf(t); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" {
+		switch n.Obj().Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, _ := p.Elem().(*types.Named)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request"
+}
+
+// chanProvenance classifies a channel identifier used inside fb: if
+// the object it names is created by a visible make(chan ...) anywhere
+// in the enclosing declaration, the buffer capacity is returned
+// (capKnown=true; cap is the constant capacity, 0 when omitted or
+// non-constant-zero). Parameters, struct fields and channels built
+// elsewhere come back capKnown=false.
+func chanProvenance(pkg *Package, decl *ast.FuncDecl, ch ast.Expr) (capacity int64, capKnown bool) {
+	id, ok := ch.(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return 0, false
+	}
+	found := false
+	var capVal int64
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pkg.Info.Defs[lid]
+			if lobj == nil {
+				lobj = pkg.Info.Uses[lid]
+			}
+			if lobj != obj || i >= len(assign.Rhs) {
+				continue
+			}
+			call, ok := assign.Rhs[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "make" {
+				continue
+			}
+			if _, isBuiltin := pkg.Info.Uses[fid].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			found = true
+			capVal = 0
+			if len(call.Args) >= 2 {
+				tv, okTV := pkg.Info.Types[call.Args[1]]
+				if okTV && tv.Value != nil {
+					if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+						capVal = v
+					}
+				} else {
+					// Non-constant capacity: provenance known but the
+					// buffering is not; callers must not flag it.
+					found = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return capVal, found
+}
+
+// constIntArg extracts a constant integer argument value.
+func constIntArg(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,147 @@
+package srccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflowRule enforces context propagation on request paths. A
+// function that holds a context — it has a context.Context or
+// *http.Request parameter — must pass it down:
+//
+//  1. It must not call a method or function when a sibling with the
+//     same name plus a "Ctx" suffix exists whose first parameter is a
+//     context.Context. Calling exec.Run where exec.RunCtx exists
+//     silently detaches the work from the request's deadline and
+//     cancellation.
+//  2. It must not mint a fresh root with context.Background() or
+//     context.TODO(); the caller's context is right there.
+//
+// Both checks are gated on the parameter being present, so
+// constructors, mains and tests that legitimately create roots are
+// untouched.
+type ctxflowRule struct{}
+
+func (ctxflowRule) Name() string { return "ctxflow" }
+func (ctxflowRule) Doc() string {
+	return "context-holding functions must use the ...Ctx call variant when one exists and must not mint context.Background()"
+}
+
+func (r ctxflowRule) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !holdsContext(pkg, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				r.checkCall(pkg, fd, call, report)
+				return true
+			})
+		}
+	}
+}
+
+// holdsContext reports whether the declaration receives a context,
+// directly or via *http.Request.
+func holdsContext(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) || isHTTPRequestPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r ctxflowRule) checkCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+			(fn.Name() == "Background" || fn.Name() == "TODO") {
+			report(call.Pos(),
+				"%s holds a context but mints context.%s(); thread the caller's context instead",
+				fd.Name.Name, fn.Name())
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || takesContext(sig) {
+			return // already context-aware
+		}
+		if sig.Recv() != nil {
+			// Method call: does the receiver type offer <name>Ctx?
+			if variantOK(methodVariant(pkg, sig.Recv().Type(), fn.Name()+"Ctx")) {
+				report(call.Pos(),
+					"%s holds a context but calls %s.%s; use %s.%sCtx to propagate cancellation",
+					fd.Name.Name, exprKey(fun.X), fn.Name(), exprKey(fun.X), fn.Name())
+			}
+			return
+		}
+		// Package-qualified function call: pkg.Run with pkg.RunCtx.
+		if fn.Pkg() != nil && variantOK(fn.Pkg().Scope().Lookup(fn.Name()+"Ctx")) {
+			report(call.Pos(),
+				"%s holds a context but calls %s.%s; use %s.%sCtx to propagate cancellation",
+				fd.Name.Name, fn.Pkg().Name(), fn.Name(), fn.Pkg().Name(), fn.Name())
+		}
+	case *ast.Ident:
+		fn, ok := pkg.Info.Uses[fun].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil || takesContext(sig) {
+			return
+		}
+		if variantOK(fn.Pkg().Scope().Lookup(fn.Name() + "Ctx")) {
+			report(call.Pos(),
+				"%s holds a context but calls %s; use %sCtx to propagate cancellation",
+				fd.Name.Name, fn.Name(), fn.Name())
+		}
+	}
+}
+
+// takesContext reports whether any parameter of the signature is a
+// context.Context.
+func takesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// methodVariant looks up a method by name on a receiver type.
+func methodVariant(pkg *Package, recv types.Type, name string) types.Object {
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, pkg.Types, name)
+	return obj
+}
+
+// variantOK reports whether the looked-up object is a function whose
+// first parameter is a context.Context — i.e. a genuine Ctx variant.
+func variantOK(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}

@@ -1,0 +1,51 @@
+package srccheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"spmv/internal/srccheck/flow"
+)
+
+// deferloopRule flags defer statements inside loop bodies of hot
+// functions. Deferred calls accumulate until the function returns, so
+// a defer in a per-row or per-chunk loop allocates a defer record per
+// iteration and releases nothing until the whole kernel finishes —
+// the opposite of what the author intended for scoped cleanup. The
+// rule is restricted to IsHotFunc code: in setup and teardown paths a
+// looped defer is occasionally the right tool (e.g. closing a small
+// fixed set of files at exit) and not worth the noise.
+type deferloopRule struct{}
+
+func (deferloopRule) Name() string { return "deferloop" }
+func (deferloopRule) Doc() string {
+	return "no defer inside loop bodies of hot-path functions (defer records pile up per iteration)"
+}
+
+func (r deferloopRule) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !IsHotFunc(fd.Name.Name) {
+				continue
+			}
+			g := flow.New(fd.Body)
+			seen := map[*ast.DeferStmt]bool{}
+			for _, b := range g.Blocks {
+				if b.LoopDepth == 0 {
+					continue
+				}
+				for _, n := range b.Nodes {
+					d, ok := n.(*ast.DeferStmt)
+					if !ok || seen[d] {
+						continue
+					}
+					seen[d] = true
+					report(d.Pos(),
+						"defer inside a loop in hot function %s runs only at function exit and allocates per iteration; hoist it or use an explicit call",
+						fd.Name.Name)
+				}
+			}
+		}
+	}
+}

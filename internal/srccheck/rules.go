@@ -42,6 +42,11 @@ func DefaultRules() []Rule {
 		droppedErrRule{},
 		floatEqRule{},
 		hotPathRule{},
+		lockbalanceRule{},
+		goroleakRule{},
+		ctxflowRule{},
+		wgbalanceRule{},
+		deferloopRule{},
 	}
 }
 
@@ -149,6 +154,34 @@ func IsHotFunc(name string) bool {
 		}
 	}
 	return false
+}
+
+// IsRequestPathFunc reports whether a function name sits on the
+// server's per-request path: the HTTP handlers, the coalescer's
+// enqueue/take/execute cycle, the registry read path, the executor's
+// dispatch machinery — plus everything IsHotFunc already covers. The
+// allocation gate holds these to their baselined heap-allocation
+// counts: a new escape in a handler shows up as a per-request GC tax
+// long before it shows up in a profile. Qualified names
+// ("(*coalescer).enqueue") match on their last segment.
+func IsRequestPathFunc(name string) bool {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	if IsHotFunc(name) {
+		return true
+	}
+	switch name {
+	case "ServeHTTP",
+		"enqueue", "take", "execute", "loop", "depth",
+		"get", "recordWidth",
+		"requestDeadline", "clientID", "acquireClient", "releaseClient",
+		"statusFor", "httpError", "writeVector",
+		"Run", "RunCtx", "RunBatch", "RunBatchCtx",
+		"dispatch", "worker":
+		return true
+	}
+	return strings.HasPrefix(name, "handle")
 }
 
 // isLibraryPkg reports whether a package is library code: the module

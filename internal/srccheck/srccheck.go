@@ -15,6 +15,7 @@ package srccheck
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -137,6 +138,13 @@ func (m *Module) parseAll() error {
 			return nil
 		}
 		dir := filepath.Dir(path)
+		// Respect //go:build constraints and GOOS/GOARCH filename
+		// suffixes: a file excluded from the current configuration
+		// would double-declare symbols (or reference missing ones) and
+		// break type checking of its package.
+		if match, err := build.Default.MatchFile(dir, d.Name()); err != nil || !match {
+			return err
+		}
 		rel, err := filepath.Rel(m.Root, dir)
 		if err != nil {
 			return err

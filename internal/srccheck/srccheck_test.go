@@ -2,6 +2,7 @@ package srccheck
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -22,7 +23,7 @@ func TestLoadFixtureModule(t *testing.T) {
 	if m.Path != "fixture" {
 		t.Fatalf("module path = %q, want fixture", m.Path)
 	}
-	want := []string{"cmd/tool", "internal/core", "internal/csrvi", "internal/sample"}
+	want := []string{"cmd/tool", "internal/conc", "internal/core", "internal/csrvi", "internal/sample"}
 	var got []string
 	for _, p := range m.Pkgs {
 		got = append(got, p.RelPath)
@@ -30,6 +31,24 @@ func TestLoadFixtureModule(t *testing.T) {
 	sort.Strings(got)
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("packages = %v, want %v", got, want)
+	}
+}
+
+// TestLoaderRespectsBuildConstraints: the fixture's internal/conc
+// carries conc_stub.go behind an always-false //go:build tag, with
+// declarations that collide with conc.go. Loading succeeds only if
+// the loader honors the constraint; the excluded file must not appear
+// in the package file list.
+func TestLoaderRespectsBuildConstraints(t *testing.T) {
+	m := loadFixture(t) // Load fails with duplicate declarations if the constraint is ignored
+	pkg := m.LookupSuffix("internal/conc")
+	if pkg == nil {
+		t.Fatal("fixture package internal/conc not loaded")
+	}
+	for _, name := range pkg.Filenames {
+		if strings.HasSuffix(name, "conc_stub.go") {
+			t.Fatalf("build-constrained file %s was loaded", name)
+		}
 	}
 }
 
@@ -45,6 +64,10 @@ func TestRulesOnFixture(t *testing.T) {
 	}
 	sort.Strings(got)
 	want := []string{
+		"ctxflow internal/conc/conc.go CallsPkgLevel",
+		"ctxflow internal/conc/conc.go MintsBackground",
+		"ctxflow internal/conc/conc.go RunsWithoutCtx",
+		"deferloop internal/conc/conc.go spmvDeferInLoop",
 		"droppederr cmd/tool/main.go main",
 		"droppederr internal/sample/sample.go DropsErrors",
 		"droppederr internal/sample/sample.go DropsErrors",
@@ -52,10 +75,17 @@ func TestRulesOnFixture(t *testing.T) {
 		"droppederr internal/sample/sample.go DropsErrors",
 		"droppederr internal/sample/sample.go DropsErrors",
 		"floateq internal/sample/sample.go FloatCompares",
+		"goroleak internal/conc/conc.go SpawnAndAbandon",
 		"hotpath internal/sample/sample.go spmvBody",
 		"hotpath internal/sample/sample.go spmvBody",
+		"lockbalance internal/conc/conc.go ByValue",
+		"lockbalance internal/conc/conc.go CopiesLockParam",
+		"lockbalance internal/conc/conc.go LeakOnError",
 		"panics internal/sample/sample.go BadPanic",
 		"verifier internal/sample/sample.go ",
+		"wgbalance internal/conc/conc.go AddsInsideGoroutine",
+		"wgbalance internal/conc/conc.go DoneSkippedOnError",
+		"wgbalance internal/conc/conc.go WaitsForever",
 	}
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Errorf("findings:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
@@ -68,11 +98,16 @@ func TestRuleMessages(t *testing.T) {
 	m := loadFixture(t)
 	issues := Run(m, DefaultRules(), &Allowlist{})
 	wantSubstrings := map[string]string{
-		"panics":     "typed error",
-		"verifier":   "BadFormat",
-		"droppederr": "dropped",
-		"floateq":    "epsilon",
-		"hotpath":    "hot kernel",
+		"panics":      "typed error",
+		"verifier":    "BadFormat",
+		"droppederr":  "dropped",
+		"floateq":     "epsilon",
+		"hotpath":     "hot kernel",
+		"lockbalance": "still held",
+		"goroleak":    "unbuffered",
+		"ctxflow":     "propagate cancellation",
+		"wgbalance":   "Done",
+		"deferloop":   "hoist",
 	}
 	seen := map[string]bool{}
 	for _, is := range issues {
@@ -102,12 +137,72 @@ panics internal/sample/*.go BadPanic
 		}
 	}
 
-	allowAll, err := ParseAllowlist(strings.NewReader("* internal/sample/*.go\n* cmd/tool/*.go"))
+	allowAll, err := ParseAllowlist(strings.NewReader("* internal/sample/*.go\n* cmd/tool/*.go\n* internal/conc/*.go"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if issues := Run(m, DefaultRules(), allowAll); len(issues) != 0 {
 		t.Fatalf("wildcard allowlist left %d findings: %+v", len(issues), issues[0])
+	}
+}
+
+// TestAllowlistStaleAndPrune exercises the staleness accounting: an
+// entry that suppresses a planted finding is live, entries aiming at
+// nothing are stale, and PruneAllowlist rewrites the file keeping
+// comments and live entries.
+func TestAllowlistStaleAndPrune(t *testing.T) {
+	m := loadFixture(t)
+	content := `# header comment
+panics internal/sample/*.go BadPanic
+droppederr internal/nonexistent/*.go
+
+# trailing comment
+floateq internal/sample/*.go NoSuchFunc
+`
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := LoadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(m, DefaultRules(), allow)
+	stale := allow.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("stale entries = %+v, want 2 (the nonexistent path and the nonexistent func)", stale)
+	}
+	if stale[0].Line != 3 || stale[1].Line != 6 {
+		t.Fatalf("stale lines = %d, %d, want 3 and 6", stale[0].Line, stale[1].Line)
+	}
+
+	if err := PruneAllowlist(path, stale); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(pruned)
+	for _, wantKept := range []string{"# header comment", "# trailing comment", "panics internal/sample/*.go BadPanic"} {
+		if !strings.Contains(text, wantKept) {
+			t.Errorf("prune dropped %q:\n%s", wantKept, text)
+		}
+	}
+	for _, wantGone := range []string{"nonexistent", "NoSuchFunc"} {
+		if strings.Contains(text, wantGone) {
+			t.Errorf("prune kept stale entry mentioning %q:\n%s", wantGone, text)
+		}
+	}
+
+	// After the prune, a fresh run leaves nothing stale.
+	allow2, err := LoadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(m, DefaultRules(), allow2)
+	if s := allow2.Stale(); len(s) != 0 {
+		t.Fatalf("post-prune stale entries = %+v, want none", s)
 	}
 }
 

@@ -1,0 +1,252 @@
+// Package conc plants one positive and one negative case per
+// concurrency flow rule (lockbalance, goroleak, ctxflow, wgbalance,
+// deferloop). srccheck_test asserts the exact finding set, so every
+// function here either fires exactly once or must stay silent.
+package conc
+
+import (
+	"context"
+	"sync"
+)
+
+func cond() bool { return false }
+func work()      {}
+func doWork()    {}
+
+// Engine carries the lock and the Run/RunCtx pair the ctxflow rule
+// keys on.
+type Engine struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func (e *Engine) Run(n int) int                         { return n }
+func (e *Engine) RunCtx(ctx context.Context, n int) int { return n }
+
+// Work / WorkCtx: the package-level variant pair.
+func Work(n int) int                         { return n }
+func WorkCtx(ctx context.Context, n int) int { return n }
+
+// --- lockbalance ---
+
+// LeakOnError returns early with the mutex still held: positive.
+func LeakOnError(e *Engine) bool {
+	e.mu.Lock()
+	if cond() {
+		return false
+	}
+	e.mu.Unlock()
+	return true
+}
+
+// Config carries a lock so the by-value copies below are positives.
+type Config struct {
+	mu sync.Mutex
+	N  int
+}
+
+// CopiesLockParam takes the lock-bearing struct by value: positive.
+func CopiesLockParam(c Config) int { return c.N }
+
+// ByValue is a by-value receiver on a lock-bearing type: positive.
+func (c Config) ByValue() int { return c.N }
+
+// DeferBalanced releases through defer on every path: negative.
+func DeferBalanced(e *Engine) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cond() {
+		return false
+	}
+	return true
+}
+
+// BranchBalanced unlocks on both branches: negative.
+func BranchBalanced(e *Engine) int {
+	e.mu.Lock()
+	if cond() {
+		e.mu.Unlock()
+		return 1
+	}
+	e.mu.Unlock()
+	return 0
+}
+
+// ClosureUnlock releases inside a deferred closure: negative.
+func ClosureUnlock(e *Engine) {
+	e.mu.Lock()
+	defer func() {
+		e.mu.Unlock()
+	}()
+	work()
+}
+
+// ReadBalanced pairs RLock with a deferred RUnlock: negative.
+func ReadBalanced(e *Engine) {
+	e.rw.RLock()
+	defer e.rw.RUnlock()
+	work()
+}
+
+// --- goroleak ---
+
+// SpawnAndAbandon can return before draining the unbuffered channel
+// its goroutine blocks on: positive.
+func SpawnAndAbandon(e *Engine) int {
+	ch := make(chan int)
+	go func() {
+		ch <- e.Run(1)
+	}()
+	if cond() {
+		return 0
+	}
+	return <-ch
+}
+
+// SpawnBuffered is the same shape with a buffer of one — the send
+// always completes: negative.
+func SpawnBuffered(e *Engine) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- e.Run(1)
+	}()
+	if cond() {
+		return 0
+	}
+	return <-ch
+}
+
+// SpawnAlwaysDrained receives on every path: negative.
+func SpawnAlwaysDrained(e *Engine) int {
+	ch := make(chan int)
+	go func() {
+		ch <- e.Run(1)
+	}()
+	v := <-ch
+	return v
+}
+
+// --- ctxflow ---
+
+// RunsWithoutCtx holds a context but calls the non-Ctx method
+// variant: positive.
+func RunsWithoutCtx(ctx context.Context, e *Engine, n int) int {
+	_ = ctx
+	return e.Run(n)
+}
+
+// CallsPkgLevel holds a context but calls the package-level non-Ctx
+// variant: positive.
+func CallsPkgLevel(ctx context.Context, n int) int {
+	_ = ctx
+	return Work(n)
+}
+
+// MintsBackground holds a context but creates a fresh root: positive.
+func MintsBackground(ctx context.Context, e *Engine, n int) int {
+	c := context.Background()
+	_ = c
+	return e.RunCtx(ctx, n)
+}
+
+// PropagatesCtx threads its context into the Ctx variant: negative.
+func PropagatesCtx(ctx context.Context, e *Engine, n int) int {
+	return e.RunCtx(ctx, n)
+}
+
+// NoCtxNoObligation has no context to propagate: negative.
+func NoCtxNoObligation(e *Engine, n int) int {
+	return e.Run(n)
+}
+
+// --- wgbalance ---
+
+// AddsInsideGoroutine counts the work from inside the goroutine,
+// racing Wait: positive.
+func AddsInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// DoneSkippedOnError drops the count only on the happy path: positive.
+func DoneSkippedOnError() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if cond() {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// WaitsForever Adds and Waits on a captive local group nothing ever
+// Dones: positive.
+func WaitsForever() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go doWork()
+	wg.Wait()
+}
+
+// DeferredDone is the canonical pattern: negative.
+func DeferredDone() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// DelegatesDone hands the group to a callee that drops the count:
+// negative (the group escapes, the rule stands down).
+func DelegatesDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helperDone(&wg)
+	wg.Wait()
+}
+
+func helperDone(wg *sync.WaitGroup) { wg.Done() }
+
+// --- deferloop ---
+
+type closer struct{}
+
+func (closer) Close() {}
+
+// spmvDeferInLoop defers inside a per-row loop of a hot function:
+// positive.
+func spmvDeferInLoop(rows int) {
+	for i := 0; i < rows; i++ {
+		var c closer
+		defer c.Close()
+	}
+}
+
+// spmvDeferAtTop defers once at function scope: negative.
+func spmvDeferAtTop(rows int) {
+	var c closer
+	defer c.Close()
+	for i := 0; i < rows; i++ {
+		work()
+	}
+}
+
+// teardownDeferInLoop loops a defer in cold code: negative.
+func teardownDeferInLoop(rows int) {
+	for i := 0; i < rows; i++ {
+		var c closer
+		defer c.Close()
+	}
+}

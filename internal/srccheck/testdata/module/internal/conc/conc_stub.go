@@ -1,0 +1,12 @@
+//go:build spmv_never_built
+
+// This file is excluded by its build constraint under every real
+// configuration. It redeclares symbols from conc.go, so a loader that
+// ignores //go:build lines fails type checking with duplicate
+// declarations — the regression TestLoaderRespectsBuildConstraints
+// guards against.
+package conc
+
+func cond() bool { return true }
+
+func work() { panic("never built") }
