@@ -13,6 +13,14 @@
 //	          [-trace out.trace] [-timeline out.json]
 //	          [-archive FILE|DIR] [-compare OLD.json]
 //	          [-samples 5] [-slowdown 0.10]
+//	          [-partition row|col|nnz] [-steal]
+//
+// With -partition nnz chunk boundaries are placed every nnz/threads
+// stored elements, splitting long rows across workers (CSR only;
+// other formats fall back to row partitioning). With -steal the row
+// executor over-decomposes into ~4x threads chunks and lets idle
+// workers steal queued chunks; per-run steal counts appear in the
+// -metrics report.
 //
 // With -rhs the tables are replaced by the multi-RHS sweep: batched
 // SpMV (RunBatch) over row-major n×k panels at each listed k, per
@@ -115,6 +123,8 @@ func main() {
 	comparePath := flag.String("compare", "", "compare this run against a previous archive file; exit 1 on regression")
 	samples := flag.Int("samples", 0, "repeated measurements per cell (default 5 with -archive/-compare)")
 	slowdown := flag.Float64("slowdown", 0.10, "fractional slowdown -compare treats as a regression")
+	partitionFlag := flag.String("partition", "", "execution scheme: row (default), col, or nnz (non-zero-split boundaries; CSR only, other formats fall back to row)")
+	steal := flag.Bool("steal", false, "use the work-stealing row executor (over-decomposed chunk queues)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -124,6 +134,12 @@ func main() {
 	cfg.Verify = *verify
 	cfg.Metrics = *metrics
 	cfg.Samples = *samples
+	cfg.Partition = *partitionFlag
+	cfg.Steal = *steal
+	if *steal && *partitionFlag != "" && *partitionFlag != "row" {
+		fmt.Fprintf(os.Stderr, "spmvbench: -steal applies to the row partition, not %q\n", *partitionFlag)
+		os.Exit(2)
+	}
 
 	// Archive and compare modes need per-cell traffic metrics and, for a
 	// meaningful significance test, repeated samples.

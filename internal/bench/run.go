@@ -63,6 +63,14 @@ type Config struct {
 	// measure once and record no samples. Simulation mode ignores it —
 	// the simulator is deterministic, repeats would be identical.
 	Samples int
+	// Partition selects the native execution scheme ("row", "col",
+	// "nnz"); empty means row. Formats that do not support the
+	// requested scheme (nnz is CSR-only) fall back to row partitioning
+	// so mixed-format sweeps still complete.
+	Partition string
+	// Steal enables the work-stealing row executor in native mode
+	// (parallel.ExecOptions.Steal).
+	Steal bool
 }
 
 // DefaultConfig returns the paper-reproduction configuration.
@@ -338,7 +346,13 @@ const warmUpIters = 3
 // SpMV" averages incomparable at small WarmIters. rec, when non-nil,
 // observes only the measured iterations, not the warm-up.
 func measureNative(cfg Config, f core.Format, threads int, rec *obs.Recorder) (float64, error) {
-	e, err := parallel.NewExecutor(f, threads)
+	opts := parallel.ExecOptions{Threads: threads, Partition: cfg.Partition, Steal: cfg.Steal}
+	if opts.Partition == "nnz" {
+		if _, ok := f.(core.NNZSplitter); !ok {
+			opts.Partition = "" // no nnz splitting for this format: row
+		}
+	}
+	e, err := parallel.New(f, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,51 @@
+package core
+
+// NNZChunk is a half-open range of a matrix's stored non-zeros,
+// processed by one worker of the multithreaded runtime. Unlike Chunk,
+// whose boundaries sit on row edges, an NNZChunk's boundaries may fall
+// mid-row: a single row longer than nnz/parts — the pathology that
+// defeats row-granular balancing — is split across several chunks.
+//
+// Rows owned entirely by one chunk are written to y directly, exactly
+// as with row partitioning. The at-most-two boundary rows a chunk
+// shares with its neighbours are privatized instead: each chunk
+// accumulates its piece of a shared row into its own partial slots, and
+// the scheduler runs a fix-up pass summing the pieces into y after the
+// parallel region — O(parts) work, no atomics in the kernel.
+type NNZChunk interface {
+	// NNZRange returns the half-open stored-non-zero interval [lo, hi)
+	// this chunk owns.
+	NNZRange() (lo, hi int)
+	// RowRange returns the half-open row interval the chunk touches.
+	// The first and last rows may be shared with neighbouring chunks;
+	// all rows strictly inside the interval are exclusively owned.
+	RowRange() (lo, hi int)
+	// NNZ is the chunk's stored-non-zero count (its load weight).
+	NNZ() int
+	// Boundary returns the indices of the rows this chunk shares with
+	// its neighbours: head is the partially-owned first row, tail the
+	// partially-owned last row, -1 when the respective edge lands on a
+	// row boundary. A chunk lying strictly inside one row reports
+	// head == tail and uses only its head partial slot.
+	Boundary() (head, tail int)
+	// SpMVPartial computes the chunk's share of y = A*x: fully-owned
+	// rows are written to y (and only those — shared rows are left
+	// untouched), while the head and tail boundary pieces are written
+	// to partial[0] and partial[1]. Both slots are always stored, so
+	// the caller need not clear them. len(partial) >= 2.
+	SpMVPartial(y, x, partial []float64)
+}
+
+// NNZSplitter is implemented by formats that support non-zero-granular
+// partitioning: boundaries are placed every nnz/parts stored elements
+// regardless of row structure, so the static imbalance is bounded by
+// one element per part even under extreme row-length skew. The
+// scheduler pairs it with a fix-up pass over the split rows (see
+// NNZChunk).
+type NNZSplitter interface {
+	// SplitNNZ partitions the matrix's stored non-zeros into at most n
+	// chunks of nearly equal count. Chunks are ordered by non-zero
+	// range and cover all stored non-zeros exactly once; fewer than n
+	// chunks are returned when the matrix holds fewer non-zeros.
+	SplitNNZ(n int) []NNZChunk
+}

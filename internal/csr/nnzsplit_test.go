@@ -1,0 +1,186 @@
+package csr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmv/internal/core"
+	"spmv/internal/matgen"
+)
+
+// testMatrices builds the nnz-split test corpus: a regular stencil, a
+// scattered random matrix, a power-law matrix and the isolated
+// heavy-row pathology.
+func testMatrices(t *testing.T) map[string]*Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	coos := map[string]*core.COO{
+		"stencil2d":  matgen.Stencil2D(8),
+		"random":     matgen.RandomUniform(rng, 60, 60, 5, matgen.Values{}),
+		"powerlaw":   matgen.PowerLaw(rng, 200, 4, 0.9, matgen.Values{}),
+		"skewed":     matgen.SkewedRows(rng, 100, 3, 50, 0.4, matgen.Values{}),
+		"denserow":   matgen.SkewedRows(rng, 40, 1, 20, 0.9, matgen.Values{}),
+		"first-skew": matgen.SkewedRows(rng, 64, 2, 0, 0.5, matgen.Values{}),
+		"last-skew":  matgen.SkewedRows(rng, 64, 2, 63, 0.5, matgen.Values{}),
+	}
+	ms := make(map[string]*Matrix, len(coos))
+	for name, c := range coos {
+		m, err := FromCOO(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ms[name] = m
+	}
+	return ms
+}
+
+// TestSplitNNZContract checks the NNZSplitter contract on every test
+// matrix: chunks are ordered, cover the stored non-zeros exactly once,
+// are balanced to within one element, and classify their boundary rows
+// consistently with the row pointer.
+func TestSplitNNZContract(t *testing.T) {
+	for name, m := range testMatrices(t) {
+		for _, parts := range []int{1, 2, 3, 4, 7, 8, 16, 64} {
+			chunks := m.SplitNNZ(parts)
+			if len(chunks) > parts {
+				t.Fatalf("%s/%d: %d chunks", name, parts, len(chunks))
+			}
+			next := 0
+			for ci, ch := range chunks {
+				klo, khi := ch.NNZRange()
+				if klo != next || khi <= klo {
+					t.Fatalf("%s/%d: chunk %d range [%d,%d), want start %d",
+						name, parts, ci, klo, khi, next)
+				}
+				next = khi
+				if ch.NNZ() != khi-klo {
+					t.Errorf("%s/%d: chunk %d NNZ %d != %d", name, parts, ci, ch.NNZ(), khi-klo)
+				}
+				if ch.NNZ() > m.NNZ()/parts+1 {
+					t.Errorf("%s/%d: chunk %d holds %d nnz, above the even share %d",
+						name, parts, ci, ch.NNZ(), m.NNZ()/parts+1)
+				}
+
+				rFirst, rLast := m.rowOf(klo), m.rowOf(khi-1)
+				head, tail := ch.Boundary()
+				wantHead, wantTail := -1, -1
+				if klo > int(m.RowPtr[rFirst]) {
+					wantHead = rFirst
+				}
+				if khi < int(m.RowPtr[rLast+1]) {
+					wantTail = rLast
+				}
+				if rFirst == rLast && (wantHead >= 0 || wantTail >= 0) {
+					// Chunk inside one row: both slots name it, head only.
+					wantHead, wantTail = rFirst, rFirst
+				}
+				if head != wantHead || tail != wantTail {
+					t.Errorf("%s/%d: chunk %d Boundary() = (%d,%d), want (%d,%d)",
+						name, parts, ci, head, tail, wantHead, wantTail)
+				}
+				lo, hi := ch.RowRange()
+				if lo != rFirst || hi != rLast+1 {
+					t.Errorf("%s/%d: chunk %d RowRange() = [%d,%d), want [%d,%d)",
+						name, parts, ci, lo, hi, rFirst, rLast+1)
+				}
+			}
+			if next != m.NNZ() {
+				t.Fatalf("%s/%d: chunks cover %d of %d nnz", name, parts, next, m.NNZ())
+			}
+		}
+	}
+}
+
+// TestSpMVPartialReconstruction runs each chunk's partial kernel and
+// the scheduler's fix-up recipe by hand, and checks the assembled y
+// against the serial kernel. Split-row pieces are added in chunk order
+// — contiguous sub-ranges of the row left to right — so the only
+// difference from the serial sum is association, bounded well inside
+// 1e-12 relative on these sizes.
+func TestSpMVPartialReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, m := range testMatrices(t) {
+		x := make([]float64, m.Cols())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m.Rows())
+		m.SpMV(want, x)
+		for _, parts := range []int{1, 2, 3, 5, 8, 16} {
+			chunks := m.SplitNNZ(parts)
+			got := make([]float64, m.Rows())
+			sums := make(map[int]float64)
+			partial := make([]float64, 2)
+			for _, ch := range chunks {
+				ch.SpMVPartial(got, x, partial)
+				head, tail := ch.Boundary()
+				if head >= 0 {
+					sums[head] += partial[0]
+				}
+				if tail >= 0 && tail != head {
+					sums[tail] += partial[1]
+				}
+			}
+			for r, s := range sums {
+				got[r] = s
+			}
+			for i := range want {
+				if d := math.Abs(got[i] - want[i]); d > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("%s/%d: y[%d] = %v, want %v", name, parts, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSplitNNZDenseRowSpans pins the whole point of nnz splitting: a
+// row holding 90% of the matrix is shared by several chunks (the
+// middle ones strictly inside it report head == tail), instead of
+// landing whole on one worker.
+func TestSplitNNZDenseRowSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := FromCOO(matgen.SkewedRows(rng, 40, 1, 20, 0.9, matgen.Values{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parts = 8
+	chunks := m.SplitNNZ(parts)
+	inside := 0
+	owners := 0
+	for _, ch := range chunks {
+		head, tail := ch.Boundary()
+		if head == 20 || tail == 20 {
+			owners++
+		}
+		if head == 20 && tail == 20 {
+			inside++
+		}
+	}
+	if owners < 4 {
+		t.Errorf("dense row shared by %d of %d chunks, want most of them", owners, parts)
+	}
+	if inside == 0 {
+		t.Errorf("no chunk lies strictly inside the dense row (chunks %d)", len(chunks))
+	}
+}
+
+// TestSplitNNZUsage checks the usage panic on a non-positive part
+// count, matching the splitters' convention.
+func TestSplitNNZUsage(t *testing.T) {
+	m, err := FromCOO(matgen.Stencil2D(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SplitNNZ(0) did not panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, core.ErrUsage) {
+			t.Fatalf("SplitNNZ(0) panicked with %v, want core.ErrUsage", r)
+		}
+	}()
+	m.SplitNNZ(0)
+}

@@ -269,6 +269,57 @@ func PowerLaw(rng *rand.Rand, n int, avgDeg float64, alpha float64, vals Values)
 	return c
 }
 
+// SkewedRows returns an n×n matrix in which the designated row holds
+// heavyFrac of the total non-zeros (as nearly as the n-column cap
+// allows) and every other row carries about perRow uniformly scattered
+// entries — the isolated row-length-skew pathology. Row-granular
+// partitioning cannot balance it (the heavy row is atomic, so its
+// owner's load is at least heavyFrac of the matrix), which makes it the
+// reference input for the non-zero-split scheduler.
+func SkewedRows(rng *rand.Rand, n, perRow, heavyRow int, heavyFrac float64, vals Values) *core.COO {
+	if heavyRow < 0 || heavyRow >= n {
+		panic(core.Usagef("matgen: SkewedRows heavy row %d outside [0,%d)", heavyRow, n))
+	}
+	if heavyFrac <= 0 || heavyFrac >= 1 {
+		panic(core.Usagef("matgen: SkewedRows heavyFrac %v outside (0,1)", heavyFrac))
+	}
+	light := (n - 1) * perRow
+	deg := int(heavyFrac/(1-heavyFrac)*float64(light) + 0.5)
+	if deg > n {
+		deg = n
+	}
+	if deg < 1 {
+		deg = 1
+	}
+	src := newValueSource(rng, vals)
+	c := core.NewCOO(n, n)
+	used := newRowSet()
+	for i := 0; i < n; i++ {
+		if i == heavyRow {
+			// The heavy row's degree may approach n; a permutation
+			// avoids rejection-sampling a nearly-full row.
+			for _, j := range rng.Perm(n)[:deg] {
+				c.Add(i, j, src.next())
+			}
+			continue
+		}
+		want := perRow
+		if want > n {
+			want = n
+		}
+		used.reset()
+		for tries := 0; want > 0 && tries < 8*perRow+16; tries++ {
+			j := rng.Intn(n)
+			if used.add(j) {
+				c.Add(i, j, src.next())
+				want--
+			}
+		}
+	}
+	c.Finalize()
+	return c
+}
+
 // RMAT returns a 2^scale × 2^scale recursive-matrix (R-MAT) graph
 // adjacency with about avgDeg non-zeros per row: the standard synthetic
 // web/social-graph model (Graph500). Probabilities (a, b, c) steer each

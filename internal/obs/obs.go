@@ -43,11 +43,16 @@ type ChunkStat struct {
 	// Run: the kernel for row partitioning, kernel plus reduction for
 	// the column- and block-partitioned executors.
 	Busy time.Duration `json:"busy_ns"`
+	// Steals is the number of chunks this worker executed that were
+	// originally assigned to another worker's queue. Always zero
+	// outside the work-stealing executor.
+	Steals int `json:"steals,omitempty"`
 }
 
 // RunStat is the telemetry of one Executor.Run or RunBatch call.
 type RunStat struct {
-	// Partition names the execution scheme: "row", "col" or "block".
+	// Partition names the execution scheme: "row", "col", "block",
+	// "nnz", "steal" or "sym".
 	Partition string `json:"partition"`
 	// Vectors is the number of right-hand-side vectors the run computed:
 	// 1 for Run, the panel width k for RunBatch. Bandwidth accounting
@@ -57,6 +62,12 @@ type RunStat struct {
 	// Wall is the caller-observed duration of the whole Run, including
 	// dispatch and barriers.
 	Wall time.Duration `json:"wall_ns"`
+	// Steals is the total number of stolen chunk executions across
+	// workers (see ChunkStat.Steals). Zero for static schedules.
+	Steals int `json:"steals,omitempty"`
+	// Err records the run's error, if any, so sinks that archive
+	// RunStats retain failed runs distinguishably. Empty on success.
+	Err string `json:"err,omitempty"`
 	// Chunks has one entry per worker, indexed by worker.
 	Chunks []ChunkStat `json:"chunks"`
 }

@@ -44,6 +44,9 @@ var (
 	_ Runner = (*Executor)(nil)
 	_ Runner = (*ColExecutor)(nil)
 	_ Runner = (*BlockExecutor)(nil)
+	_ Runner = (*NNZExecutor)(nil)
+	_ Runner = (*StealExecutor)(nil)
+	_ Runner = (*SymExecutor)(nil)
 )
 
 // ExecOptions configures New.
@@ -53,9 +56,15 @@ type ExecOptions struct {
 	// Collector, when non-nil, is attached with SetCollector.
 	Collector obs.Collector
 	// Partition selects the execution scheme: "row" (the default, also
-	// selected by ""), or "col". Block partitioning needs the original
-	// triplets, not a built format — use NewBlockExecutor directly.
+	// selected by ""), "col", or "nnz" (non-zero-granular boundaries
+	// that split long rows; CSR only). Block partitioning needs the
+	// original triplets, not a built format — use NewBlockExecutor
+	// directly.
 	Partition string
+	// Steal over-decomposes the row partition and lets idle workers
+	// steal queued chunks (see StealExecutor). Only meaningful with the
+	// row scheme; combining it with another Partition is a usage error.
+	Steal bool
 }
 
 // New builds an executor for f according to opts. It is the options
@@ -70,13 +79,20 @@ func New(f core.Format, opts ExecOptions) (Runner, error) {
 		r   Runner
 		err error
 	)
-	switch opts.Partition {
-	case "", "row":
+	if opts.Steal && opts.Partition != "" && opts.Partition != "row" {
+		return nil, core.Usagef("parallel: Steal applies to the row partition, not %q", opts.Partition)
+	}
+	switch {
+	case opts.Steal:
+		r, err = NewStealExecutor(f, threads)
+	case opts.Partition == "" || opts.Partition == "row":
 		r, err = NewExecutor(f, threads)
-	case "col":
+	case opts.Partition == "col":
 		r, err = NewColExecutor(f, threads)
+	case opts.Partition == "nnz":
+		r, err = NewNNZExecutor(f, threads)
 	default:
-		return nil, core.Usagef("parallel: unknown partition %q (valid: row, col)", opts.Partition)
+		return nil, core.Usagef("parallel: unknown partition %q (valid: row, col, nnz)", opts.Partition)
 	}
 	if err != nil {
 		return nil, err

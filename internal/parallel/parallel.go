@@ -227,6 +227,14 @@ func errClosed() error {
 	return core.Usagef("parallel: Run on closed executor")
 }
 
+// errString renders an error for obs.RunStat.Err; empty for nil.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
 // Threads returns the number of workers (may be less than requested
 // for small matrices).
 func (e *Executor) Threads() int { return len(e.chunks) }
@@ -288,6 +296,7 @@ func (e *Executor) run(ctx context.Context, y, x []float64) error {
 		t0 = time.Now()
 	}
 	e.dispatch(job{y: y, x: x, stats: e.stats, ctx: tctx})
+	err := errors.Join(e.errs...)
 	if e.collector != nil {
 		// Workers are quiescent after Wait, so handing the collector a
 		// copy of the stats buffer is race-free.
@@ -295,10 +304,11 @@ func (e *Executor) run(ctx context.Context, y, x []float64) error {
 			Partition: "row",
 			Vectors:   1,
 			Wall:      time.Since(t0),
+			Err:       errString(err),
 			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
 		})
 	}
-	return errors.Join(e.errs...)
+	return err
 }
 
 // dispatch hands one job to every worker and blocks until all finish.
@@ -363,6 +373,7 @@ func (e *Executor) runBatch(ctx context.Context, y, x []float64, k int) error {
 		defer end()
 		t0 = time.Now()
 	}
+	var err error
 	if e.batch {
 		for _, g := range e.gaps {
 			yr := y[g[0]*k : g[1]*k]
@@ -371,23 +382,31 @@ func (e *Executor) runBatch(ctx context.Context, y, x []float64, k int) error {
 			}
 		}
 		e.dispatch(job{y: y, x: x, k: k, stats: e.stats, ctx: tctx})
+		err = errors.Join(e.errs...)
 	} else {
+		// The per-column fallback must not return out of the loop: an
+		// early return on a failed column skipped the collector's
+		// RunDone, so a failing batch left no RunStat behind — the
+		// telemetry stream under-counted exactly the runs worth
+		// investigating. Break instead and report below with Err set.
 		if e.scratchY == nil {
 			e.scratchY = make([]float64, e.rows)
 			e.scratchX = make([]float64, e.cols)
 		}
 		for c := 0; c < k; c++ {
 			if ctx != nil {
-				if err := ctx.Err(); err != nil {
-					return fmt.Errorf("batch column %d: %w", c, err)
+				if cerr := ctx.Err(); cerr != nil {
+					err = fmt.Errorf("batch column %d: %w", c, cerr)
+					break
 				}
 			}
 			for j := range e.scratchX {
 				e.scratchX[j] = x[j*k+c]
 			}
 			e.dispatch(job{y: e.scratchY, x: e.scratchX, stats: e.stats, ctx: tctx})
-			if err := errors.Join(e.errs...); err != nil {
-				return fmt.Errorf("batch column %d: %w", c, err)
+			if cerr := errors.Join(e.errs...); cerr != nil {
+				err = fmt.Errorf("batch column %d: %w", c, cerr)
+				break
 			}
 			for i, v := range e.scratchY {
 				y[i*k+c] = v
@@ -399,10 +418,11 @@ func (e *Executor) runBatch(ctx context.Context, y, x []float64, k int) error {
 			Partition: "row",
 			Vectors:   k,
 			Wall:      time.Since(t0),
+			Err:       errString(err),
 			Chunks:    append([]obs.ChunkStat(nil), e.stats...),
 		})
 	}
-	return errors.Join(e.errs...)
+	return err
 }
 
 // RunBatchIters performs iters consecutive batched multiplications,

@@ -30,9 +30,18 @@ func Even(n, parts int) []int {
 // SplitPrefix splits [0, n) into parts contiguous ranges of
 // approximately equal weight, where prefix is the length-(n+1)
 // inclusive prefix-sum of per-item weights (prefix[0] == 0,
-// prefix[n] == total). Boundary i is placed at the first position whose
-// prefix reaches i/parts of the total, which is the paper's "each thread
-// is assigned approximately the same number of elements" rule.
+// prefix[n] == total). Boundary i targets i/parts of the total weight
+// — the paper's "each thread is assigned approximately the same number
+// of elements" rule — and lands on whichever side of the item
+// straddling that target is closer to it.
+//
+// The side choice matters on row-length skew: an item heavier than
+// total/parts straddles several consecutive targets, and always
+// rounding up (the first prefix >= target) collapses those boundaries
+// onto the same index, yielding empty middle parts and a tail part
+// holding nearly everything. Rounding to the nearer side keeps each
+// boundary as close to its target as row granularity allows, so the
+// heavy item's part absorbs only the heavy item's own excess.
 func SplitPrefix(prefix []int64, parts int) []int {
 	if parts <= 0 {
 		panic(core.Usagef("partition: SplitPrefix with parts=%d", parts))
@@ -48,11 +57,17 @@ func SplitPrefix(prefix []int64, parts int) []int {
 		target := total * int64(i) / int64(parts)
 		// First index whose prefix is >= target.
 		j := sort.Search(n+1, func(k int) bool { return prefix[k] >= target })
-		if j < b[i-1] {
-			j = b[i-1]
-		}
 		if j > n {
 			j = n
+		}
+		// prefix[j-1] < target <= prefix[j]: step left when the item
+		// ending at j overshoots the target by more than stopping short
+		// would undershoot it (ties keep the old round-up placement).
+		if j > 0 && prefix[j]-target > target-prefix[j-1] {
+			j--
+		}
+		if j < b[i-1] {
+			j = b[i-1]
 		}
 		b[i] = j
 	}
@@ -83,8 +98,26 @@ func SplitByCounts(counts []int, parts int) []int {
 
 // Imbalance returns max(weight of part) / (total/parts) for the given
 // boundaries and prefix weights: 1.0 is a perfect balance. Returns 1 for
-// zero total weight.
+// zero total weight or zero parts. It panics with a core.ErrUsage-typed
+// error — like the splitters — on an empty prefix or bounds, or on
+// bounds that decrease or index outside [0, len(prefix)): before this
+// validation an empty bounds slice produced parts = -1, skipped the
+// parts == 0 guard and returned -0, and malformed bounds panicked with
+// a raw index error on prefix[bounds[i]].
 func Imbalance(prefix []int64, bounds []int) float64 {
+	if len(prefix) == 0 {
+		panic(core.Usagef("partition: Imbalance with empty prefix"))
+	}
+	if len(bounds) == 0 {
+		panic(core.Usagef("partition: Imbalance with empty bounds"))
+	}
+	prev := 0
+	for _, b := range bounds {
+		if b < prev || b >= len(prefix) {
+			panic(core.Usagef("partition: Imbalance bounds %v not non-decreasing within [0,%d]", bounds, len(prefix)-1))
+		}
+		prev = b
+	}
 	parts := len(bounds) - 1
 	total := prefix[len(prefix)-1]
 	if total == 0 || parts == 0 {

@@ -142,10 +142,10 @@ func IsHotFunc(name string) bool {
 		name = name[i+1:]
 	}
 	switch name {
-	case "SpMV", "SpMVAdd", "SpMVT", "SpMM", "SpMVBatch",
+	case "SpMV", "SpMVAdd", "SpMVT", "SpMM", "SpMVBatch", "SpMVPartial",
 		"Mul", "MulAdd", "MulTrans",
-		"Dot", "Axpy", "DecodeAt",
-		"runChunk", "runColJob", "runBlockJob":
+		"Dot", "Axpy", "DecodeAt", "dotRange",
+		"runChunk", "runColJob", "runBlockJob", "runNNZChunk", "runSymJob":
 		return true
 	}
 	for _, prefix := range []string{"spmv", "decode", "addRange"} {
@@ -178,7 +178,7 @@ func IsRequestPathFunc(name string) bool {
 		"requestDeadline", "clientID", "acquireClient", "releaseClient",
 		"statusFor", "httpError", "writeVector",
 		"Run", "RunCtx", "RunBatch", "RunBatchCtx",
-		"dispatch", "worker":
+		"dispatch", "worker", "drain":
 		return true
 	}
 	return strings.HasPrefix(name, "handle")

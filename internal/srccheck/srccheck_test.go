@@ -224,7 +224,9 @@ func TestIsHotFunc(t *testing.T) {
 		"spmvBatch4", "spmvBatchK", "decodeUnit", "addRange",
 		"(*Matrix).SpMV", "(*chunk).SpMVBatch",
 		"runChunk", "runColJob", "runBlockJob",
-		"(*Executor).runChunk", "(*BlockExecutor).runBlockJob"}
+		"SpMVPartial", "dotRange", "runNNZChunk", "runSymJob",
+		"(*Executor).runChunk", "(*BlockExecutor).runBlockJob",
+		"(*nnzChunk).SpMVPartial"}
 	cold := []string{"FromCOO", "Verify", "Name", "String", "Split", "Print",
 		"worker", "colJobError", "traceTask"}
 	for _, name := range hot {

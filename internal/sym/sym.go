@@ -55,7 +55,11 @@ func FromCOO(c *core.COO, tol float64) (*Matrix, error) {
 		if i1 != i2 || j1 != j2 {
 			return nil, fmt.Errorf("sym: pattern not symmetric at entry %d", k)
 		}
-		if math.Abs(v1-v2) > tol*(1+math.Abs(v1)) {
+		// The tolerance must be symmetric in (v1, v2): scaling by |v1|
+		// alone accepted (v1, v2) while rejecting the same matrix built
+		// with the entries swapped — whether a borderline pair passed
+		// depended on which triangle held the larger value.
+		if math.Abs(v1-v2) > tol*(1+math.Max(math.Abs(v1), math.Abs(v2))) {
 			return nil, fmt.Errorf("sym: values not symmetric at (%d,%d): %v vs %v", i1, j1, v1, v2)
 		}
 	}

@@ -110,6 +110,12 @@ type (
 	Chunk = core.Chunk
 	// Splitter is a format supporting row partitioning.
 	Splitter = core.Splitter
+	// NNZSplitter is a format supporting nonzero-split partitioning:
+	// chunk boundaries fall every nnz/n elements, mid-row where needed,
+	// so load balance is immune to row-length skew. CSR implements it.
+	NNZSplitter = core.NNZSplitter
+	// NNZChunk is one half-open nonzero range of an NNZSplitter.
+	NNZChunk = core.NNZChunk
 )
 
 // Concrete formats, usable through Format or directly.
@@ -299,6 +305,17 @@ type (
 	ColExecutor = parallel.ColExecutor
 	// BlockExecutor is the 2D block-partitioned driver.
 	BlockExecutor = parallel.BlockExecutor
+	// NNZExecutor is the nonzero-split driver: chunk boundaries fall
+	// mid-row, so one pathologically long row no longer serializes a
+	// run (Partition: "nnz"; CSR only).
+	NNZExecutor = parallel.NNZExecutor
+	// StealExecutor is the work-stealing row driver: rows are
+	// over-decomposed and idle workers steal queued chunks
+	// (ExecOptions.Steal).
+	StealExecutor = parallel.StealExecutor
+	// SymExecutor parallelizes the symmetric (scatter) kernel with
+	// private vectors and a deterministic tree reduction.
+	SymExecutor = parallel.SymExecutor
 	// Runner is the interface all executors satisfy: scalar and batched
 	// runs, telemetry attachment, shutdown. NewExecutorOpts returns it.
 	Runner = parallel.Runner
@@ -307,11 +324,24 @@ type (
 )
 
 // NewExecutorOpts starts an executor over f under one options struct:
-// Threads (<= 0 means GOMAXPROCS), an optional telemetry Collector, and
-// the Partition strategy ("row" or "", or "col" for formats that
-// support column splitting). An unknown partition is an ErrUsage.
+// Threads (<= 0 means GOMAXPROCS), an optional telemetry Collector,
+// the Partition strategy ("row" or "", "col" for formats that support
+// column splitting, or "nnz" for CSR's nonzero-split chunks that keep
+// threads balanced on skewed matrices), and Steal, which over-
+// decomposes the row partition into a work-stealing chunk queue. An
+// unknown partition, or Steal combined with a non-row partition, is an
+// ErrUsage.
 func NewExecutorOpts(f Format, o ExecOptions) (Runner, error) {
 	return parallel.New(f, o)
+}
+
+// NewSymExecutor starts a tree-reduction executor for scatter kernels
+// (NewSymCSR matrices): workers accumulate into private vectors, then
+// merge them pairwise in log2(threads) row-sliced rounds. For a fixed
+// thread count the summation order is deterministic, so results are
+// bitwise reproducible across runs.
+func NewSymExecutor(f Format, nthreads int) (*SymExecutor, error) {
+	return parallel.NewSymExecutor(f, nthreads)
 }
 
 // NewExecutor starts a row-partitioned executor with up to nthreads

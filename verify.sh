@@ -22,8 +22,9 @@ echo "== race"
 # Second pass over the concurrency-heavy packages: persistent-worker
 # executors and the telemetry layer (collectors report from worker
 # goroutines while readers snapshot concurrently). -count=2 defeats
-# the test cache and catches ordering-dependent races.
-go test -race -count=2 ./internal/parallel/... ./internal/obs/...
+# the test cache and catches ordering-dependent races. internal/sym
+# rides along for the tree-reduced scatter executor's bitwise test.
+go test -race -count=2 ./internal/parallel/... ./internal/obs/... ./internal/sym/...
 
 echo "== spmvbench -rhs smoke"
 # Batched multi-vector path end to end: fused kernels + RunBatch +
