@@ -5,20 +5,30 @@
 //
 // Usage:
 //
-//	mtxinfo [-verify] [-profile FORMAT] file.mtx [file2.mtx ...]
+//	mtxinfo [-verify] [-profile FORMAT] [-features] file.mtx [file2.mtx ...]
 //
 // With -profile FORMAT (e.g. -profile csr-du) each matrix additionally
 // gets the named format's full structural profile: the per-stream byte
 // split of the traffic model, the CSR-DU ctl-unit histograms and the
 // CSR-VI dictionary statistics where applicable.
+//
+// With -features the human-readable report is replaced by the
+// autotuner's structural feature vector, one JSON object per input file
+// on stdout ({"path": ..., "features": {...}}): row distribution and
+// skew, column-delta widths, unique values and float32 losslessness,
+// bandwidth before/after RCM, symmetry, diagonal and block structure,
+// and the simulated CSR-DU control-stream sizes — the exact inputs the
+// format autotuner ranks candidates from.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"spmv"
+	"spmv/internal/autotune"
 	"spmv/internal/bench"
 	"spmv/internal/csrdu"
 	"spmv/internal/matgen"
@@ -28,8 +38,9 @@ import (
 func main() {
 	verify := flag.Bool("verify", false, "structurally verify every format built from the matrix; any failure exits non-zero")
 	profileFmt := flag.String("profile", "", "print the named format's structural profile (e.g. csr-du)")
+	features := flag.Bool("features", false, "emit the autotuner's structural feature vector as JSON instead of the report")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] [-profile FORMAT] file.mtx [file2.mtx ...]")
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] [-profile FORMAT] [-features] file.mtx [file2.mtx ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,12 +50,42 @@ func main() {
 	}
 	status := 0
 	for _, path := range flag.Args() {
-		if err := report(path, *verify, *profileFmt); err != nil {
+		var err error
+		if *features {
+			err = reportFeatures(path)
+		} else {
+			err = report(path, *verify, *profileFmt)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtxinfo: %s: %v\n", path, err)
 			status = 1
 		}
 	}
 	os.Exit(status)
+}
+
+// reportFeatures emits one JSON document with the matrix's autotuner
+// feature vector.
+func reportFeatures(path string) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	c, err := spmv.ReadMatrixMarket(f)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Path     string            `json:"path"`
+		Features autotune.Features `json:"features"`
+	}{Path: path, Features: autotune.Extract(c)})
 }
 
 func report(path string, verify bool, profileFmt string) (err error) {

@@ -10,10 +10,22 @@
 //	          [-metrics] [-debug localhost:6060]
 //	          [-rhs 1,2,4,8] [-rhsmatrix banded-l-q128]
 //	          [-profile] [-matrix banded-l-q128] [-format csr-du]
+//	          [-auto] [-autobudget 2s]
 //	          [-trace out.trace] [-timeline out.json]
 //	          [-archive FILE|DIR] [-compare OLD.json]
 //	          [-samples 5] [-slowdown 0.10]
 //	          [-partition row|col|nnz] [-steal]
+//
+// With -auto the experiments are replaced by the autotuner: each suite
+// matrix named by -matrix (comma-separated) is feature-extracted, every
+// registry (format, scheduler) candidate is ranked by predicted
+// bytes-per-SpMV, the winner is built and verified, and the full
+// TuneReport decision traces are emitted as one JSON array on stdout.
+// With -autobudget the top-ranked candidates are additionally
+// short-benched within the given wall-clock budget and the fastest
+// measured combo wins. With -archive the probe timings are recorded
+// into the benchmark archive and prior runs' measurements bias future
+// rankings (Welch-significant cells only).
 //
 // With -partition nnz chunk boundaries are placed every nnz/threads
 // stored elements, splitting long rows across workers (CSR only;
@@ -64,6 +76,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -76,7 +89,9 @@ import (
 	"strings"
 	"time"
 
+	"spmv/internal/autotune"
 	"spmv/internal/bench"
+	"spmv/internal/core"
 	"spmv/internal/obs"
 	"spmv/internal/prof"
 	"spmv/internal/prof/archive"
@@ -125,6 +140,8 @@ func main() {
 	slowdown := flag.Float64("slowdown", 0.10, "fractional slowdown -compare treats as a regression")
 	partitionFlag := flag.String("partition", "", "execution scheme: row (default), col, or nnz (non-zero-split boundaries; CSR only, other formats fall back to row)")
 	steal := flag.Bool("steal", false, "use the work-stealing row executor (over-decomposed chunk queues)")
+	auto := flag.Bool("auto", false, "autotune the -matrix suite matrices (comma-separated) and emit the TuneReport decision traces as JSON")
+	autoBudget := flag.Duration("autobudget", 0, "with -auto, wall-clock budget for measured probe refinement (0 = analytic only)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -155,7 +172,7 @@ func main() {
 	// document; archive mode prints the comparison there. All
 	// human-facing notes go to stderr in those modes.
 	notes := os.Stdout
-	if *metrics || *profileFlag || archMode {
+	if *metrics || *profileFlag || archMode || *auto {
 		notes = os.Stderr
 	}
 	note := func(format string, args ...any) {
@@ -234,6 +251,49 @@ func main() {
 		die(series.WriteJSON(tf))
 		die(tf.Close())
 		note("# timeline: wrote %s (%d runs)\n", *timelineFile, series.Doc().Summary.Runs)
+	}
+
+	if *auto {
+		th := cfg.Threads[len(cfg.Threads)-1]
+		archPath := *archivePath
+		if archPath != "" {
+			if st, err := os.Stat(archPath); err == nil && st.IsDir() {
+				archPath = archive.DefaultPath(archPath, archiveMeta().Host)
+			}
+		}
+		type autoCell struct {
+			Matrix string           `json:"matrix"`
+			Report *autotune.Report `json:"report"`
+		}
+		var cells []autoCell
+		for _, name := range strings.Split(*matrixName, ",") {
+			name = strings.TrimSpace(name)
+			spec, err := bench.FindSpec(name)
+			die(err)
+			c := spec.Gen(cfg.Scale)
+			note("# auto: tuning %s (%d x %d, %d nnz) at %d threads\n",
+				name, c.Rows(), c.Cols(), c.Len(), th)
+			rep, err := autotune.Tune(c, autotune.Options{
+				Threads: th, Budget: *autoBudget,
+				ArchivePath: archPath, MatrixName: name,
+			})
+			die(err)
+			f, err := autotune.Build(c, rep.Chosen)
+			die(err)
+			if err := core.Verify(f); err != nil {
+				die(fmt.Errorf("auto: %s: chosen %s failed verify: %w", name, rep.Chosen.Name(), err))
+			}
+			if rep.ArchiveNote != "" {
+				note("# auto: %s: archive: %s\n", name, rep.ArchiveNote)
+			}
+			note("# auto: %s -> %s (%d predicted bytes/SpMV, probed=%v)\n",
+				name, rep.Chosen.Name(), rep.ChosenPredBytes, rep.Probed)
+			cells = append(cells, autoCell{Matrix: name, Report: rep})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		die(enc.Encode(cells))
+		return
 	}
 
 	if *profileFlag {

@@ -1,0 +1,197 @@
+package autotune
+
+import (
+	"spmv/internal/cds"
+	"spmv/internal/core"
+	"spmv/internal/ell"
+	"spmv/internal/formats"
+)
+
+// Candidate is one (format, encoder options, scheduler hints) combo
+// with its analytic prediction and final ranking score.
+type Candidate struct {
+	Spec formats.Spec `json:"spec"`
+	// PredBytes is the predicted bytes-per-SpMV under the traffic
+	// model: matrix working set plus the x/y vectors.
+	PredBytes int64 `json:"pred_bytes"`
+	// Exact marks predictions derived from exact size formulas (or the
+	// simulated DU control stream) rather than estimates.
+	Exact bool `json:"exact"`
+	// Feasible is false when the format cannot represent the matrix
+	// (csr16 with wide columns, csr32 with lossy values, sym-csr on an
+	// asymmetric matrix, ell/cds past their fill bounds); Reason says
+	// why.
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+	// PriorGBps and PriorSignificant report the archive prior applied
+	// to this candidate (0 / false when no significant prior matched).
+	PriorGBps        float64 `json:"prior_gbps,omitempty"`
+	PriorSignificant bool    `json:"prior_significant,omitempty"`
+	// Score is the ranking key, lower is better: predicted bytes
+	// divided by the prior bandwidth ratio when a significant prior
+	// exists, plain predicted bytes otherwise.
+	Score float64 `json:"score"`
+	// Probed marks candidates the measurement stage timed; ProbeSecs /
+	// ProbeStddev / ProbeSampleN summarize the seconds-per-iteration
+	// samples and ProbeBytes is the built format's actual traffic.
+	Probed       bool    `json:"probed,omitempty"`
+	ProbeSecs    float64 `json:"probe_secs,omitempty"`
+	ProbeStddev  float64 `json:"probe_stddev,omitempty"`
+	ProbeSampleN int     `json:"probe_samples,omitempty"`
+	ProbeBytes   int64   `json:"probe_bytes,omitempty"`
+}
+
+// Candidates returns the default candidate list for a matrix with the
+// given features, in a fixed deterministic order. Formats that cannot
+// run under the row-parallel executors (jds) are omitted; formats with
+// hard applicability constraints are included but marked infeasible so
+// the report shows why they were not considered. Scheduler hints are
+// derived from the row-distribution features: heavy skew routes row
+// formats to nnz partitioning with work stealing as the probe
+// alternative.
+func Candidates(ft Features) []Candidate {
+	skewed := ft.RowSkew > 4 || ft.RowCV > 1
+	rowHint := func(s formats.Spec) formats.Spec {
+		if skewed {
+			s.Partition = "nnz"
+			s.Steal = false
+		}
+		return s
+	}
+	specs := []formats.Spec{
+		rowHint(formats.Spec{Format: "csr"}),
+		rowHint(formats.Spec{Format: "csr16"}),
+		{Format: "csr32"},
+		rowHint(formats.Spec{Format: "csr-du"}),
+		rowHint(formats.Spec{Format: "csr-du-rle"}),
+		rowHint(formats.Spec{Format: "csr-vi"}),
+		rowHint(formats.Spec{Format: "csr-du-vi"}),
+		{Format: "dcsr"},
+		{Format: "csc", Partition: "col"},
+		{Format: "bcsr2x2"},
+		{Format: "bcsr4x4"},
+		{Format: "ell"},
+		{Format: "cds"},
+		{Format: "vbr"},
+		{Format: "sym-csr"},
+		{Format: "hybrid"},
+	}
+	// The skewed-row probe alternative: plain csr under the stealing
+	// scheduler, so the probe stage can arbitrate nnz-split vs steal.
+	if skewed {
+		specs = append(specs, formats.Spec{Format: "csr", Steal: true})
+	}
+	out := make([]Candidate, 0, len(specs))
+	for _, s := range specs {
+		c := Candidate{Spec: s}
+		c.PredBytes, c.Exact, c.Feasible, c.Reason = PredictBytes(ft, s)
+		c.Score = float64(c.PredBytes)
+		out = append(out, c)
+	}
+	return out
+}
+
+// PredictBytes predicts the bytes-per-SpMV of building ft's matrix in
+// the given spec: the format's storage bytes (exact closed forms where
+// the registry formats define them, the simulated control stream for
+// the CSR-DU family, conservative estimates for dcsr/vbr) plus the
+// §II-B vector traffic. The second result reports whether the formula
+// is exact; the last two report feasibility.
+func PredictBytes(ft Features, s formats.Spec) (bytes int64, exact, feasible bool, reason string) {
+	rows, cols, nnz := int64(ft.Rows), int64(ft.Cols), int64(ft.NNZ)
+	vec := core.VectorBytes(ft.Rows, ft.Cols, core.ValSize)
+	viW := func(unique int) int64 {
+		switch {
+		case unique <= 1<<8:
+			return 1
+		case unique <= 1<<16:
+			return 2
+		default:
+			return 4
+		}
+	}
+	exact, feasible = true, true
+	switch s.Name() {
+	case "csr":
+		bytes = (rows+1)*core.IdxSize + nnz*(core.IdxSize+core.ValSize)
+	case "csr16":
+		if ft.Cols > 1<<16 {
+			return 0, true, false, "columns exceed 16-bit index range"
+		}
+		bytes = (rows+1)*core.IdxSize + nnz*(2+core.ValSize)
+	case "csr32":
+		if !ft.Lossless32 {
+			return 0, true, false, "values do not round-trip float32"
+		}
+		bytes = (rows+1)*core.IdxSize + nnz*(core.IdxSize+4)
+	case "csr-du":
+		bytes = ft.DUCtlBytes + nnz*core.ValSize
+	case "csr-du-rle":
+		bytes = ft.DUCtlBytesRLE + nnz*core.ValSize
+	case "csr-vi":
+		w := viW(ft.Unique)
+		bytes = (rows+1)*core.IdxSize + nnz*core.IdxSize + nnz*w + int64(ft.Unique)*core.ValSize
+	case "csr-du-vi":
+		w := viW(ft.Unique)
+		bytes = ft.DUCtlBytes + nnz*w + int64(ft.Unique)*core.ValSize
+	case "dcsr":
+		// The dcsr command stream interleaves row jumps with the same
+		// delta classes; its size tracks the DU control stream closely.
+		// Estimated: never undercuts csr-du, which precedes it in the
+		// candidate order.
+		bytes = ft.DUCtlBytes + nnz*core.ValSize + int64(ft.NonEmptyRows)
+		exact = false
+	case "csc":
+		bytes = nnz*(core.IdxSize+core.ValSize) + (cols+1)*core.IdxSize
+	case "bcsr2x2":
+		b := int64(ft.Blocks2)
+		bytes = ((rows+1)/2+1)*core.IdxSize + b*core.IdxSize + b*4*core.ValSize
+	case "bcsr4x4":
+		b := int64(ft.Blocks4)
+		bytes = ((rows+3)/4+1)*core.IdxSize + b*core.IdxSize + b*16*core.ValSize
+	case "ell":
+		if nnz > 0 && float64(ft.MaxRowNNZ)*float64(rows) > ell.DefaultMaxFill*float64(nnz) {
+			return 0, true, false, "padding exceeds ELLPACK fill bound"
+		}
+		bytes = rows * int64(ft.MaxRowNNZ) * (core.IdxSize + core.ValSize)
+	case "jds":
+		bytes = nnz*(core.IdxSize+core.ValSize) + int64(ft.MaxRowNNZ+1)*core.IdxSize + rows*core.IdxSize
+	case "cds":
+		if nnz > 0 && float64(ft.Diagonals)*float64(rows) > cds.DefaultMaxFill*float64(nnz) {
+			return 0, true, false, "diagonal fill exceeds CDS bound"
+		}
+		bytes = int64(ft.Diagonals)*rows*core.ValSize + int64(ft.Diagonals)*core.IdxSize
+	case "vbr":
+		// Auto-partitioned VBR depends on the discovered partition;
+		// estimate as CSR plus the partition arrays so it only wins
+		// when measured.
+		bytes = (rows+1)*core.IdxSize + nnz*(core.IdxSize+core.ValSize) + (rows+cols)*core.IdxSize / 8
+		exact = false
+	case "sym-csr":
+		if !ft.Symmetric {
+			return 0, true, false, "matrix not numerically symmetric"
+		}
+		off := (nnz - int64(ft.DiagNNZ)) / 2
+		bytes = rows*core.ValSize + off*(core.IdxSize+core.ValSize) + (rows+1)*core.IdxSize
+	case "hybrid":
+		// Per-region selection can at best match the best whole-matrix
+		// choice among its sub-formats (csr, csr-du, cds) on uniform
+		// matrices; predict that floor. Concrete formats precede hybrid
+		// in the candidate order, so ties resolve to them.
+		duvi := ft.DUCtlBytes + nnz*core.ValSize
+		csrB := (rows+1)*core.IdxSize + nnz*(core.IdxSize+core.ValSize)
+		bytes = csrB
+		if duvi < bytes {
+			bytes = duvi
+		}
+		if nnz > 0 && float64(ft.Diagonals)*float64(rows) <= cds.DefaultMaxFill*float64(nnz) {
+			if cdsB := int64(ft.Diagonals)*rows*core.ValSize + int64(ft.Diagonals)*core.IdxSize; cdsB < bytes {
+				bytes = cdsB
+			}
+		}
+		exact = false
+	default:
+		return 0, false, false, "format not modeled"
+	}
+	return bytes + vec, exact, feasible, ""
+}

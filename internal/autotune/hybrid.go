@@ -1,0 +1,53 @@
+package autotune
+
+import (
+	"spmv/internal/core"
+	"spmv/internal/csr"
+	"spmv/internal/formats"
+	"spmv/internal/hybrid"
+)
+
+// regionFormats are the candidate formats for one hybrid row block, in
+// deterministic preference order for ties. Whole-matrix-only schemes
+// (sym-csr, csc, hybrid itself) and lossy csr32 are excluded.
+var regionFormats = []string{
+	"csr", "csr16", "csr-du", "csr-du-rle", "csr-vi", "csr-du-vi",
+	"bcsr2x2", "bcsr4x4", "ell", "cds",
+}
+
+// BuildHybrid builds a hybrid matrix whose per-region formats are
+// chosen by the analytic cost model instead of the registry's fixed
+// build-all-and-compare heuristic: each row block gets the format the
+// model predicts smallest for that block's own features.
+func BuildHybrid(c *core.COO) (*hybrid.Matrix, error) {
+	return hybrid.FromCOOSelect(c, hybrid.DefaultBlockRows, RegionSelector())
+}
+
+// RegionSelector returns the autotuned per-region format selector: it
+// extracts the block's features (the cheap structural subset — no RCM
+// or symmetry pass, which only inform whole-matrix choices) and builds
+// the predicted-smallest feasible format. A block whose winning format
+// unexpectedly fails to build falls back to CSR rather than failing
+// the whole matrix.
+func RegionSelector() hybrid.Selector {
+	return func(sub *core.COO) (core.Format, error) {
+		ft := extractLite(sub)
+		bestName := "csr"
+		var bestBytes int64 = -1
+		for _, name := range regionFormats {
+			bytes, exact, feasible, _ := PredictBytes(ft, formats.Spec{Format: name})
+			if !feasible || !exact {
+				continue
+			}
+			if bestBytes < 0 || bytes < bestBytes {
+				bestBytes = bytes
+				bestName = name
+			}
+		}
+		f, err := formats.Build(bestName, sub)
+		if err != nil && bestName != "csr" {
+			return csr.FromCOO(sub)
+		}
+		return f, err
+	}
+}

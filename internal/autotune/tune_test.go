@@ -1,0 +1,188 @@
+package autotune
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spmv/internal/core"
+	"spmv/internal/formats"
+	"spmv/internal/matgen"
+	"spmv/internal/prof/archive"
+)
+
+// rec builds a synthetic archive cell with enough samples and spread
+// for the Welch path.
+func rec(matrix, format string, threads int, mean, stddev float64, gbps float64) archive.Record {
+	return archive.Record{
+		Name: archive.CellName(matrix, format, threads), Matrix: matrix,
+		Format: format, Threads: threads, Iters: 10, Samples: 5,
+		MeanSecs: mean, StddevSecs: stddev, BytesPerIter: 1 << 20, GBps: gbps,
+	}
+}
+
+func TestPriorsBlendScores(t *testing.T) {
+	// csr-du measured 2x the bandwidth of csr on this host, clearly
+	// outside noise; csr-vi measured indistinguishable from csr.
+	recs := []archive.Record{
+		rec("m1", "csr", 2, 1.0e-3, 1e-5, 10),
+		rec("m1", "csr-du", 2, 0.5e-3, 1e-5, 20),
+		rec("m1", "csr-vi", 2, 1.0e-3, 1e-4, 10.01),
+	}
+	priors := loadPriors(recs, 2)
+	if p, ok := priors["csr-du"]; !ok || !p.Significant {
+		t.Fatalf("csr-du prior not significant: %+v", priors)
+	}
+	if p, ok := priors["csr-vi"]; ok && p.Significant {
+		t.Fatalf("csr-vi prior should not be significant: %+v", p)
+	}
+
+	cands := []Candidate{
+		{Spec: formats.Spec{Format: "csr-du"}, PredBytes: 1000, Feasible: true, Score: 1000},
+		{Spec: formats.Spec{Format: "csr-vi"}, PredBytes: 900, Feasible: true, Score: 900},
+	}
+	applyPriors(cands, priors)
+	if !cands[0].PriorSignificant || cands[0].Score >= 1000 {
+		t.Errorf("significant 2x prior should halve csr-du's score: %+v", cands[0])
+	}
+	if cands[1].PriorSignificant || cands[1].Score != 900 {
+		t.Errorf("insignificant prior must leave csr-vi untouched: %+v", cands[1])
+	}
+	// The blend flips the order: measured bandwidth outweighs the 10%
+	// analytic size edge.
+	rank(cands)
+	if cands[0].Spec.Name() != "csr-du" {
+		t.Errorf("prior-blended ranking should prefer csr-du, got %q", cands[0].Spec.Name())
+	}
+}
+
+func TestPriorsMissingArchiveIsClean(t *testing.T) {
+	c := matgen.Stencil2D(16)
+	rep, err := Tune(c, Options{Threads: 1, ArchivePath: filepath.Join(t.TempDir(), "BENCH_none.json")})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if rep.ArchiveNote != "" || rep.PriorsUsed {
+		t.Errorf("missing archive should be silent: note=%q priors=%v", rep.ArchiveNote, rep.PriorsUsed)
+	}
+}
+
+// TestProbeRefinement runs the measured stage end to end: the report
+// carries probe timings, the winner is never Welch-significantly
+// slower than the plain-CSR baseline, and the results land in the
+// archive for the next run to use as priors.
+func TestProbeRefinement(t *testing.T) {
+	c := matgen.RandomUniform(rand.New(rand.NewSource(31)), 600, 600, 8, matgen.Values{})
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	rep, err := Tune(c, Options{
+		Threads: 2, Budget: 300 * time.Millisecond, TopK: 2,
+		ArchivePath: path, MatrixName: "probe-test",
+	})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !rep.Probed || rep.ProbeIters < 1 {
+		t.Fatalf("probe stage did not run: %+v", rep)
+	}
+	if !rep.Candidates[0].Probed {
+		t.Errorf("winner was not probed")
+	}
+	if rep.VsCSR != nil && rep.VsCSR.Significant && rep.VsCSR.Delta > 0 {
+		t.Errorf("probe-refined winner is Welch-significantly slower than csr: %+v", rep.VsCSR)
+	}
+	if rep.ArchiveNote != "" {
+		t.Fatalf("archive write failed: %s", rep.ArchiveNote)
+	}
+	f, err := archive.Load(path)
+	if err != nil {
+		t.Fatalf("recorded archive: %v", err)
+	}
+	foundCSR := false
+	for _, r := range f.Records {
+		if r.Matrix != "probe-test" || r.Samples < 2 || r.MeanSecs <= 0 {
+			t.Errorf("malformed probe record: %+v", r)
+		}
+		if r.Format == "csr" {
+			foundCSR = true
+		}
+	}
+	if len(f.Records) < 2 || !foundCSR {
+		t.Errorf("expected >= 2 probe records including the csr baseline, got %+v", f.Records)
+	}
+}
+
+// TestBuildHybridSelectsPerRegion exercises the autotuned hybrid on a
+// matrix whose halves want different formats: a banded top and a
+// quantized random bottom. The build must verify and multiply exactly
+// like the reference.
+func TestBuildHybridSelectsPerRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 600
+	c := core.NewCOO(n, n)
+	banded := matgen.Banded(rng, n/2, 4, 5, matgen.Values{})
+	for k := 0; k < banded.Len(); k++ {
+		i, j, v := banded.At(k)
+		c.Add(i, j, v)
+	}
+	randPart := matgen.Quantize(
+		matgen.RandomUniform(rng, n/2, n, 7, matgen.Values{}), rng, 12)
+	for k := 0; k < randPart.Len(); k++ {
+		i, j, v := randPart.At(k)
+		c.Add(i+n/2, j, v)
+	}
+	c.Finalize()
+
+	m, err := BuildHybrid(c)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	got := make([]float64, n)
+	m.SpMV(got, x)
+	want := make([]float64, n)
+	c.SpMV(want, x)
+	for i := range want {
+		if !core.SameBits(got[i], want[i]) && !closeEnough(got[i], want[i]) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b > m {
+		m = b
+	} else if -b > m {
+		m = -b
+	}
+	return d <= 1e-9*(1+m)
+}
+
+// TestSymmetricMatrixPicksSymCSR pins the symmetry feature's payoff:
+// on a numerically symmetric matrix with incompressible values, the
+// halved off-diagonal storage wins.
+func TestSymmetricMatrixPicksSymCSR(t *testing.T) {
+	c := matgen.Symmetrize(matgen.RandomUniform(rand.New(rand.NewSource(51)), 800, 800, 9, matgen.Values{}))
+	rep, err := Tune(c, Options{Threads: 2})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if rep.Chosen.Name() != "sym-csr" {
+		best := rep.Candidates[0]
+		t.Errorf("symmetric matrix chose %q (pred %d); sym-csr should win", best.Spec.Name(), best.PredBytes)
+	}
+}

@@ -46,10 +46,54 @@ func (o Options) du() csrdu.Options {
 	return opts
 }
 
+// Spec is one complete build candidate: the format name, the encoder
+// options it takes, and the scheduler hints that should accompany the
+// built format at execution time. The autotuner ranks Specs, the bench
+// harness measures them and the server records them — one struct
+// instead of three call sites re-plumbing (name, DU, partition/steal)
+// separately. The scheduler fields are carried as plain data: this
+// package does not depend on the executor, callers map them onto
+// parallel.ExecOptions themselves.
+type Spec struct {
+	// Format is the registry name ("csr", "csr-du", ...). Empty means
+	// "csr".
+	Format string `json:"format"`
+	// DU carries encoder options for the CSR-DU family; other formats
+	// ignore it.
+	DU csrdu.Options `json:"du,omitempty"`
+	// Workers is the construction worker count (see Options.Workers).
+	Workers int `json:"workers,omitempty"`
+	// Partition is the execution-time work split: "" or "row" for
+	// row-balanced chunks, "nnz" for non-zero-balanced chunks, "col"
+	// for column partitioning (CSC/backward formats).
+	Partition string `json:"partition,omitempty"`
+	// Steal enables work stealing between executor workers.
+	Steal bool `json:"steal,omitempty"`
+}
+
+// Name returns the effective format name ("csr" when unset).
+func (s Spec) Name() string {
+	if s.Format == "" {
+		return "csr"
+	}
+	return s.Format
+}
+
+// options folds the Spec's build-time fields into Options.
+func (s Spec) options() Options { return Options{DU: s.DU, Workers: s.Workers} }
+
 // Build constructs the named format from a triplet matrix with default
 // options.
 func Build(name string, c *core.COO) (core.Format, error) {
 	return BuildOpts(name, c, Options{})
+}
+
+// BuildSpec constructs the Spec's format from a triplet matrix. The
+// scheduler hints (Partition, Steal) do not affect construction; they
+// ride along for the caller's executor setup. An unknown format name
+// returns an error wrapping core.ErrUsage that lists the valid names.
+func BuildSpec(c *core.COO, s Spec) (core.Format, error) {
+	return BuildOpts(s.Name(), c, s.options())
 }
 
 // BuildOpts constructs the named format from a triplet matrix. An

@@ -41,6 +41,13 @@ var (
 	_ core.Splitter = (*Matrix)(nil)
 )
 
+// Selector chooses the storage format for one row block. The sub-COO
+// is indexed over local rows [0, blockRows); the returned format must
+// be built from it. The default selector builds CSR, CSR-DU and CDS
+// and keeps the smallest; the autotuner substitutes its analytic
+// cost-model pick.
+type Selector func(sub *core.COO) (core.Format, error)
+
 // FromCOO builds a hybrid matrix with DefaultBlockRows-row blocks.
 func FromCOO(c *core.COO) (*Matrix, error) { return FromCOOBlock(c, DefaultBlockRows) }
 
@@ -48,8 +55,17 @@ func FromCOO(c *core.COO) (*Matrix, error) { return FromCOOBlock(c, DefaultBlock
 // block, the candidates are CSR, CSR-DU and (when its fill bound
 // admits) CDS; the smallest encoding wins.
 func FromCOOBlock(c *core.COO, blockRows int) (*Matrix, error) {
+	return FromCOOSelect(c, blockRows, pickFormat)
+}
+
+// FromCOOSelect builds a hybrid matrix with the given block height,
+// delegating per-region format choice to the selector.
+func FromCOOSelect(c *core.COO, blockRows int, pick Selector) (*Matrix, error) {
 	if blockRows <= 0 {
 		return nil, fmt.Errorf("hybrid: invalid block height %d", blockRows)
+	}
+	if pick == nil {
+		pick = pickFormat
 	}
 	c.Finalize()
 	m := &Matrix{rows: c.Rows(), cols: c.Cols(), nnz: c.Len()}
@@ -59,7 +75,7 @@ func FromCOOBlock(c *core.COO, blockRows int) (*Matrix, error) {
 			hi = c.Rows()
 		}
 		sub := c.Slice(lo, hi, 0, c.Cols())
-		best, err := pickFormat(sub)
+		best, err := pick(sub)
 		if err != nil {
 			return nil, fmt.Errorf("hybrid: rows [%d,%d): %w", lo, hi, err)
 		}

@@ -66,6 +66,22 @@ type MatrixMetrics struct {
 	Served     int64        `json:"served"`
 	Shed       int64        `json:"shed"`
 	Obs        obs.Snapshot `json:"obs"`
+	// Tune summarizes the autotuner's decision for format=auto uploads;
+	// absent for explicitly-chosen formats.
+	Tune *TuneDecision `json:"tune,omitempty"`
+}
+
+// TuneDecision is the compact /metrics view of an autotune report: the
+// chosen spec and the headline numbers, not the full candidate trace
+// (spmvbench -auto emits that).
+type TuneDecision struct {
+	Format     string `json:"format"`
+	Partition  string `json:"partition,omitempty"`
+	Steal      bool   `json:"steal,omitempty"`
+	PredBytes  int64  `json:"pred_bytes"`
+	Candidates int    `json:"candidates"`
+	PriorsUsed bool   `json:"priors_used,omitempty"`
+	Probed     bool   `json:"probed,omitempty"`
 }
 
 // MetricsSnapshot is the JSON document served on /metrics.
@@ -121,7 +137,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 	snap.RegistryEntries = entries
 	snap.RegistryBytes = bytes
 	for _, e := range s.reg.snapshot() {
-		snap.Matrices[e.id] = MatrixMetrics{
+		mm := MatrixMetrics{
 			Format:     e.format.Name(),
 			Rows:       e.format.Rows(),
 			Cols:       e.format.Cols(),
@@ -132,6 +148,18 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			Shed:       e.shed.Load(),
 			Obs:        e.rec.Snapshot(),
 		}
+		if t := e.tune; t != nil {
+			mm.Tune = &TuneDecision{
+				Format:     t.Chosen.Name(),
+				Partition:  t.Chosen.Partition,
+				Steal:      t.Chosen.Steal,
+				PredBytes:  t.ChosenPredBytes,
+				Candidates: len(t.Candidates),
+				PriorsUsed: t.PriorsUsed,
+				Probed:     t.Probed,
+			}
+		}
+		snap.Matrices[e.id] = mm
 	}
 	return snap
 }

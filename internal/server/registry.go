@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spmv/internal/autotune"
 	"spmv/internal/core"
 	"spmv/internal/obs"
 	"spmv/internal/parallel"
@@ -20,6 +21,9 @@ type entry struct {
 	rec    *obs.Recorder
 	size   int64 // format.SizeBytes(), the LRU budget unit
 	co     *coalescer
+	// tune is the autotuner's decision trace for format=auto uploads
+	// (nil otherwise); surfaced through /metrics.
+	tune *autotune.Report
 
 	served atomic.Int64
 	shed   atomic.Int64

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spmv/internal/autotune"
 	"spmv/internal/core"
 	"spmv/internal/formats"
 	"spmv/internal/matfile"
@@ -428,13 +429,16 @@ func badUpload(err error) error {
 // unverified is ever admitted.
 func (s *Server) ingest(key string, body []byte, formatName string, explicit bool) (*entry, error) {
 	var f core.Format
+	var tune *autotune.Report
 	if bytes.HasPrefix(body, matfileMagic) {
 		// matfile v2: checksum-verified, alloc-bomb-guarded sized read.
 		m, err := matfile.ReadSized(bytes.NewReader(body), int64(len(body)))
 		if err != nil {
 			return nil, badUpload(err)
 		}
-		if explicit && m.Name() != formatName {
+		// A matfile stores a built format already, so there is nothing
+		// for format=auto to tune — it is admitted as-is.
+		if explicit && formatName != "auto" && m.Name() != formatName {
 			return nil, core.Usagef("server: matfile stores %q, request asked for %q",
 				m.Name(), formatName)
 		}
@@ -454,8 +458,20 @@ func (s *Server) ingest(key string, body []byte, formatName string, explicit boo
 		if est > s.cfg.MemoryBudget {
 			return nil, fmt.Errorf("%w (estimated %d > %d bytes)", errTooLarge, est, s.cfg.MemoryBudget)
 		}
-		f, err = formats.Build(formatName, c)
-		if err != nil {
+		if formatName == "auto" {
+			// Analytic-only tuning: deterministic, no measured probes on
+			// the ingest path. The decision trace lands on the entry and
+			// is served by /metrics.
+			rep, err := autotune.Tune(c, autotune.Options{Threads: s.cfg.Threads})
+			if err != nil {
+				return nil, badUpload(err)
+			}
+			tune = rep
+			f, err = autotune.Build(c, rep.Chosen)
+			if err != nil {
+				return nil, badUpload(err)
+			}
+		} else if f, err = formats.Build(formatName, c); err != nil {
 			return nil, badUpload(err)
 		}
 		if err := core.Verify(f); err != nil {
@@ -467,11 +483,22 @@ func (s *Server) ingest(key string, body []byte, formatName string, explicit boo
 		return nil, fmt.Errorf("%w (%d > %d bytes)", errTooLarge, size, s.cfg.MemoryBudget)
 	}
 	rec := obs.NewRecorder()
-	runner, err := parallel.New(f, parallel.ExecOptions{Threads: s.cfg.Threads, Collector: rec})
+	execOpts := parallel.ExecOptions{Threads: s.cfg.Threads, Collector: rec}
+	if tune != nil {
+		execOpts.Partition = tune.Chosen.Partition
+		execOpts.Steal = tune.Chosen.Steal
+	}
+	runner, err := parallel.New(f, execOpts)
+	if err != nil && tune != nil {
+		// The tuned scheduler hint may not apply to the built format
+		// (e.g. hybrid under nnz partitioning); fall back to the row
+		// executor rather than failing the upload.
+		runner, err = parallel.New(f, parallel.ExecOptions{Threads: s.cfg.Threads, Collector: rec})
+	}
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{id: key, format: f, runner: runner, rec: rec, size: size}
+	e := &entry{id: key, format: f, runner: runner, rec: rec, size: size, tune: tune}
 	e.co = newCoalescer(e, s.cfg.MaxBatch, s.cfg.QueueDepth, s.baseCtx, s.metrics, s.cfg.Hooks)
 	return e, nil
 }

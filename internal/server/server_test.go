@@ -122,6 +122,66 @@ func TestUploadAndMultiply(t *testing.T) {
 	}
 }
 
+// TestUploadAutoFormat drives the format=auto path: the tuner picks
+// the format at ingest, multiplication matches the COO reference, and
+// the decision surfaces in /metrics.
+func TestUploadAutoFormat(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := faulttest.ValidMMIO(3, 60)
+	resp := upload(t, s, body, "auto")
+	if resp.Format == "" {
+		t.Fatalf("auto upload reported no format: %+v", resp)
+	}
+	c, err := mmio.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("mmio: %v", err)
+	}
+	x := testVec(resp.Cols)
+	code, y := multiply(t, s, resp.ID, x, nil)
+	if code != http.StatusOK {
+		t.Fatalf("multiply: status %d", code)
+	}
+	want := make([]float64, c.Rows())
+	c.SpMV(want, x)
+	for i := range want {
+		d := y[i] - want[i]
+		if d < 0 {
+			d = -d
+		}
+		lim := want[i]
+		if lim < 0 {
+			lim = -lim
+		}
+		if d > 1e-9*(1+lim) {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+
+	snap := s.Snapshot()
+	mm, ok := snap.Matrices[resp.ID]
+	if !ok {
+		t.Fatalf("tuned matrix missing from metrics: %+v", snap.Matrices)
+	}
+	if mm.Tune == nil {
+		t.Fatal("metrics carry no tune decision for a format=auto upload")
+	}
+	if mm.Tune.Format != resp.Format || mm.Tune.Candidates == 0 || mm.Tune.PredBytes <= 0 {
+		t.Errorf("tune decision incomplete: %+v (upload format %q)", mm.Tune, resp.Format)
+	}
+
+	// Explicit formats must not grow a tune decision.
+	plain := upload(t, s, body, "csr")
+	if mmp := s.Snapshot().Matrices[plain.ID]; mmp.Tune != nil {
+		t.Errorf("explicit csr upload carries a tune decision: %+v", mmp.Tune)
+	}
+
+	// Same content re-uploaded as auto hits the cache.
+	again := upload(t, s, body, "auto")
+	if !again.Cached || again.ID != resp.ID {
+		t.Errorf("auto re-upload missed the cache: %+v", again)
+	}
+}
+
 func TestUploadMatfile(t *testing.T) {
 	s := newTestServer(t, Config{})
 	body := faulttest.ValidMatfile(2, 30, "csr-vi")

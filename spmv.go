@@ -40,6 +40,13 @@
 //		log.Fatal(err)
 //	}
 //
+// Not sure which format fits the matrix? Let the autotuner decide —
+// it ranks every registry format by predicted memory traffic and
+// reports its reasoning:
+//
+//	var rep spmv.TuneReport
+//	m, err := spmv.Build(c, spmv.WithAutoFormat(), spmv.WithTuneReport(&rep))
+//
 // # Validation
 //
 // The compressed formats are bytecodes, and a corrupt stream is a wild
@@ -160,20 +167,45 @@ type (
 // then pass to any format constructor (which finalizes it in place).
 func NewCOO(rows, cols int) *COO { return core.NewCOO(rows, cols) }
 
+// Constructors. Build is the canonical entry point; every constructor
+// below that takes no parameters beyond the triplets is a one-line
+// delegate onto it, kept (deprecated) for callers that want the
+// concrete type without a type assertion. Constructors exposing knobs
+// the format registry does not (arbitrary BCSR block shapes, ELLPACK
+// fill bounds, symmetry tolerances, explicit VBR partitions) stay
+// first-class.
+
 // NewCSR builds the baseline CSR format (4-byte indices, 8-byte values).
-func NewCSR(c *COO) (*CSR, error) { return csr.FromCOO(c) }
+//
+// Deprecated: use Build, which names the format and carries encoder
+// options in one call. This constructor remains fully supported and
+// returns the concrete *CSR.
+func NewCSR(c *COO) (*CSR, error) { return buildAs[*CSR](c) }
 
 // NewCSR16 builds CSR with 2-byte column indices; errors if the matrix
 // has 2^16 or more columns.
-func NewCSR16(c *COO) (*CSR16, error) { return csr.From16(c) }
+//
+// Deprecated: use Build with WithFormat("csr16"). This constructor
+// remains fully supported and returns the concrete *CSR16.
+func NewCSR16(c *COO) (*CSR16, error) { return buildAs[*CSR16](c, WithFormat("csr16")) }
 
 // NewCSRDU builds the CSR-DU index-compressed format with default
 // encoder options.
-func NewCSRDU(c *COO) (*CSRDU, error) { return csrdu.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("csr-du"), adding WithDUOptions
+// or WithWorkers as needed. This constructor remains fully supported
+// and returns the concrete *CSRDU.
+func NewCSRDU(c *COO) (*CSRDU, error) { return buildAs[*CSRDU](c, WithFormat("csr-du")) }
 
 // NewCSRDUOpts builds CSR-DU with explicit encoder options (e.g. RLE
 // units for matrices with long constant-stride runs).
-func NewCSRDUOpts(c *COO, o DUOptions) (*CSRDU, error) { return csrdu.FromCOOOpts(c, o) }
+//
+// Deprecated: use Build with WithFormat("csr-du") and WithDUOptions(o).
+// This constructor remains fully supported and returns the concrete
+// *CSRDU.
+func NewCSRDUOpts(c *COO, o DUOptions) (*CSRDU, error) {
+	return buildAs[*CSRDU](c, WithFormat("csr-du"), WithDUOptions(o))
+}
 
 // NewCSRDUParallel builds CSR-DU with workers concurrent encoders
 // (0 = GOMAXPROCS); the stream is byte-identical to the serial encoder.
@@ -187,60 +219,102 @@ func NewCSRDUParallel(c *COO, o DUOptions, workers int) (*CSRDU, error) {
 
 // NewCSRVI builds the CSR-VI value-indexed format. Worthwhile when the
 // matrix's total-to-unique values ratio exceeds ~5 (use TTU to check).
-func NewCSRVI(c *COO) (*CSRVI, error) { return csrvi.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("csr-vi"). This constructor
+// remains fully supported and returns the concrete *CSRVI.
+func NewCSRVI(c *COO) (*CSRVI, error) { return buildAs[*CSRVI](c, WithFormat("csr-vi")) }
 
 // NewCSRDUVI builds the combined index+value compressed format.
-func NewCSRDUVI(c *COO) (*CSRDUVI, error) { return csrduvi.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("csr-du-vi"). This constructor
+// remains fully supported and returns the concrete *CSRDUVI.
+func NewCSRDUVI(c *COO) (*CSRDUVI, error) { return buildAs[*CSRDUVI](c, WithFormat("csr-du-vi")) }
 
 // NewDCSR builds the DCSR comparator format (byte command stream).
-func NewDCSR(c *COO) (*DCSR, error) { return dcsr.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("dcsr"). This constructor
+// remains fully supported and returns the concrete *DCSR.
+func NewDCSR(c *COO) (*DCSR, error) { return buildAs[*DCSR](c, WithFormat("dcsr")) }
 
-// NewBCSR builds blocked CSR with r×c register blocks.
+// NewBCSR builds blocked CSR with r×c register blocks. The registry
+// exposes only the 2×2 and 4×4 shapes ("bcsr2x2", "bcsr4x4"); this
+// constructor accepts any block shape.
 func NewBCSR(c *COO, r, cols int) (*BCSR, error) { return bcsr.FromCOO(c, r, cols) }
 
 // NewCSC builds the compressed sparse column format.
-func NewCSC(c *COO) (*CSC, error) { return csc.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("csc"). This constructor
+// remains fully supported and returns the concrete *CSC.
+func NewCSC(c *COO) (*CSC, error) { return buildAs[*CSC](c, WithFormat("csc")) }
 
 // NewCSR32 builds CSR with single-precision values (values are rounded).
-func NewCSR32(c *COO) (*CSR32, error) { return csr.From32(c) }
+//
+// Deprecated: use Build with WithFormat("csr32"). This constructor
+// remains fully supported and returns the concrete *CSR32.
+func NewCSR32(c *COO) (*CSR32, error) { return buildAs[*CSR32](c, WithFormat("csr32")) }
 
 // NewELL builds the ELLPACK-ITPACK format; errors if padding would
 // exceed ell.DefaultMaxFill times the non-zero count.
-func NewELL(c *COO) (*ELL, error) { return ell.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("ell"), or NewELLMaxFill for an
+// explicit padding bound. This constructor remains fully supported and
+// returns the concrete *ELL.
+func NewELL(c *COO) (*ELL, error) { return buildAs[*ELL](c, WithFormat("ell")) }
 
-// NewELLMaxFill builds ELLPACK with an explicit padding bound.
+// NewELLMaxFill builds ELLPACK with an explicit padding bound, which
+// the registry's "ell" entry does not expose.
 func NewELLMaxFill(c *COO, maxFill float64) (*ELL, error) { return ell.FromCOOMaxFill(c, maxFill) }
 
 // NewJDS builds the jagged-diagonal format.
-func NewJDS(c *COO) (*JDS, error) { return jds.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("jds"). This constructor
+// remains fully supported and returns the concrete *JDS.
+func NewJDS(c *COO) (*JDS, error) { return buildAs[*JDS](c, WithFormat("jds")) }
 
 // NewCDS builds the compressed-diagonal format; errors when the
 // diagonal count makes the fill unreasonable.
-func NewCDS(c *COO) (*CDS, error) { return cds.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("cds"). This constructor
+// remains fully supported and returns the concrete *CDS.
+func NewCDS(c *COO) (*CDS, error) { return buildAs[*CDS](c, WithFormat("cds")) }
 
 // NewSymCSR builds symmetric (one-triangle) storage; the matrix must be
-// numerically symmetric within tol.
+// numerically symmetric within tol. The registry's "sym-csr" entry
+// fixes tol at its default; this constructor accepts any tolerance.
 func NewSymCSR(c *COO, tol float64) (*SymCSR, error) { return sym.FromCOO(c, tol) }
 
 // NewVBR builds variable-block-row storage with automatically detected
 // row/column groups (consecutive identical sparsity patterns merge).
-func NewVBR(c *COO) (*VBR, error) { return vbr.FromCOOAuto(c) }
+//
+// Deprecated: use Build with WithFormat("vbr"), or NewVBRParts for
+// explicit partitions. This constructor remains fully supported and
+// returns the concrete *VBR.
+func NewVBR(c *COO) (*VBR, error) { return buildAs[*VBR](c, WithFormat("vbr")) }
 
-// NewVBRParts builds VBR with explicit row/column group boundaries.
+// NewVBRParts builds VBR with explicit row/column group boundaries,
+// which the registry's auto-partitioning "vbr" entry does not expose.
 func NewVBRParts(c *COO, rowPart, colPart []int32) (*VBR, error) {
 	return vbr.FromCOO(c, rowPart, colPart)
 }
 
 // NewHybrid builds the per-row-block format selector: each block of
 // rows is stored in whichever of CSR/CSR-DU/CDS encodes it smallest.
-func NewHybrid(c *COO) (*Hybrid, error) { return hybrid.FromCOO(c) }
+//
+// Deprecated: use Build with WithFormat("hybrid") — or WithAutoFormat,
+// which extends the per-region choice to the full candidate registry.
+// This constructor remains fully supported and returns the concrete
+// *Hybrid.
+func NewHybrid(c *COO) (*Hybrid, error) { return buildAs[*Hybrid](c, WithFormat("hybrid")) }
 
 // BuildFormat constructs any registered format by name ("csr",
 // "csr-du", "csr-vi", "csr-du-vi", "dcsr", "bcsr2x2", "ell", "jds",
 // "cds", "vbr", "sym-csr", ...); see FormatNames.
-func BuildFormat(name string, c *COO) (Format, error) { return formats.Build(name, c) }
+//
+// Deprecated: use Build with WithFormat(name), which additionally
+// carries encoder options. This function remains fully supported.
+func BuildFormat(name string, c *COO) (Format, error) { return Build(c, WithFormat(name)) }
 
-// FormatNames lists every format BuildFormat accepts.
+// FormatNames lists every format Build (via WithFormat) accepts.
 func FormatNames() []string { return formats.Names() }
 
 // Validation. All format constructors produce internally consistent

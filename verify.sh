@@ -47,6 +47,20 @@ go run ./cmd/spmvbench -scale 0.02 -iters 2 -threads 2 -samples 2 \
 go run ./cmd/spmvbench -scale 0.02 -iters 2 -threads 2 -samples 2 \
 	-slowdown 10 -compare "$ARCHDIR"/BENCH_*.json > /dev/null
 
+echo "== spmvbench -auto smoke"
+# Autotuner end to end: feature extraction, analytic ranking, a short
+# measured probe stage, the chosen format built and structurally
+# verified (the command exits non-zero if the tuned build fails
+# Verify), and the TuneReport decision traces emitted as JSON with the
+# probe timings recorded into the archive from the previous smoke.
+go run ./cmd/spmvbench -auto -matrix blockdiag-s-q16,random-s \
+	-autobudget 200ms -scale 0.02 -threads 2 \
+	-archive "$ARCHDIR" > "$ARCHDIR/auto.json" 2> /dev/null
+grep -q '"chosen"' "$ARCHDIR/auto.json" || {
+	echo "verify.sh: spmvbench -auto produced no TuneReport" >&2
+	exit 1
+}
+
 echo "== spmvd selfcheck"
 # Server smoke, end to end over real TCP against a loopback daemon:
 # upload admitted and queryable, multiply matches the reference
