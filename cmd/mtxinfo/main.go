@@ -5,7 +5,17 @@
 //
 // Usage:
 //
-//	mtxinfo [-verify] [-profile FORMAT] [-features] file.mtx [file2.mtx ...]
+//	mtxinfo [-verify] [-profile FORMAT] [-features]
+//	        [-roofline FORMAT] [-roofdir benchdata]
+//	        file.mtx [file2.mtx ...]
+//
+// With -roofline FORMAT each matrix gets a bandwidth-floor prediction
+// for the named format against the host's roofline model (the
+// benchdata/ROOF_<host>.json probe archive when present, the analytic
+// Clovertown peak otherwise): the §II-B predicted bytes per SpMV for
+// CSR and for FORMAT, the ceiling GB/s the prediction divides by, the
+// predicted floor seconds per iteration at that ceiling, and the
+// format's predicted traffic (and therefore time) ratio vs CSR.
 //
 // With -profile FORMAT (e.g. -profile csr-du) each matrix additionally
 // gets the named format's full structural profile: the per-stream byte
@@ -32,15 +42,20 @@ import (
 	"spmv/internal/bench"
 	"spmv/internal/csrdu"
 	"spmv/internal/matgen"
+	"spmv/internal/memsim"
+	"spmv/internal/obs"
 	"spmv/internal/prof"
+	"spmv/internal/roofline"
 )
 
 func main() {
 	verify := flag.Bool("verify", false, "structurally verify every format built from the matrix; any failure exits non-zero")
 	profileFmt := flag.String("profile", "", "print the named format's structural profile (e.g. csr-du)")
 	features := flag.Bool("features", false, "emit the autotuner's structural feature vector as JSON instead of the report")
+	roofFmt := flag.String("roofline", "", "predict the named format's bandwidth floor against the host roofline (e.g. -roofline csr-du)")
+	roofDir := flag.String("roofdir", "benchdata", "directory holding the per-host ROOF_<host>.json probe archives")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] [-profile FORMAT] [-features] file.mtx [file2.mtx ...]")
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-verify] [-profile FORMAT] [-features] [-roofline FORMAT] [-roofdir DIR] file.mtx [file2.mtx ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,13 +63,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var roofModel *roofline.Model
+	if *roofFmt != "" {
+		m, err := roofline.Load(*roofDir)
+		if err != nil {
+			// No probe archive for this host: the analytic Clovertown peak
+			// keeps the prediction well-defined, and the output names the
+			// source so nobody mistakes it for a measurement.
+			m = roofline.Analytic(memsim.Clovertown())
+		}
+		roofModel = m
+	}
 	status := 0
 	for _, path := range flag.Args() {
 		var err error
 		if *features {
 			err = reportFeatures(path)
 		} else {
-			err = report(path, *verify, *profileFmt)
+			err = report(path, *verify, *profileFmt, *roofFmt, roofModel)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtxinfo: %s: %v\n", path, err)
@@ -62,6 +88,48 @@ func main() {
 		}
 	}
 	os.Exit(status)
+}
+
+// reportRoofline prints the bandwidth-floor prediction for one format:
+// at the roofline ceiling, an SpMV can never run faster than predicted
+// bytes divided by ceiling bandwidth — the floor a perfectly
+// memory-bound kernel would hit. The CSR baseline makes the comparison
+// the paper's: compression wins exactly its traffic ratio.
+func reportRoofline(c *spmv.COO, formatName string, m *roofline.Model) error {
+	f, err := spmv.BuildFormat(formatName, c)
+	if err != nil {
+		return fmt.Errorf("roofline: %w", err)
+	}
+	base, err := spmv.NewCSR(c)
+	if err != nil {
+		return fmt.Errorf("roofline: %w", err)
+	}
+	th := m.MaxThreads()
+	ceil := m.CeilingGBps(th)
+	if ceil <= 0 {
+		return fmt.Errorf("roofline: model has no bandwidth ceiling")
+	}
+	src := m.Source
+	if m.Host != "" {
+		src += " @" + m.Host
+	}
+	thLabel := "any threads"
+	if th > 0 {
+		thLabel = fmt.Sprintf("t%d", th)
+	}
+	fmt.Printf("  roofline     model %s, ceiling %.3f GB/s (%s)\n", src, ceil, thLabel)
+	fb := obs.BytesPerSpMV(f)
+	bb := obs.BytesPerSpMV(base)
+	floor := func(bytes int64) float64 { return float64(bytes) / (ceil * 1e9) }
+	fmt.Printf("    %-10s %12d bytes/SpMV   floor %.3e s/iter\n", base.Name(), bb, floor(bb))
+	fmt.Printf("    %-10s %12d bytes/SpMV   floor %.3e s/iter\n", f.Name(), fb, floor(fb))
+	// At CSR's floor time the compressed format streams only its own
+	// bytes: its %-of-roofline is the traffic ratio. Anything above it
+	// means the run beat CSR's floor; anything below means overhead ate
+	// the compression win.
+	fmt.Printf("    predicted %%roof at CSR-floor speed: %.1f%% (traffic ratio vs CSR)\n",
+		100*float64(fb)/float64(bb))
+	return nil
 }
 
 // reportFeatures emits one JSON document with the matrix's autotuner
@@ -88,7 +156,7 @@ func reportFeatures(path string) (err error) {
 	}{Path: path, Features: autotune.Extract(c)})
 }
 
-func report(path string, verify bool, profileFmt string) (err error) {
+func report(path string, verify bool, profileFmt, roofFmt string, roofModel *roofline.Model) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -168,6 +236,11 @@ func report(path string, verify bool, profileFmt string) (err error) {
 			break
 		}
 		fmt.Printf("    %d. %-9s %5.1f%%  %s\n", i+1, r.Format, 100*r.Ratio, r.Reason)
+	}
+	if roofFmt != "" {
+		if err := reportRoofline(c, roofFmt, roofModel); err != nil {
+			return err
+		}
 	}
 	if profileFmt != "" {
 		pf, err := spmv.BuildFormat(profileFmt, c)

@@ -15,6 +15,7 @@
 //	          [-archive FILE|DIR] [-compare OLD.json]
 //	          [-samples 5] [-slowdown 0.10]
 //	          [-partition row|col|nnz] [-steal]
+//	          [-roofprobe] [-probe-ms 0] [-roofline] [-roofdir benchdata]
 //
 // With -auto the experiments are replaced by the autotuner: each suite
 // matrix named by -matrix (comma-separated) is feature-extracted, every
@@ -26,6 +27,20 @@
 // measured combo wins. With -archive the probe timings are recorded
 // into the benchmark archive and prior runs' measurements bias future
 // rankings (Welch-significant cells only).
+//
+// With -roofprobe the experiments are replaced by the STREAM-style
+// measured-bandwidth probe: copy/scale/triad at 1..max(-threads)
+// goroutines, written as benchdata/ROOF_<host>.json (or -roofdir).
+// -probe-ms bounds the probe's wall time (the working set shrinks to
+// fit; every cell still reports). When a previous archive exists the
+// probe Welch-tests bandwidth drift against it before overwriting.
+//
+// With -roofline the paper tables are replaced by the roofline table:
+// every measured cell's effective GB/s against the host's bandwidth
+// ceiling at that thread count (%roof), using the -roofdir probe
+// archive when present and the analytic machine peak otherwise.
+// Combined with -metrics the JSON report carries the same
+// ceiling_gbps/pct_roofline fields per cell instead.
 //
 // With -partition nnz chunk boundaries are placed every nnz/threads
 // stored elements, splitting long rows across workers (CSR only;
@@ -53,7 +68,9 @@
 // working-set total), the CSR-DU ctl-unit and CSR-VI dictionary
 // statistics where applicable, and — after a measured run at the
 // highest requested thread count — a bandwidth attribution telling
-// which stream dominates. JSON on stdout.
+// which stream dominates. Combined with -roofline the attribution is
+// anchored to the host ceiling (ceiling_gbps / pct_roofline fields).
+// JSON on stdout.
 //
 // With -trace FILE the measured loops are recorded with runtime/trace:
 // one task per Run and one region per chunk per worker (viewable with
@@ -95,6 +112,7 @@ import (
 	"spmv/internal/obs"
 	"spmv/internal/prof"
 	"spmv/internal/prof/archive"
+	"spmv/internal/roofline"
 )
 
 // archiveMeta collects the provenance of an archive record: hostname,
@@ -142,6 +160,10 @@ func main() {
 	steal := flag.Bool("steal", false, "use the work-stealing row executor (over-decomposed chunk queues)")
 	auto := flag.Bool("auto", false, "autotune the -matrix suite matrices (comma-separated) and emit the TuneReport decision traces as JSON")
 	autoBudget := flag.Duration("autobudget", 0, "with -auto, wall-clock budget for measured probe refinement (0 = analytic only)")
+	roofProbe := flag.Bool("roofprobe", false, "measure the host's STREAM bandwidth and write ROOF_<host>.json into -roofdir instead of running experiments")
+	probeMS := flag.Int("probe-ms", 0, "with -roofprobe, wall-clock budget for the probe in milliseconds (0 = unbudgeted ~32 MiB arrays)")
+	roofFlag := flag.Bool("roofline", false, "print the roofline table (measured GB/s vs host ceiling per cell) instead of the paper tables")
+	roofDir := flag.String("roofdir", "benchdata", "directory holding the per-host ROOF_<host>.json probe archives")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -215,6 +237,59 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spmvbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	// -roofprobe: measure the host's bandwidth ceilings and persist the
+	// probe archive; experiments are skipped.
+	if *roofProbe {
+		maxTh := cfg.Threads[len(cfg.Threads)-1]
+		note("# roofprobe: STREAM copy/scale/triad at 1..%d threads (budget %dms)\n", maxTh, *probeMS)
+		f, err := roofline.Probe(roofline.ProbeOptions{
+			MaxThreads: maxTh,
+			Budget:     time.Duration(*probeMS) * time.Millisecond,
+		})
+		die(err)
+		die(os.MkdirAll(*roofDir, 0o755))
+		path := roofline.DefaultPath(*roofDir, f.Host)
+		if old, err := roofline.ReadFile(path); err == nil {
+			regs, derr := roofline.Drift(old, f, 0)
+			die(derr)
+			if len(regs) > 0 {
+				note("# roofprobe: %d cell(s) drifted significantly vs previous %s\n", len(regs), path)
+			}
+		}
+		die(roofline.WriteFile(path, f))
+		fmt.Printf("Roofline probe: %s (%s/%s, %d cores, arrays %d elems)\n",
+			f.Host, f.GoOS, f.GoArch, f.Cores, f.Results[0].ArrayLen)
+		fmt.Printf("%-8s %3s | %10s %10s\n", "kernel", "th", "GB/s", "stddev")
+		for _, r := range f.Results {
+			fmt.Printf("%-8s %3d | %10.3f %10.3f\n", r.Kernel, r.Threads, r.MeanGBps, r.StddevGBps)
+		}
+		m, err := roofline.FromFile(f)
+		die(err)
+		fmt.Printf("ceilings:")
+		for t := 1; t <= m.MaxThreads(); t++ {
+			if c, ok := m.Ceilings[t]; ok {
+				fmt.Printf("  t%d=%.3f", t, c)
+			}
+		}
+		fmt.Println(" GB/s")
+		note("# roofprobe: wrote %s\n", path)
+		return
+	}
+
+	// -roofline: anchor every measured cell to the host's bandwidth
+	// model — the probe archive when one exists, the analytic machine
+	// peak otherwise.
+	if *roofFlag {
+		cfg.Metrics = true
+		m, err := roofline.Load(*roofDir)
+		if err != nil {
+			m = roofline.Analytic(cfg.Machine)
+			note("# roofline: no probe archive in %s; using analytic peak %.2f GB/s (run -roofprobe to measure)\n",
+				*roofDir, m.CeilingGBps(0))
+		}
+		cfg.Roofline = m
 	}
 
 	// -trace: record the measured loops. The executors emit trace tasks
@@ -385,6 +460,10 @@ func main() {
 	}
 	if *metrics {
 		emit(bench.WriteMetricsJSON(os.Stdout, bench.BuildMetricsReport(cfg, runs)))
+		return
+	}
+	if *roofFlag {
+		emit(bench.BuildRooflineTable(runs, cfg.Formats, cfg.Threads, cfg.Roofline).Print(os.Stdout))
 		return
 	}
 	if need["table2"] {

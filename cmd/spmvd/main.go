@@ -11,8 +11,8 @@
 //	spmvd [-addr :8090] [-mem-budget 256] [-max-upload 64]
 //	      [-max-batch 8] [-queue 64] [-per-client 16]
 //	      [-deadline 10s] [-drain-timeout 15s]
-//	      [-threads 0] [-format csr-du] [-quiet]
-//	      [-selfcheck]
+//	      [-threads 0] [-format csr-du] [-quiet] [-log]
+//	      [-roofdir benchdata] [-selfcheck]
 //
 // Endpoints:
 //
@@ -22,8 +22,20 @@
 //	DELETE /matrices/{id}            evict
 //	POST /matrices/{id}/multiply     {"x": [...]} -> {"y": [...]}
 //	GET  /metrics                    live counters + per-matrix stats
+//	GET  /metrics.prom               Prometheus text-format exposition
 //	GET  /healthz                    liveness (503 while draining)
 //	GET  /debug/pprof/               Go profiling endpoints
+//
+// With -log every failed request emits one structured JSON record on
+// stderr (log/slog: request id, matrix, client, HTTP status, error,
+// span timings) instead of plain printf lines — the machine-parseable
+// audit stream. -quiet wins over -log.
+//
+// The daemon loads the host's measured bandwidth model from
+// -roofdir/ROOF_<host>.json when present (see spmvbench -roofprobe),
+// falling back to the analytic Clovertown peak; the ceilings are
+// served as spmv_roofline_ceiling_gbps gauges on /metrics.prom so
+// dashboards can plot served bandwidth against the memory wall.
 //
 // SIGTERM or SIGINT triggers a graceful drain: the listener stops
 // accepting, in-flight and queued requests finish (bounded by
@@ -40,6 +52,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +60,8 @@ import (
 	"syscall"
 	"time"
 
+	"spmv/internal/memsim"
+	"spmv/internal/roofline"
 	"spmv/internal/server"
 )
 
@@ -63,6 +78,8 @@ func main() {
 		threads      = flag.Int("threads", 0, "executor threads per matrix (0 = GOMAXPROCS)")
 		format       = flag.String("format", "csr-du", "format built for uploads that do not specify one")
 		quiet        = flag.Bool("quiet", false, "suppress per-event logging")
+		logJSON      = flag.Bool("log", false, "emit structured JSON log records (log/slog) on stderr; failed requests carry id/matrix/status/error/span timings")
+		roofDir      = flag.String("roofdir", "benchdata", "directory holding ROOF_<host>.json bandwidth probe archives (spmvbench -roofprobe)")
 		selfcheck    = flag.Bool("selfcheck", false, "serve on a loopback port, smoke-test against self, exit")
 	)
 	flag.Parse()
@@ -77,10 +94,25 @@ func main() {
 		Threads:         *threads,
 		DefaultFormat:   *format,
 	}
-	if !*quiet {
+	switch {
+	case *quiet:
+		// No sinks: the server drops both printf lines and structured
+		// records.
+	case *logJSON:
+		// Structured-only: operational printf lines flow through the
+		// logger's Warn level, failed requests get typed attrs.
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
 		cfg.Logf = func(f string, args ...any) {
 			fmt.Fprintf(os.Stderr, "spmvd: "+f+"\n", args...)
 		}
+	}
+	if m, err := roofline.Load(*roofDir); err == nil {
+		cfg.Roofline = m
+	} else {
+		// No probe archive for this host: the analytic machine peak keeps
+		// the /metrics.prom ceiling gauges present (source="analytic").
+		cfg.Roofline = roofline.Analytic(memsim.Clovertown())
 	}
 
 	if *selfcheck {

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -169,6 +170,31 @@ wait:
 	if _, ok := snap.Matrices[up.ID]; !ok {
 		return fmt.Errorf("metrics: matrix %s missing from snapshot", up.ID)
 	}
+	if mm := snap.Matrices[up.ID]; len(mm.Spans) == 0 {
+		return fmt.Errorf("metrics: matrix %s has no lifecycle span histograms", up.ID)
+	}
+
+	// 6b. The Prometheus exposition serves the same traffic: the right
+	// content type, the request counter, and a span histogram series for
+	// the uploaded matrix (the full format checker runs in the server
+	// package's tests; this is the live-daemon smoke).
+	code, raw, ct, err := cl.getWithType("/metrics.prom")
+	if err != nil || code != 200 {
+		return fmt.Errorf("metrics.prom: code %d, err %v", code, err)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("metrics.prom: content type %q", ct)
+	}
+	prom := string(raw)
+	for _, want := range []string{
+		"# TYPE spmv_requests_total counter",
+		"spmv_request_span_seconds_bucket{matrix=\"" + up.ID + "\",span=\"total\",le=\"+Inf\"}",
+		"spmv_goroutines",
+	} {
+		if !strings.Contains(prom, want) {
+			return fmt.Errorf("metrics.prom: missing %q", want)
+		}
+	}
 
 	// 7. SIGTERM to ourselves exercises the real drain path.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -218,6 +244,24 @@ func (c smokeClient) do(method, path string, body []byte) (int, []byte, error) {
 
 func (c smokeClient) get(path string) (int, []byte, error) {
 	return c.do(http.MethodGet, path, nil)
+}
+
+// getWithType is get plus the response Content-Type, for endpoints
+// whose media type is part of the contract (/metrics.prom).
+func (c smokeClient) getWithType(path string) (int, []byte, string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return resp.StatusCode, raw, resp.Header.Get("Content-Type"), err
 }
 
 func (c smokeClient) post(path string, body []byte) (int, []byte, error) {

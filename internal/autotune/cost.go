@@ -29,8 +29,17 @@ type Candidate struct {
 	PriorSignificant bool    `json:"prior_significant,omitempty"`
 	// Score is the ranking key, lower is better: predicted bytes
 	// divided by the prior bandwidth ratio when a significant prior
-	// exists, plain predicted bytes otherwise.
+	// exists, plain predicted bytes otherwise. With a roofline model
+	// (Options.Roofline) the score is further divided by the ceiling
+	// bytes/second, turning it into predicted seconds — the same units
+	// as ProbeSecs, and a monotonic transform that leaves the analytic
+	// ranking unchanged.
 	Score float64 `json:"score"`
+	// PredSecs is the roofline floor for this candidate: PredBytes
+	// moved at the model's ceiling bandwidth. 0 when tuning ran without
+	// a roofline model. Comparing ProbeSecs against it says how far the
+	// measured run sat from the memory wall.
+	PredSecs float64 `json:"pred_secs,omitempty"`
 	// Probed marks candidates the measurement stage timed; ProbeSecs /
 	// ProbeStddev / ProbeSampleN summarize the seconds-per-iteration
 	// samples and ProbeBytes is the built format's actual traffic.

@@ -11,6 +11,7 @@ import (
 	"spmv/internal/core"
 	"spmv/internal/formats"
 	"spmv/internal/prof/archive"
+	"spmv/internal/roofline"
 )
 
 // Options configure Tune. The zero value runs the deterministic
@@ -35,6 +36,12 @@ type Options struct {
 	// Candidates overrides the default candidate list (rarely needed
 	// outside tests).
 	Candidates []Candidate
+	// Roofline, when non-nil, is the host bandwidth model used as a
+	// prior: every candidate's score is divided by the ceiling
+	// bytes/second at Threads, restating it as predicted seconds
+	// (Candidate.PredSecs) directly comparable with probe timings. A
+	// constant divisor per run, so the analytic ranking is unchanged.
+	Roofline *roofline.Model
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +82,10 @@ type Report struct {
 	// ArchiveNote records a non-fatal problem loading or writing the
 	// benchmark archive ("" when clean).
 	ArchiveNote string `json:"archive_note,omitempty"`
+	// CeilingGBps and RooflineSource record the bandwidth prior the
+	// scores were normalized by (0 / "" without Options.Roofline).
+	CeilingGBps    float64 `json:"ceiling_gbps,omitempty"`
+	RooflineSource string  `json:"roofline_source,omitempty"`
 }
 
 // Tune extracts features, ranks candidates, and (within Options.Budget)
@@ -109,6 +120,16 @@ func tuneFeatures(c *core.COO, ft Features, opts Options) (*Report, error) {
 			}
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			rep.ArchiveNote = err.Error()
+		}
+	}
+
+	if c := opts.Roofline.CeilingGBps(opts.Threads); c > 0 {
+		rep.CeilingGBps = c
+		rep.RooflineSource = opts.Roofline.Source
+		for i := range rep.Candidates {
+			cand := &rep.Candidates[i]
+			cand.PredSecs = float64(cand.PredBytes) / (c * 1e9)
+			cand.Score /= c * 1e9
 		}
 	}
 

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"spmv/internal/formats"
 	"spmv/internal/matgen"
 	"spmv/internal/prof/archive"
+	"spmv/internal/roofline"
 )
 
 // rec builds a synthetic archive cell with enough samples and spread
@@ -184,5 +186,52 @@ func TestSymmetricMatrixPicksSymCSR(t *testing.T) {
 	if rep.Chosen.Name() != "sym-csr" {
 		best := rep.Candidates[0]
 		t.Errorf("symmetric matrix chose %q (pred %d); sym-csr should win", best.Spec.Name(), best.PredBytes)
+	}
+}
+
+// specKey renders a Spec as a comparable ranking identity.
+func specKey(s formats.Spec) string {
+	return fmt.Sprintf("%s/%s/steal=%v", s.Name(), s.Partition, s.Steal)
+}
+
+// TestRooflinePriorKeepsRankingMonotonic pins that a roofline model
+// restates scores as predicted seconds without changing the analytic
+// ranking: same ordering, Score == PredSecs (prior-free), and the
+// report carries the ceiling it normalized by.
+func TestRooflinePriorKeepsRankingMonotonic(t *testing.T) {
+	c := matgen.RandomUniform(rand.New(rand.NewSource(7)), 600, 600, 8, matgen.Values{})
+	plain, err := Tune(c, Options{Threads: 2})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	m := &roofline.Model{Source: roofline.SourceProbe, Host: "t", Ceilings: map[int]float64{2: 10}}
+	roofed, err := Tune(c, Options{Threads: 2, Roofline: m})
+	if err != nil {
+		t.Fatalf("roofed: %v", err)
+	}
+	if roofed.CeilingGBps != 10 || roofed.RooflineSource != roofline.SourceProbe {
+		t.Fatalf("report ceiling %v source %q", roofed.CeilingGBps, roofed.RooflineSource)
+	}
+	if specKey(roofed.Chosen) != specKey(plain.Chosen) {
+		t.Fatalf("roofline prior changed the winner: %q vs %q", specKey(roofed.Chosen), specKey(plain.Chosen))
+	}
+	if len(roofed.Candidates) != len(plain.Candidates) {
+		t.Fatalf("candidate counts differ")
+	}
+	for i := range roofed.Candidates {
+		rc, pc := roofed.Candidates[i], plain.Candidates[i]
+		if specKey(rc.Spec) != specKey(pc.Spec) {
+			t.Fatalf("rank %d differs: %q vs %q", i, specKey(rc.Spec), specKey(pc.Spec))
+		}
+		if !rc.Feasible {
+			continue
+		}
+		wantSecs := float64(rc.PredBytes) / 1e10
+		if diff := rc.PredSecs - wantSecs; diff > 1e-15 || diff < -1e-15 {
+			t.Errorf("%s: PredSecs %v, want %v", specKey(rc.Spec), rc.PredSecs, wantSecs)
+		}
+		if diff := rc.Score - wantSecs; diff > 1e-15 || diff < -1e-15 {
+			t.Errorf("%s: Score %v not restated as seconds %v", specKey(rc.Spec), rc.Score, wantSecs)
+		}
 	}
 }

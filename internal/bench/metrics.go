@@ -6,6 +6,7 @@ import (
 
 	"spmv/internal/core"
 	"spmv/internal/obs"
+	"spmv/internal/roofline"
 )
 
 // RunMetrics is the observability record of one (matrix, format,
@@ -32,6 +33,12 @@ type RunMetrics struct {
 	// BytesPerNNZ is the matrix-stream bytes per stored non-zero
 	// (core.BytesPerNNZ), the per-element cost compression reduces.
 	BytesPerNNZ float64 `json:"bytes_per_nnz"`
+	// CeilingGBps and PctRoofline anchor GBps to the host's bandwidth
+	// roofline when Config.Roofline was set: PctRoofline is exactly
+	// GBps / CeilingGBps(threads), the fraction of the memory wall this
+	// cell reached. Zero when no roofline model was supplied.
+	CeilingGBps float64 `json:"ceiling_gbps,omitempty"`
+	PctRoofline float64 `json:"pct_roofline,omitempty"`
 	// TimeImbalance and NNZImbalance are the measured (mean over
 	// measured iterations) and static load imbalance, 1.0 = perfect.
 	// Native mode only; 0 when unavailable.
@@ -53,6 +60,10 @@ func newRunMetrics(cfg Config, f core.Format, threads int, secsPerIter float64, 
 		GBps:         obs.GBps(obs.BytesPerSpMV(f), secsPerIter),
 		BytesPerNNZ:  core.BytesPerNNZ(f),
 	}
+	if c := cfg.Roofline.CeilingGBps(threads); c > 0 {
+		m.CeilingGBps = c
+		m.PctRoofline = m.GBps / c
+	}
 	if rec != nil {
 		snap := rec.Snapshot()
 		m.Workers = snap.Last.Threads()
@@ -72,6 +83,9 @@ type MetricsReport struct {
 	Scale float64 `json:"scale"`
 	// Threads lists the exercised thread counts.
 	Threads []int `json:"threads"`
+	// Roofline echoes the bandwidth model the cells' PctRoofline values
+	// were computed against (nil when the run had none).
+	Roofline *roofline.Model `json:"roofline,omitempty"`
 	// Matrices holds one entry per admitted suite matrix.
 	Matrices []MatrixMetrics `json:"matrices"`
 }
@@ -106,7 +120,7 @@ func BuildMetricsReport(cfg Config, runs []*MatrixRuns) MetricsReport {
 	if cfg.Native {
 		mode = "native"
 	}
-	rep := MetricsReport{Mode: mode, Scale: cfg.Scale, Threads: cfg.Threads}
+	rep := MetricsReport{Mode: mode, Scale: cfg.Scale, Threads: cfg.Threads, Roofline: cfg.Roofline}
 	formats := append([]string{"csr"}, cfg.Formats...)
 	for _, r := range runs {
 		mm := MatrixMetrics{

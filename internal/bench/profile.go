@@ -19,7 +19,9 @@ func FindSpec(name string) (Spec, error) {
 // its structural profile. With cfg.Native set and threads > 0 it also
 // measures the cell and attaches a bandwidth attribution: the §II-B
 // traffic model split across the format's streams at the measured
-// timing, plus the last run's imbalance telemetry.
+// timing, plus the last run's imbalance telemetry. With cfg.Roofline
+// set the attribution is additionally anchored to the model's ceiling
+// at the measured thread count (ceiling_gbps / pct_roofline).
 func ProfileCell(cfg Config, matrix, format string, threads int) (*prof.FormatProfile, error) {
 	spec, err := findSpec(matrix)
 	if err != nil {
@@ -51,6 +53,6 @@ func ProfileCell(cfg Config, matrix, format string, threads int) (*prof.FormatPr
 		return nil, fmt.Errorf("bench: %s/%s: %w", matrix, format, err)
 	}
 	snap := rec.Snapshot()
-	prof.Attribute(p, secs, &snap.Last)
+	prof.AttributeRoofline(p, secs, &snap.Last, cfg.Roofline, threads)
 	return p, nil
 }

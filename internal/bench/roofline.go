@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"spmv/internal/roofline"
+)
+
+// RooflineRow is one measured cell restated against the host's
+// bandwidth ceiling: the format's effective GB/s, the ceiling at that
+// thread count, and their ratio — the %-of-roofline the run reached.
+type RooflineRow struct {
+	Matrix  string
+	Class   string
+	Format  string
+	Threads int
+	// SecsPerIter and BytesPerIter restate the cell's RunMetrics.
+	SecsPerIter  float64
+	BytesPerIter int64
+	GBps         float64
+	CeilingGBps  float64
+	// PctRoofline is GBps / CeilingGBps — NaN when the cell was never
+	// measured, 0 when the model has no ceiling.
+	PctRoofline float64
+}
+
+// RooflineTable is the `spmvbench -roofline` view: every measured cell
+// against the bandwidth model it was anchored to.
+type RooflineTable struct {
+	Model *roofline.Model
+	Rows  []RooflineRow
+}
+
+// BuildRooflineTable derives the roofline view from collected runs.
+// Runs must have been collected with Config.Metrics set — cells without
+// a RunMetrics record are skipped (they carry no byte model). The rows
+// come out in suite order, CSR first then Config.Formats order, thread
+// counts ascending within a format, matching the other report tables.
+func BuildRooflineTable(runs []*MatrixRuns, formats []string, threads []int, m *roofline.Model) RooflineTable {
+	t := RooflineTable{Model: m}
+	names := append([]string{"csr"}, formats...)
+	for _, r := range runs {
+		for _, name := range names {
+			cells := r.Metrics[name]
+			if cells == nil {
+				continue
+			}
+			for _, th := range threads {
+				cell := cells[th]
+				if cell == nil {
+					continue
+				}
+				row := RooflineRow{
+					Matrix: r.Name, Class: r.Class, Format: name, Threads: th,
+					SecsPerIter:  cell.SecsPerIter,
+					BytesPerIter: cell.BytesPerIter,
+					GBps:         cell.GBps,
+					CeilingGBps:  m.CeilingGBps(th),
+				}
+				switch {
+				case cell.SecsPerIter <= 0:
+					row.PctRoofline = math.NaN()
+				case row.CeilingGBps > 0:
+					row.PctRoofline = row.GBps / row.CeilingGBps
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	return t
+}
+
+// rooflinePctCell renders a %roof cell, flagging unmeasured cells.
+func rooflinePctCell(v float64) string {
+	if math.IsNaN(v) {
+		return "  n/a"
+	}
+	return fmt.Sprintf("%4.0f%%", 100*v)
+}
+
+// Print writes the roofline table, returning the first write error.
+// The header names the model source so readers know whether %roof is
+// against a measured probe or an analytic machine peak.
+func (t RooflineTable) Print(w io.Writer) error {
+	p := &printer{w: w}
+	src := "none"
+	host := ""
+	if t.Model != nil {
+		src = t.Model.Source
+		host = t.Model.Host
+	}
+	p.f("Roofline: measured bandwidth vs ceiling (model: %s", src)
+	if host != "" {
+		p.f(" @%s", host)
+	}
+	p.f(")\n")
+	p.f("%-18s %-2s %-10s %3s | %10s %12s %8s %8s %6s\n",
+		"matrix", "cl", "format", "th", "secs/iter", "bytes/iter", "GB/s", "ceil", "%roof")
+	for _, row := range t.Rows {
+		p.f("%-18s %-2s %-10s %3d | %10.3e %12d %8.3f %8.3f %6s\n",
+			row.Matrix, row.Class, row.Format, row.Threads,
+			row.SecsPerIter, row.BytesPerIter, row.GBps, row.CeilingGBps,
+			rooflinePctCell(row.PctRoofline))
+	}
+	return p.err
+}

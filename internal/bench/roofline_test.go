@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spmv/internal/obs"
+	"spmv/internal/roofline"
+)
+
+func testRooflineModel() *roofline.Model {
+	return &roofline.Model{
+		Source: roofline.SourceProbe,
+		Host:   "test",
+		Ceilings: map[int]float64{
+			1: 7.25,
+			2: 11.5,
+		},
+	}
+}
+
+// TestRooflinePctPinned pins the %roof definition: every cell's
+// PctRoofline equals obs.GBps(bytes, secs) / Model.CeilingGBps(threads)
+// to 1e-9, through both the RunMetrics path (Config.Roofline) and the
+// RooflineTable builder.
+func TestRooflinePctPinned(t *testing.T) {
+	cfg := testConfig()
+	cfg.Native = true
+	cfg.Metrics = true
+	cfg.Threads = []int{1, 2}
+	cfg.Formats = []string{"csr-du"}
+	cfg.Roofline = testRooflineModel()
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no matrices admitted")
+	}
+
+	tab := BuildRooflineTable(runs, cfg.Formats, cfg.Threads, cfg.Roofline)
+	wantRows := 0
+	for _, r := range runs {
+		for _, cells := range r.Metrics {
+			wantRows += len(cells)
+		}
+	}
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("table rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+
+	checked := 0
+	for _, row := range tab.Rows {
+		want := obs.GBps(row.BytesPerIter, row.SecsPerIter) / cfg.Roofline.CeilingGBps(row.Threads)
+		if math.Abs(row.PctRoofline-want) > 1e-9 {
+			t.Errorf("%s/%s t=%d: table %%roof %v != GBps/ceiling %v",
+				row.Matrix, row.Format, row.Threads, row.PctRoofline, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no rows checked")
+	}
+
+	for _, r := range runs {
+		for name, cells := range r.Metrics {
+			for th, cell := range cells {
+				want := obs.GBps(cell.BytesPerIter, cell.SecsPerIter) / cfg.Roofline.CeilingGBps(th)
+				if math.Abs(cell.PctRoofline-want) > 1e-9 {
+					t.Errorf("%s/%s t=%d: metrics %%roof %v != GBps/ceiling %v",
+						r.Name, name, th, cell.PctRoofline, want)
+				}
+				if math.Abs(cell.CeilingGBps-cfg.Roofline.CeilingGBps(th)) > 1e-12 {
+					t.Errorf("%s/%s t=%d: ceiling %v", r.Name, name, th, cell.CeilingGBps)
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if err := tab.Print(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "%roof") {
+		t.Errorf("table output missing %%roof column:\n%s", out)
+	}
+	if !strings.Contains(out, "model: probe @test") {
+		t.Errorf("table output missing model provenance:\n%s", out)
+	}
+
+	rep := BuildMetricsReport(cfg, runs)
+	if rep.Roofline == nil || rep.Roofline.Source != roofline.SourceProbe {
+		t.Errorf("metrics report lost the roofline model: %+v", rep.Roofline)
+	}
+}
+
+// TestRooflineNilModel pins the degraded path: without a model, metrics
+// carry zero roofline fields and the table prints without ceilings.
+func TestRooflineNilModel(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = true
+	cfg.Threads = []int{1}
+	cfg.Formats = nil
+	runs, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		for name, cells := range r.Metrics {
+			for th, cell := range cells {
+				if cell.CeilingGBps != 0 || cell.PctRoofline != 0 {
+					t.Errorf("%s/%s t=%d: roofline fields set without a model: %+v",
+						r.Name, name, th, cell)
+				}
+			}
+		}
+	}
+	tab := BuildRooflineTable(runs, nil, cfg.Threads, nil)
+	for _, row := range tab.Rows {
+		if row.CeilingGBps != 0 {
+			t.Errorf("nil model produced ceiling %v", row.CeilingGBps)
+		}
+		if !math.IsNaN(row.PctRoofline) && row.PctRoofline != 0 {
+			t.Errorf("nil model produced %%roof %v", row.PctRoofline)
+		}
+	}
+	var sb strings.Builder
+	if err := tab.Print(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "model: none") {
+		t.Errorf("nil-model header wrong:\n%s", sb.String())
+	}
+}

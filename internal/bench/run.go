@@ -12,6 +12,7 @@ import (
 	"spmv/internal/memsim"
 	"spmv/internal/obs"
 	"spmv/internal/parallel"
+	"spmv/internal/roofline"
 	"spmv/internal/simtrace"
 	"spmv/internal/stats"
 )
@@ -71,6 +72,11 @@ type Config struct {
 	// Steal enables the work-stealing row executor in native mode
 	// (parallel.ExecOptions.Steal).
 	Steal bool
+	// Roofline, if non-nil, anchors every measured cell's bandwidth to
+	// the host's roofline: RunMetrics gains CeilingGBps and PctRoofline
+	// (GBps / ceiling at the cell's thread count), and report tables can
+	// print the %roof column. Nil leaves the roofline fields zero.
+	Roofline *roofline.Model
 }
 
 // DefaultConfig returns the paper-reproduction configuration.

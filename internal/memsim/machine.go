@@ -72,6 +72,24 @@ func Opteron8() Machine {
 	return m
 }
 
+// PeakGBps is the machine's analytic memory-bandwidth roofline in
+// 10^9 bytes per second: every controller's bus transferring one
+// LineSize line per BusPerLine core cycles, flat out. It is the
+// ceiling the bus-occupancy simulation converges to under pure
+// streaming, and the fallback denominator the roofline model uses on
+// hosts that have no measured probe archive.
+func (m Machine) PeakGBps() float64 {
+	if m.FreqHz <= 0 || m.BusPerLine == 0 {
+		return 0
+	}
+	controllers := m.Controllers
+	if controllers < 1 {
+		controllers = 1
+	}
+	perBus := m.FreqHz * float64(m.LineSize) / float64(m.BusPerLine)
+	return float64(controllers) * perBus / 1e9
+}
+
 // TotalL2 returns the aggregate L2 capacity.
 func (m Machine) TotalL2() int64 {
 	groups := (m.Cores + m.L2SharedBy - 1) / m.L2SharedBy

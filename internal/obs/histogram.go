@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log-linear, HDR-style. Values below
+// histSubCount land in exact unit buckets; above that, each power-of-
+// two octave is divided into histSubCount linear sub-buckets, so the
+// relative quantization error is bounded by 1/histSubCount (6.25%)
+// across the full int64 range. 976 buckets cover [0, 2^63).
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+	histBuckets  = (64 - histSubBits) * histSubCount
+)
+
+// Histogram is a lock-free, mergeable latency histogram. Record is a
+// handful of atomic adds on preallocated counters — no allocation, no
+// locks — so it is safe on the server's request path under the
+// spmvlint alloc gate. Readers (quantiles, snapshots, merges) may run
+// concurrently with writers; they observe some consistent-enough
+// recent state, the usual monitoring contract.
+//
+// Values are int64 and non-negative (negatives clamp to 0); the
+// natural unit here is nanoseconds, with RecordSince as the
+// span-timing shorthand.
+type Histogram struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // math.MaxInt64 until the first Record
+	max    atomic.Int64
+	counts [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// histBucketIndex maps a non-negative value to its bucket.
+func histBucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	exp := uint(bits.Len64(u)) - histSubBits - 1
+	return int((uint64(exp)+1)<<histSubBits) + int(u>>exp) - histSubCount
+}
+
+// histBucketUpper returns the largest value a bucket holds — the
+// estimate quantile reporting uses, so estimates never undershoot.
+func histBucketUpper(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	exp := uint(i/histSubCount) - 1
+	m := uint64(i%histSubCount) + histSubCount
+	return int64((m+1)<<exp) - 1
+}
+
+// Record adds one value. Negative values clamp to 0 (a time.Since
+// can go slightly negative under clock steps; losing sign beats
+// corrupting a bucket index).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordSince records the elapsed nanoseconds since t0.
+func (h *Histogram) RecordSince(t0 time.Time) {
+	h.Record(int64(time.Since(t0)))
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the exact sum of recorded values (not bucketized).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min returns the smallest recorded value, 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded value, 0 when empty.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Merge adds o's counts into h. Merging is commutative and
+// associative up to concurrent writes: merging the same set of
+// histograms in any grouping yields identical bucket counts, which is
+// what lets per-shard histograms roll up into one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if om := o.min.Load(); om != math.MaxInt64 {
+		for {
+			cur := h.min.Load()
+			if om >= cur || h.min.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+	}
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// values: the upper edge of the bucket holding the ceil(q*count)-th
+// smallest value. The estimate is >= the true order statistic and
+// overshoots it by at most a factor of 1 + 1/16 (values below 16 are
+// exact). Returns 0 when empty; q outside (0, 1] clamps.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			u := histBucketUpper(i)
+			if m := h.max.Load(); u > m {
+				// The top bucket's edge can exceed the true maximum;
+				// the exact max is a better (and still >=) estimate.
+				u = m
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}
+
+// CumulativeLE returns, for each bound, the number of recorded values
+// whose bucket upper edge is <= it — the cumulative counts a
+// Prometheus-style histogram exposition needs. Bounds must be
+// ascending; the returned slice has the same length. The count is
+// exact whenever a bound is >= a bucket's upper edge, and otherwise
+// conservatively excludes the straddling bucket.
+func (h *Histogram) CumulativeLE(bounds []int64) []int64 {
+	out := make([]int64, len(bounds))
+	if len(bounds) == 0 {
+		return out
+	}
+	var cum int64
+	b := 0
+	for i := 0; i < histBuckets && b < len(bounds); i++ {
+		u := histBucketUpper(i)
+		for b < len(bounds) && u > bounds[b] {
+			out[b] = cum
+			b++
+		}
+		if b >= len(bounds) {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	for ; b < len(bounds); b++ {
+		out[b] = cum
+	}
+	return out
+}
+
+// HistogramSnapshot is a point-in-time summary for JSON metric
+// documents: counts, exact sum/min/max, and estimated quantiles in
+// seconds (the server's spans are recorded in nanoseconds).
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// SumNs/MinNs/MaxNs are exact; the P* quantiles are bucket-edge
+	// estimates (<= 6.25% relative overshoot).
+	SumNs int64 `json:"sum_ns"`
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// SnapshotHist summarizes the histogram.
+func (h *Histogram) SnapshotHist() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		SumNs: h.Sum(),
+		MinNs: h.Min(),
+		MaxNs: h.Max(),
+		P50Ns: h.Quantile(0.50),
+		P90Ns: h.Quantile(0.90),
+		P99Ns: h.Quantile(0.99),
+	}
+}

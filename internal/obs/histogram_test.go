@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketGeometry(t *testing.T) {
+	// Exact unit buckets below histSubCount.
+	for v := int64(0); v < histSubCount; v++ {
+		if got := histBucketIndex(v); got != int(v) {
+			t.Fatalf("bucket(%d) = %d, want %d", v, got, v)
+		}
+		if got := histBucketUpper(int(v)); got != v {
+			t.Fatalf("upper(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Every value must land in a bucket whose range contains it, and
+	// bucket indices must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{15, 16, 17, 31, 32, 33, 100, 1000, 1 << 20,
+		(1 << 20) + 12345, 1 << 40, math.MaxInt64} {
+		i := histBucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		prev = i
+		upper := histBucketUpper(i)
+		if v > upper {
+			t.Fatalf("value %d above its bucket upper edge %d (bucket %d)", v, upper, i)
+		}
+		if i > 0 && v <= histBucketUpper(i-1) {
+			t.Fatalf("value %d at or below previous bucket's edge %d", v, histBucketUpper(i-1))
+		}
+		// Relative quantization error bound: 1/16.
+		if v >= histSubCount {
+			if rel := float64(upper-v) / float64(v); rel > 1.0/histSubCount {
+				t.Fatalf("value %d: upper edge %d overshoots by %.4f > 1/16", v, upper, rel)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform spread across six decades, like latencies.
+		v := int64(math.Exp(rng.Float64() * math.Log(1e9)))
+		vals[i] = v
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if h.Count() != int64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	if h.Min() != vals[0] || h.Max() != vals[n-1] {
+		t.Fatalf("Min/Max = %d/%d, want %d/%d", h.Min(), h.Max(), vals[0], vals[n-1])
+	}
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0} {
+		got := h.Quantile(q)
+		exact := vals[int(math.Ceil(q*float64(n)))-1]
+		// Bucket-edge estimates are >= the true order statistic and
+		// overshoot by at most 1/16 relative (7% leaves slack).
+		if got < exact {
+			t.Errorf("q=%v: estimate %d below exact %d", q, got, exact)
+		}
+		if exact >= histSubCount {
+			if rel := float64(got-exact) / float64(exact); rel > 0.07 {
+				t.Errorf("q=%v: estimate %d overshoots exact %d by %.4f", q, got, exact, rel)
+			}
+		} else if got != exact {
+			t.Errorf("q=%v: small-value estimate %d != exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 10; v++ {
+		h.Record(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 1.0} {
+		exact := int64(math.Ceil(q*10)) - 1
+		if got := h.Quantile(q); got != exact {
+			t.Errorf("Quantile(%v) = %d, want exact %d", q, got, exact)
+		}
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 {
+		t.Errorf("negative record: Min = %d", h.Min())
+	}
+	if h.Count() != 11 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: %+v", h.SnapshotHist())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d", got)
+	}
+	snap := h.SnapshotHist()
+	if snap.Count != 0 || snap.P99Ns != 0 {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+}
+
+func fillHistogram(seed int64, n int) *Histogram {
+	rng := rand.New(rand.NewSource(seed))
+	h := NewHistogram()
+	for i := 0; i < n; i++ {
+		h.Record(int64(rng.Intn(1 << 30)))
+	}
+	return h
+}
+
+func TestHistogramMergeAssociativity(t *testing.T) {
+	mk := func() (*Histogram, *Histogram, *Histogram) {
+		return fillHistogram(1, 500), fillHistogram(2, 700), fillHistogram(3, 300)
+	}
+
+	// (a+b)+c
+	a1, b1, c1 := mk()
+	a1.Merge(b1)
+	a1.Merge(c1)
+	// a+(b+c)
+	a2, b2, c2 := mk()
+	b2.Merge(c2)
+	a2.Merge(b2)
+
+	if a1.Count() != a2.Count() || a1.Sum() != a2.Sum() ||
+		a1.Min() != a2.Min() || a1.Max() != a2.Max() {
+		t.Fatalf("merge groupings differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			a1.Count(), a1.Sum(), a1.Min(), a1.Max(),
+			a2.Count(), a2.Sum(), a2.Min(), a2.Max())
+	}
+	for i := 0; i < histBuckets; i++ {
+		if a1.counts[i].Load() != a2.counts[i].Load() {
+			t.Fatalf("bucket %d differs: %d vs %d", i, a1.counts[i].Load(), a2.counts[i].Load())
+		}
+	}
+	// Merging nil and empty is a no-op.
+	before := a1.Count()
+	a1.Merge(nil)
+	a1.Merge(NewHistogram())
+	if a1.Count() != before {
+		t.Fatalf("nil/empty merge changed count")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(int64(rng.Intn(1 << 24)))
+			}
+		}(int64(w))
+	}
+	// Concurrent readers exercise the lock-free read paths under -race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Quantile(0.99)
+			_ = h.SnapshotHist()
+			_ = h.CumulativeLE([]int64{1000, 1 << 20})
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	var buckets int64
+	for i := 0; i < histBuckets; i++ {
+		buckets += h.counts[i].Load()
+	}
+	if buckets != workers*perWorker {
+		t.Fatalf("bucket total = %d, want %d", buckets, workers*perWorker)
+	}
+	if h.Max() >= 1<<24 || h.Min() < 0 {
+		t.Fatalf("Min/Max out of range: %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramCumulativeLE(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 5, 5, 100, 1000, 1 << 20} {
+		h.Record(v)
+	}
+	bounds := []int64{0, 5, 50, 2000, math.MaxInt64}
+	got := h.CumulativeLE(bounds)
+	want := []int64{0, 3, 3, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CumulativeLE(%v) = %v, want %v", bounds, got, want)
+		}
+	}
+	// Cumulative counts must be non-decreasing and end at Count for a
+	// +Inf-like bound — the Prometheus histogram invariant.
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("cumulative counts decrease: %v", got)
+		}
+	}
+	if got[len(got)-1] != h.Count() {
+		t.Fatalf("final bound %d != Count %d", got[len(got)-1], h.Count())
+	}
+	if out := h.CumulativeLE(nil); len(out) != 0 {
+		t.Fatalf("nil bounds: %v", out)
+	}
+}
+
+func TestHistogramSnapshotOrdering(t *testing.T) {
+	h := fillHistogram(7, 2000)
+	s := h.SnapshotHist()
+	if !(s.MinNs <= s.P50Ns && s.P50Ns <= s.P90Ns && s.P90Ns <= s.P99Ns && s.P99Ns <= s.MaxNs) {
+		t.Fatalf("snapshot quantiles out of order: %+v", s)
+	}
+	if s.Count != 2000 {
+		t.Fatalf("snapshot count %d", s.Count)
+	}
+}

@@ -2,6 +2,7 @@ package prof
 
 import (
 	"spmv/internal/obs"
+	"spmv/internal/roofline"
 )
 
 // StreamShare is one stream's slice of a measured run: the predicted
@@ -39,6 +40,17 @@ type Attribution struct {
 	BusySecs      float64 `json:"measured_busy_secs,omitempty"`
 	TimeImbalance float64 `json:"time_imbalance,omitempty"`
 	NNZImbalance  float64 `json:"nnz_imbalance,omitempty"`
+
+	// CeilingGBps, PctRoofline and RooflineSource anchor GBps to the
+	// host's bandwidth roofline when a model was supplied
+	// (AttributeRoofline): PctRoofline = GBps / CeilingGBps, the
+	// fraction of the memory wall the run actually hit. A kernel near
+	// 1.0 is bandwidth-bound — the paper's premise — and can only go
+	// faster by shrinking PredictedBytes; one well below 1.0 is leaving
+	// bandwidth on the table (latency- or compute-bound).
+	CeilingGBps    float64 `json:"ceiling_gbps,omitempty"`
+	PctRoofline    float64 `json:"pct_roofline,omitempty"`
+	RooflineSource string  `json:"roofline_source,omitempty"`
 }
 
 // Attribute builds the predicted-vs-measured bandwidth attribution for
@@ -68,5 +80,26 @@ func Attribute(p *FormatProfile, secsPerIter float64, last *obs.RunStat) *Attrib
 		a.NNZImbalance = last.NNZImbalance()
 	}
 	p.Attribution = a
+	return a
+}
+
+// AttributeRoofline is Attribute plus roofline anchoring: the
+// attribution's effective bandwidth is divided by the model's ceiling
+// at the run's thread count (threads as given, falling back to the
+// RunStat's worker count when threads <= 0). A nil model degrades to
+// plain Attribute — the roofline fields stay zero.
+func AttributeRoofline(p *FormatProfile, secsPerIter float64, last *obs.RunStat, m *roofline.Model, threads int) *Attribution {
+	a := Attribute(p, secsPerIter, last)
+	if m == nil {
+		return a
+	}
+	if threads <= 0 {
+		threads = a.Threads
+	}
+	if c := m.CeilingGBps(threads); c > 0 {
+		a.CeilingGBps = c
+		a.PctRoofline = a.GBps / c
+		a.RooflineSource = m.Source
+	}
 	return a
 }

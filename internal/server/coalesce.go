@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"spmv/internal/core"
 )
@@ -19,11 +20,14 @@ var (
 // mulReq is one queued y = A·x request. done is buffered so the
 // coalescer's delivery never blocks on a handler that gave up: the
 // result lands in the buffer and is garbage-collected with the
-// request.
+// request. The timestamps mark the lifecycle boundaries the span
+// histograms measure; enqueuedAt is set by enqueue, takenAt by take.
 type mulReq struct {
-	ctx  context.Context
-	x    []float64
-	done chan mulRes
+	ctx        context.Context
+	x          []float64
+	done       chan mulRes
+	enqueuedAt time.Time
+	takenAt    time.Time
 }
 
 type mulRes struct {
@@ -87,6 +91,7 @@ func (c *coalescer) enqueue(req *mulReq) error {
 		c.mu.Unlock()
 		return errQueueFull
 	}
+	req.enqueuedAt = time.Now()
 	c.pending = append(c.pending, req)
 	c.mu.Unlock()
 	select {
@@ -135,6 +140,7 @@ func (c *coalescer) take() []*mulReq {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	batch := make([]*mulReq, 0, c.maxK)
+	now := time.Now()
 	for len(c.pending) > 0 && len(batch) < c.maxK {
 		req := c.pending[0]
 		copy(c.pending, c.pending[1:])
@@ -144,6 +150,8 @@ func (c *coalescer) take() []*mulReq {
 			req.done <- mulRes{err: err}
 			continue
 		}
+		req.takenAt = now
+		c.e.spans.queue.Record(int64(now.Sub(req.enqueuedAt)))
 		batch = append(batch, req)
 	}
 	return batch
@@ -189,6 +197,10 @@ func (c *coalescer) loop() {
 func (c *coalescer) execute(batch []*mulReq) {
 	k := len(batch)
 	c.metrics.recordWidth(k)
+	execStart := time.Now()
+	for _, req := range batch {
+		c.e.spans.coalesce.Record(int64(execStart.Sub(req.takenAt)))
+	}
 	rows, cols := c.e.format.Rows(), c.e.format.Cols()
 	ys, err := func() (ys [][]float64, err error) {
 		defer func() {
@@ -234,7 +246,11 @@ func (c *coalescer) execute(batch []*mulReq) {
 		}
 		return ys, nil
 	}()
+	// One execute-span record per request: batchmates share the panel,
+	// so each is charged the full panel time it waited through.
+	execNs := int64(time.Since(execStart))
 	for i, req := range batch {
+		c.e.spans.execute.Record(execNs)
 		if err != nil {
 			req.done <- mulRes{err: err}
 			continue

@@ -3,11 +3,43 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 
 	"spmv/internal/obs"
 )
+
+// RuntimeHealth is the Go runtime's vital signs, collected only when a
+// snapshot is taken (metrics endpoints) — never on the request path,
+// so the allocation gate on the handlers is unaffected.
+type RuntimeHealth struct {
+	// Goroutines is the live goroutine count — a leak in the pipeline
+	// (coalescer loops, executor workers) shows up here first.
+	Goroutines int `json:"goroutines"`
+	// GCPauseTotalNs is the cumulative stop-the-world pause time; its
+	// growth rate says how much latency the collector is injecting.
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// NumGC is the completed collection count.
+	NumGC uint32 `json:"num_gc"`
+	// HeapInuseBytes is the heap memory in active spans; with the
+	// registry's budget it bounds the process footprint.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	// HeapAllocBytes is the live allocated heap.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+}
+
+func readRuntimeHealth() RuntimeHealth {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeHealth{
+		Goroutines:     runtime.NumGoroutine(),
+		GCPauseTotalNs: ms.PauseTotalNs,
+		NumGC:          ms.NumGC,
+		HeapInuseBytes: ms.HeapInuse,
+		HeapAllocBytes: ms.HeapAlloc,
+	}
+}
 
 // Metrics is the server's live counter set, exposed on /metrics and —
 // when the host process publishes it — through expvar. All fields are
@@ -66,6 +98,10 @@ type MatrixMetrics struct {
 	Served     int64        `json:"served"`
 	Shed       int64        `json:"shed"`
 	Obs        obs.Snapshot `json:"obs"`
+	// Spans summarizes the request-lifecycle latency histograms
+	// (admission, queue, coalesce, execute, write, total), keyed by
+	// span name. All values are nanoseconds.
+	Spans map[string]obs.HistogramSnapshot `json:"spans"`
 	// Tune summarizes the autotuner's decision for format=auto uploads;
 	// absent for explicitly-chosen formats.
 	Tune *TuneDecision `json:"tune,omitempty"`
@@ -102,6 +138,9 @@ type MetricsSnapshot struct {
 	RegistryEntries int   `json:"registry_entries"`
 	RegistryBytes   int64 `json:"registry_bytes"`
 
+	// Runtime is the Go runtime's health at snapshot time.
+	Runtime RuntimeHealth `json:"runtime"`
+
 	// CoalesceWidths maps batch width (as a decimal string, for JSON
 	// object keys) to the number of panels executed at that width.
 	CoalesceWidths map[string]int64 `json:"coalesce_widths"`
@@ -136,6 +175,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 	entries, bytes := s.reg.stats()
 	snap.RegistryEntries = entries
 	snap.RegistryBytes = bytes
+	snap.Runtime = readRuntimeHealth()
 	for _, e := range s.reg.snapshot() {
 		mm := MatrixMetrics{
 			Format:     e.format.Name(),
@@ -147,6 +187,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			Served:     e.served.Load(),
 			Shed:       e.shed.Load(),
 			Obs:        e.rec.Snapshot(),
+			Spans:      e.spans.snapshot(),
 		}
 		if t := e.tune; t != nil {
 			mm.Tune = &TuneDecision{

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spmv/internal/obs"
+)
+
+// This file is the Prometheus text-format (0.0.4) exposition of the
+// server's metrics: the same counters /metrics serves as JSON, plus
+// the lifecycle span histograms, Go runtime health, and the roofline
+// ceilings — hand-rolled against the documented line format rather
+// than pulling in a client library. The format is small: HELP/TYPE
+// comments per family, then `name{labels} value` samples; histograms
+// expose cumulative `_bucket{le=...}` series where the +Inf bucket
+// equals `_count`.
+
+// spanBucketNs are the latency bucket upper bounds for the span
+// histograms, in nanoseconds: decades from 1µs to 10s — wide enough
+// for an in-memory SpMV service where admission is microseconds and a
+// deadline-bound execute tops out at seconds.
+var spanBucketNs = []int64{
+	1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+}
+
+// promWriter emits text-format samples, latching the first write
+// error like the repo's other renderers.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) f(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// header emits the HELP/TYPE preamble for a metric family.
+func (p *promWriter) header(name, help, typ string) {
+	p.f("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// label renders one name="value" pair with escaping.
+func label(name, value string) string {
+	return name + `="` + promEscape(value) + `"`
+}
+
+// sample emits `name{labels} value`; pass no labels for a bare sample.
+func (p *promWriter) sample(name string, value string, labels ...string) {
+	if len(labels) == 0 {
+		p.f("%s %s\n", name, value)
+		return
+	}
+	p.f("%s{%s} %s\n", name, strings.Join(labels, ","), value)
+}
+
+func promInt(v int64) string   { return strconv.FormatInt(v, 10) }
+func promUint(v uint64) string { return strconv.FormatUint(v, 10) }
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// counter emits a single-sample counter family.
+func (p *promWriter) counter(name, help string, v int64) {
+	p.header(name, help, "counter")
+	p.sample(name, promInt(v))
+}
+
+// gauge emits a single-sample gauge family.
+func (p *promWriter) gauge(name, help string, v string) {
+	p.header(name, help, "gauge")
+	p.sample(name, v)
+}
+
+// histogram emits one obs.Histogram as a Prometheus histogram series
+// under the family name with the given fixed labels. Bucket bounds are
+// nanoseconds, exposed in seconds; the +Inf bucket equals _count by
+// construction.
+func (p *promWriter) histogram(name string, h *obs.Histogram, labels []string) {
+	cum := h.CumulativeLE(spanBucketNs)
+	for i, bound := range spanBucketNs {
+		le := label("le", promFloat(float64(bound)/1e9))
+		p.sample(name+"_bucket", promInt(cum[i]), append(append([]string{}, labels...), le)...)
+	}
+	p.sample(name+"_bucket", promInt(h.Count()), append(append([]string{}, labels...), `le="+Inf"`)...)
+	p.sample(name+"_sum", promFloat(float64(h.Sum())/1e9), labels...)
+	p.sample(name+"_count", promInt(h.Count()), labels...)
+}
+
+// writeProm renders the full exposition document.
+func (s *Server) writeProm(w io.Writer) error {
+	p := &promWriter{w: w}
+	m := s.metrics
+
+	p.counter("spmv_uploads_total", "Upload requests admitted to ingest.", m.UploadsTotal.Load())
+	p.counter("spmv_uploads_rejected_total", "Corrupt, oversized or unsupported uploads.", m.UploadsRejected.Load())
+	p.counter("spmv_builds_total", "Matrices actually built.", m.Builds.Load())
+	p.counter("spmv_build_cache_hits_total", "Uploads answered by the content cache.", m.BuildCacheHits.Load())
+	p.counter("spmv_evictions_total", "LRU evictions under the memory budget.", m.Evictions.Load())
+	p.counter("spmv_requests_total", "Multiply requests received.", m.RequestsTotal.Load())
+	p.counter("spmv_served_total", "Multiply requests answered 200.", m.Served.Load())
+	p.counter("spmv_shed_total", "429 responses: queue full or per-client cap.", m.Shed.Load())
+	p.counter("spmv_rejected_503_total", "503 responses: draining or evicted mid-queue.", m.Rejected503.Load())
+	p.counter("spmv_deadline_exceeded_total", "504 responses: deadline or disconnect.", m.DeadlineExceeded.Load())
+	p.counter("spmv_failures_total", "500 responses: execution errors.", m.Failures.Load())
+	p.counter("spmv_panics_recovered_total", "Panics contained by the degradation path.", m.PanicsRecovered.Load())
+
+	p.header("spmv_coalesce_batches_total", "Executed SpMM panels by coalesced width.", "counter")
+	widths := m.BatchWidths()
+	for k := 1; k < len(widths); k++ {
+		p.sample("spmv_coalesce_batches_total", promInt(widths[k]), label("width", strconv.Itoa(k)))
+	}
+
+	entries, bytes := s.reg.stats()
+	p.gauge("spmv_registry_entries", "Matrices resident in the registry.", promInt(int64(entries)))
+	p.gauge("spmv_registry_bytes", "Summed matrix bytes in the registry.", promInt(bytes))
+
+	rt := readRuntimeHealth()
+	p.gauge("spmv_goroutines", "Live goroutine count.", promInt(int64(rt.Goroutines)))
+	p.gauge("spmv_heap_inuse_bytes", "Heap memory in active spans.", promUint(rt.HeapInuseBytes))
+	p.gauge("spmv_heap_alloc_bytes", "Live allocated heap bytes.", promUint(rt.HeapAllocBytes))
+	p.counter("spmv_gc_cycles_total", "Completed garbage collections.", int64(rt.NumGC))
+	p.header("spmv_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter")
+	p.sample("spmv_gc_pause_seconds_total", promFloat(float64(rt.GCPauseTotalNs)/1e9))
+
+	if r := s.cfg.Roofline; r != nil && len(r.Ceilings) > 0 {
+		p.header("spmv_roofline_ceiling_gbps", "Host memory-bandwidth ceiling by thread count (0 = thread-independent analytic peak).", "gauge")
+		threads := make([]int, 0, len(r.Ceilings))
+		for t := range r.Ceilings {
+			threads = append(threads, t)
+		}
+		sort.Ints(threads)
+		for _, t := range threads {
+			p.sample("spmv_roofline_ceiling_gbps", promFloat(r.Ceilings[t]),
+				label("source", r.Source), label("threads", strconv.Itoa(t)))
+		}
+	}
+
+	// Per-matrix series, matrix ids sorted for deterministic output.
+	es := s.reg.snapshot()
+	sort.Slice(es, func(i, j int) bool { return es[i].id < es[j].id })
+
+	p.header("spmv_matrix_served_total", "Multiply requests served, per matrix.", "counter")
+	for _, e := range es {
+		p.sample("spmv_matrix_served_total", promInt(e.served.Load()), label("matrix", e.id))
+	}
+	p.header("spmv_matrix_shed_total", "Multiply requests shed, per matrix.", "counter")
+	for _, e := range es {
+		p.sample("spmv_matrix_shed_total", promInt(e.shed.Load()), label("matrix", e.id))
+	}
+	p.header("spmv_matrix_queue_depth", "Admission queue depth, per matrix.", "gauge")
+	for _, e := range es {
+		p.sample("spmv_matrix_queue_depth", promInt(int64(e.co.depth())), label("matrix", e.id))
+	}
+
+	p.header("spmv_request_span_seconds", "Request lifecycle span latency (admission, queue, coalesce, execute, write, total), per matrix.", "histogram")
+	for _, e := range es {
+		for _, span := range SpanNames() {
+			p.histogram("spmv_request_span_seconds", e.spans.byName(span),
+				[]string{label("matrix", e.id), label("span", span)})
+		}
+	}
+	return p.err
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.writeProm(w); err != nil {
+		// The status line is already out; nothing useful can be sent.
+		s.logf("prom metrics write: %v", err)
+	}
+}

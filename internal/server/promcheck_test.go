@@ -1,0 +1,322 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spmv/internal/roofline"
+	"spmv/internal/server/faulttest"
+)
+
+// testServerRoofline is a fixed probe-shaped bandwidth model so the
+// exposition test can pin the ceiling gauge series.
+func testServerRoofline() *roofline.Model {
+	return &roofline.Model{
+		Source:   "probe",
+		Host:     "test",
+		Ceilings: map[int]float64{1: 7.25, 2: 11.5},
+	}
+}
+
+// This file is a test-local Prometheus text-format (0.0.4) checker:
+// enough of the exposition grammar to catch the mistakes a hand-rolled
+// writer can make — malformed sample lines, samples without TYPE,
+// unescaped label values, and histogram bucket series that are not
+// cumulative or whose +Inf bucket disagrees with _count.
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	promLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// parseProm parses an exposition body, reporting grammar violations as
+// test errors and returning the samples plus the TYPE per family.
+func parseProm(t *testing.T, body string) ([]promSample, map[string]string) {
+	t.Helper()
+	var samples []promSample
+	types := map[string]string{}
+	for i, line := range strings.Split(body, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				continue
+			}
+			if !promNameRe.MatchString(parts[2]) {
+				t.Errorf("line %d: bad metric name %q", lineNo, parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: unknown type %q", lineNo, parts[3])
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Errorf("line %d: duplicate TYPE for %q", lineNo, parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or other comment
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: malformed sample: %q", lineNo, line)
+			continue
+		}
+		s := promSample{name: m[1], labels: map[string]string{}, line: lineNo}
+		if m[3] != "" {
+			for _, pair := range splitPromLabels(m[3]) {
+				lm := promLabelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					t.Errorf("line %d: malformed label %q", lineNo, pair)
+					continue
+				}
+				s.labels[lm[1]] = lm[2]
+			}
+		}
+		v, err := parsePromValue(m[4])
+		if err != nil {
+			t.Errorf("line %d: bad value %q: %v", lineNo, m[4], err)
+			continue
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+// splitPromLabels splits `a="x",b="y"` on commas outside quotes.
+func splitPromLabels(s string) []string {
+	var out []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// baseFamily strips histogram/summary suffixes to the family name.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// labelKey canonicalizes a label set (minus le) for grouping.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%q,", k, labels[k])
+	}
+	return sb.String()
+}
+
+// checkProm runs the full invariant suite on an exposition body.
+func checkProm(t *testing.T, body string) {
+	t.Helper()
+	samples, types := parseProm(t, body)
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+
+	// Every sample's family must have a TYPE.
+	for _, s := range samples {
+		fam := s.name
+		if typ, ok := types[baseFamily(s.name)]; ok && typ == "histogram" {
+			fam = baseFamily(s.name)
+		}
+		if _, ok := types[fam]; !ok {
+			t.Errorf("line %d: sample %q has no TYPE comment", s.line, s.name)
+		}
+	}
+
+	// Counters must be non-negative and finite.
+	for _, s := range samples {
+		if types[baseFamily(s.name)] == "counter" || types[s.name] == "counter" {
+			if math.IsNaN(s.value) || s.value < 0 {
+				t.Errorf("line %d: counter %s = %v", s.line, s.name, s.value)
+			}
+		}
+	}
+
+	// Histogram invariants per (family, labelset): le buckets sorted
+	// and cumulative non-decreasing, +Inf present and equal to _count,
+	// _sum present.
+	type histSeries struct {
+		buckets map[float64]float64
+		sum     *float64
+		count   *float64
+	}
+	hists := map[string]map[string]*histSeries{}
+	for _, s := range samples {
+		fam := baseFamily(s.name)
+		if types[fam] != "histogram" {
+			continue
+		}
+		byLabels := hists[fam]
+		if byLabels == nil {
+			byLabels = map[string]*histSeries{}
+			hists[fam] = byLabels
+		}
+		key := labelKey(s.labels)
+		hs := byLabels[key]
+		if hs == nil {
+			hs = &histSeries{buckets: map[float64]float64{}}
+			byLabels[key] = hs
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Errorf("line %d: bucket without le label", s.line)
+				continue
+			}
+			bound, err := parsePromValue(le)
+			if err != nil {
+				t.Errorf("line %d: bad le %q", s.line, le)
+				continue
+			}
+			hs.buckets[bound] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			v := s.value
+			hs.sum = &v
+		case strings.HasSuffix(s.name, "_count"):
+			v := s.value
+			hs.count = &v
+		}
+	}
+	for fam, byLabels := range hists {
+		for key, hs := range byLabels {
+			if hs.sum == nil || hs.count == nil {
+				t.Errorf("%s{%s}: missing _sum or _count", fam, key)
+				continue
+			}
+			bounds := make([]float64, 0, len(hs.buckets))
+			for b := range hs.buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+				t.Errorf("%s{%s}: no +Inf bucket", fam, key)
+				continue
+			}
+			prev := -1.0
+			for _, b := range bounds {
+				if hs.buckets[b] < prev {
+					t.Errorf("%s{%s}: bucket le=%v count %v < previous %v — not cumulative",
+						fam, key, b, hs.buckets[b], prev)
+				}
+				prev = hs.buckets[b]
+			}
+			if inf := hs.buckets[math.Inf(1)]; inf != *hs.count {
+				t.Errorf("%s{%s}: +Inf bucket %v != _count %v", fam, key, inf, *hs.count)
+			}
+		}
+	}
+}
+
+// TestPromExposition drives traffic, fetches /metrics.prom and runs
+// the checker, then pins a few concrete series.
+func TestPromExposition(t *testing.T) {
+	s := newTestServer(t, Config{Threads: 2, Roofline: testServerRoofline()})
+	body := faulttest.ValidMMIO(9, 30)
+	resp := upload(t, s, body, "csr")
+	x := testVec(resp.Cols)
+	for i := 0; i < 5; i++ {
+		if code, _ := multiply(t, s, resp.ID, x, nil); code != http.StatusOK {
+			t.Fatalf("multiply %d: status %d", i, code)
+		}
+	}
+	// One failure so the failure counters are exercised too.
+	if code, _ := multiply(t, s, "missing", x, nil); code != http.StatusNotFound {
+		t.Fatal("expected 404")
+	}
+
+	w := do(s, "GET", "/metrics.prom", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics.prom: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	out := w.Body.String()
+	checkProm(t, out)
+
+	for _, want := range []string{
+		"spmv_requests_total 6",
+		"spmv_served_total 5",
+		"spmv_roofline_ceiling_gbps{source=\"probe\",threads=\"2\"}",
+		"spmv_request_span_seconds_bucket{matrix=\"" + resp.ID + "\",span=\"total\",le=\"+Inf\"} 5",
+		"spmv_goroutines",
+		"spmv_gc_pause_seconds_total",
+		"spmv_heap_inuse_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The checker itself must reject broken documents.
+	bad := "# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_bucket{le=\"+Inf\"} 3\nx_sum 1\nx_count 3\n"
+	tt := &testing.T{}
+	checkProm(tt, bad)
+	if !tt.Failed() {
+		t.Error("checker accepted a non-cumulative histogram")
+	}
+}

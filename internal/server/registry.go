@@ -19,6 +19,7 @@ type entry struct {
 	format core.Format
 	runner parallel.Runner
 	rec    *obs.Recorder
+	spans  *lifecycleSpans
 	size   int64 // format.SizeBytes(), the LRU budget unit
 	co     *coalescer
 	// tune is the autotuner's decision trace for format=auto uploads

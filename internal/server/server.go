@@ -48,6 +48,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"log/slog"
+
 	"spmv/internal/autotune"
 	"spmv/internal/core"
 	"spmv/internal/formats"
@@ -55,6 +57,7 @@ import (
 	"spmv/internal/mmio"
 	"spmv/internal/obs"
 	"spmv/internal/parallel"
+	"spmv/internal/roofline"
 )
 
 var errTooLarge = core.Usagef("server: matrix exceeds the memory budget")
@@ -96,6 +99,16 @@ type Config struct {
 	DefaultFormat string
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured records (log/slog): one
+	// per failed request with the request id, matrix, client, HTTP
+	// status and span timings, plus operational events that previously
+	// went only through Logf. A JSON handler makes the stream
+	// machine-parseable; nil disables structured logging.
+	Logger *slog.Logger
+	// Roofline, when non-nil, is the host's bandwidth model; its
+	// ceilings are exported as gauges on /metrics.prom so dashboards
+	// can plot served bandwidth against the memory wall.
+	Roofline *roofline.Model
 	// Hooks inject faults for tests; nil in production.
 	Hooks *Hooks
 }
@@ -145,6 +158,9 @@ type Server struct {
 	draining atomic.Bool
 	buildSem chan struct{}
 
+	// reqSeq issues the request ids structured log records carry.
+	reqSeq atomic.Int64
+
 	clientMu sync.Mutex
 	clients  map[string]int
 }
@@ -175,6 +191,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /matrices/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /matrices/{id}/multiply", s.handleMultiply)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -199,6 +216,12 @@ func (s *Server) Logf(format string, args ...any) { s.logf(format, args...) }
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+		return
+	}
+	// Without a printf sink, operational lines flow into the structured
+	// logger so they are never silently dropped.
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -325,9 +348,21 @@ type UploadResponse struct {
 	Cached    bool   `json:"cached"`
 }
 
+// failUpload answers a failed upload and emits one structured record,
+// mirroring failMultiply for the ingest path.
+func (s *Server) failUpload(r *http.Request, w http.ResponseWriter, status int, err error) {
+	s.httpError(w, status, err)
+	if l := s.cfg.Logger; l != nil {
+		l.LogAttrs(r.Context(), slog.LevelWarn, "upload failed",
+			slog.String("client", clientID(r)),
+			slog.Int("status", status),
+			slog.String("error", err.Error()))
+	}
+}
+
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.httpError(w, http.StatusServiceUnavailable, errDraining)
+		s.failUpload(r, w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
@@ -335,11 +370,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.metrics.UploadsRejected.Add(1)
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.httpError(w, http.StatusRequestEntityTooLarge,
+			s.failUpload(r, w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("server: upload exceeds %d bytes", s.cfg.MaxUploadBytes))
 			return
 		}
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("server: reading upload: %w", err))
+		s.failUpload(r, w, http.StatusBadRequest, fmt.Errorf("server: reading upload: %w", err))
 		return
 	}
 	s.metrics.UploadsTotal.Add(1)
@@ -374,7 +409,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.buildSem }()
 	default:
 		s.metrics.Shed.Add(1)
-		s.httpError(w, http.StatusTooManyRequests,
+		s.failUpload(r, w, http.StatusTooManyRequests,
 			core.Usagef("server: build concurrency limit reached"))
 		return
 	}
@@ -383,7 +418,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		s.metrics.UploadsRejected.Add(1)
-		s.httpError(w, statusFor(err), err)
+		s.failUpload(r, w, statusFor(err), err)
 		return
 	}
 	if cached {
@@ -498,7 +533,7 @@ func (s *Server) ingest(key string, body []byte, formatName string, explicit boo
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{id: key, format: f, runner: runner, rec: rec, size: size, tune: tune}
+	e := &entry{id: key, format: f, runner: runner, rec: rec, spans: newLifecycleSpans(), size: size, tune: tune}
 	e.co = newCoalescer(e, s.cfg.MaxBatch, s.cfg.QueueDepth, s.baseCtx, s.metrics, s.cfg.Hooks)
 	return e, nil
 }
@@ -596,16 +631,45 @@ func (s *Server) requestDeadline(r *http.Request) time.Duration {
 	return d
 }
 
+// failMultiply answers a failed multiply request and emits one
+// structured log record for it: the request id, matrix, client, HTTP
+// status, error, and span timings (elapsed since handler entry, plus
+// the admission span when the request got that far; admissionNs < 0
+// means it never was admitted).
+func (s *Server) failMultiply(r *http.Request, w http.ResponseWriter, reqID int64, matrix string, status int, err error, start time.Time, admissionNs int64) {
+	s.httpError(w, status, err)
+	l := s.cfg.Logger
+	if l == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Int64("req_id", reqID),
+		slog.String("matrix", matrix),
+		slog.String("client", clientID(r)),
+		slog.Int("status", status),
+		slog.String("error", err.Error()),
+		slog.Int64("elapsed_ns", int64(time.Since(start))),
+	}
+	if admissionNs >= 0 {
+		attrs = append(attrs, slog.Int64("admission_ns", admissionNs))
+	}
+	l.LogAttrs(r.Context(), slog.LevelWarn, "multiply failed", attrs...)
+}
+
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := s.reqSeq.Add(1)
+	id := r.PathValue("id")
 	s.metrics.RequestsTotal.Add(1)
 	if s.draining.Load() {
 		s.metrics.Rejected503.Add(1)
-		s.httpError(w, http.StatusServiceUnavailable, errDraining)
+		s.failMultiply(r, w, reqID, id, http.StatusServiceUnavailable, errDraining, start, -1)
 		return
 	}
-	e, ok := s.reg.get(r.PathValue("id"))
+	e, ok := s.reg.get(id)
 	if !ok {
-		s.httpError(w, http.StatusNotFound, fmt.Errorf("server: no matrix %q", r.PathValue("id")))
+		s.failMultiply(r, w, reqID, id, http.StatusNotFound,
+			fmt.Errorf("server: no matrix %q", id), start, -1)
 		return
 	}
 
@@ -615,8 +679,8 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if !s.acquireClient(cid) {
 		s.metrics.Shed.Add(1)
 		e.shed.Add(1)
-		s.httpError(w, http.StatusTooManyRequests,
-			core.Usagef("server: client %q at in-flight cap", cid))
+		s.failMultiply(r, w, reqID, id, http.StatusTooManyRequests,
+			core.Usagef("server: client %q at in-flight cap", cid), start, -1)
 		return
 	}
 	defer s.releaseClient(cid)
@@ -625,12 +689,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	maxBody := int64(e.format.Cols())*32 + 4096
 	var req MultiplyRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		s.failMultiply(r, w, reqID, id, http.StatusBadRequest,
+			fmt.Errorf("server: decoding request: %w", err), start, -1)
 		return
 	}
 	if len(req.X) != e.format.Cols() {
-		s.httpError(w, http.StatusBadRequest,
-			core.Usagef("server: x has %d elements, matrix has %d columns", len(req.X), e.format.Cols()))
+		s.failMultiply(r, w, reqID, id, http.StatusBadRequest,
+			core.Usagef("server: x has %d elements, matrix has %d columns", len(req.X), e.format.Cols()), start, -1)
 		return
 	}
 
@@ -646,9 +711,16 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		case http.StatusServiceUnavailable:
 			s.metrics.Rejected503.Add(1)
 		}
-		s.httpError(w, status, err)
+		s.failMultiply(r, w, reqID, id, status, err, start, -1)
 		return
 	}
+	// The request is admitted: admission and total record for exactly
+	// this set — every path below, success or failure, exits through
+	// the deferred total record, so admission <= total holds per
+	// request and in aggregate.
+	admissionNs := int64(time.Since(start))
+	e.spans.admission.Record(admissionNs)
+	defer e.spans.total.RecordSince(start)
 
 	select {
 	case res := <-mr.done:
@@ -662,24 +734,26 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			default:
 				s.metrics.Failures.Add(1)
 			}
-			s.httpError(w, status, res.err)
+			s.failMultiply(r, w, reqID, id, status, res.err, start, admissionNs)
 			return
 		}
 		s.metrics.Served.Add(1)
 		e.served.Add(1)
-		s.writeVector(w, res.y)
+		s.writeVector(w, e.spans, res.y)
 	case <-ctx.Done():
 		// Deadline or client disconnect while queued or executing. The
 		// result channel is buffered, so a late delivery parks there
 		// and is collected with the request — no goroutine waits.
 		s.metrics.DeadlineExceeded.Add(1)
-		s.httpError(w, http.StatusGatewayTimeout, ctx.Err())
+		s.failMultiply(r, w, reqID, id, http.StatusGatewayTimeout, ctx.Err(), start, admissionNs)
 	}
 }
 
 // writeVector sends the result with a slow-consumer write deadline: a
 // client that stops reading cannot pin the handler past WriteTimeout.
-func (s *Server) writeVector(w http.ResponseWriter, y []float64) {
+// The write span times the encode — the slice of request latency spent
+// pushing bytes to the client rather than computing.
+func (s *Server) writeVector(w http.ResponseWriter, spans *lifecycleSpans, y []float64) {
 	rc := http.NewResponseController(w)
 	if err := rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 		// Recorders and exotic transports don't support deadlines; the
@@ -687,7 +761,9 @@ func (s *Server) writeVector(w http.ResponseWriter, y []float64) {
 		s.logf("set write deadline: %v", err)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	wstart := time.Now()
 	if err := json.NewEncoder(w).Encode(MultiplyResponse{Y: y}); err != nil {
 		s.logf("result encode: %v", err)
 	}
+	spans.write.RecordSince(wstart)
 }

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"spmv/internal/obs"
+)
+
+// Span names, in pipeline order. Each is a per-matrix latency
+// histogram over one slice of the request lifecycle:
+//
+//	admission — handler entry → enqueue accepted (auth, fairness cap,
+//	            body decode, validation; only admitted requests record)
+//	queue     — enqueue → the coalescer takes the request
+//	coalesce  — taken → its batch starts executing (panel assembly)
+//	execute   — the batch's kernel execution
+//	write     — encoding the result vector to the client
+//	total     — handler entry → handler exit, for every admitted
+//	            request (success, failure and deadline paths alike)
+//
+// admission and total are recorded for exactly the same request set,
+// and admission's interval is a prefix of total's — so per request,
+// and therefore in aggregate (Sum, Max), admission <= total.
+const (
+	SpanAdmission = "admission"
+	SpanQueue     = "queue"
+	SpanCoalesce  = "coalesce"
+	SpanExecute   = "execute"
+	SpanWrite     = "write"
+	SpanTotal     = "total"
+)
+
+// SpanNames lists the lifecycle spans in pipeline order.
+func SpanNames() []string {
+	return []string{SpanAdmission, SpanQueue, SpanCoalesce, SpanExecute, SpanWrite, SpanTotal}
+}
+
+// lifecycleSpans is one matrix's set of span histograms. Allocated
+// once at ingest; recording is lock-free (obs.Histogram) so the
+// request path stays allocation-free.
+type lifecycleSpans struct {
+	admission *obs.Histogram
+	queue     *obs.Histogram
+	coalesce  *obs.Histogram
+	execute   *obs.Histogram
+	write     *obs.Histogram
+	total     *obs.Histogram
+}
+
+func newLifecycleSpans() *lifecycleSpans {
+	return &lifecycleSpans{
+		admission: obs.NewHistogram(),
+		queue:     obs.NewHistogram(),
+		coalesce:  obs.NewHistogram(),
+		execute:   obs.NewHistogram(),
+		write:     obs.NewHistogram(),
+		total:     obs.NewHistogram(),
+	}
+}
+
+// byName returns the histogram for a span name, nil for unknown names.
+func (l *lifecycleSpans) byName(name string) *obs.Histogram {
+	switch name {
+	case SpanAdmission:
+		return l.admission
+	case SpanQueue:
+		return l.queue
+	case SpanCoalesce:
+		return l.coalesce
+	case SpanExecute:
+		return l.execute
+	case SpanWrite:
+		return l.write
+	case SpanTotal:
+		return l.total
+	}
+	return nil
+}
+
+// snapshot summarizes every span for the metrics document.
+func (l *lifecycleSpans) snapshot() map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot, 6)
+	for _, name := range SpanNames() {
+		out[name] = l.byName(name).SnapshotHist()
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"spmv/internal/server/faulttest"
+)
+
+// TestLifecycleSpansRecorded is the span soak: concurrent multiply
+// traffic must leave every lifecycle span histogram non-empty, with
+// admission and total recorded for the same request set and
+// admission <= total both per aggregate sum and at the max.
+func TestLifecycleSpansRecorded(t *testing.T) {
+	s := newTestServer(t, Config{Threads: 2, MaxBatch: 4})
+	body := faulttest.ValidMMIO(3, 40)
+	resp := upload(t, s, body, "csr")
+	x := testVec(resp.Cols)
+
+	const workers = 4
+	const perWorker = 10
+	var wg sync.WaitGroup
+	var okCount, failCount int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				code, _ := multiply(t, s, resp.ID, x, nil)
+				mu.Lock()
+				if code == http.StatusOK {
+					okCount++
+				} else {
+					failCount++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if okCount == 0 {
+		t.Fatalf("no request succeeded (%d failures)", failCount)
+	}
+
+	e, ok := s.reg.get(resp.ID)
+	if !ok {
+		t.Fatal("entry vanished")
+	}
+	for _, name := range SpanNames() {
+		h := e.spans.byName(name)
+		if h == nil {
+			t.Fatalf("span %q has no histogram", name)
+		}
+		if h.Count() == 0 {
+			t.Errorf("span %q histogram empty", name)
+		}
+	}
+
+	adm, tot := e.spans.admission, e.spans.total
+	if adm.Count() != tot.Count() {
+		t.Errorf("admission count %d != total count %d — recorded for different request sets",
+			adm.Count(), tot.Count())
+	}
+	if adm.Sum() > tot.Sum() {
+		t.Errorf("admission sum %d > total sum %d", adm.Sum(), tot.Sum())
+	}
+	if adm.Max() > tot.Max() {
+		t.Errorf("admission max %d > total max %d", adm.Max(), tot.Max())
+	}
+	// Executed work implies queue/coalesce/execute counts match the
+	// taken requests; write records once per 200.
+	if got := e.spans.write.Count(); got != okCount {
+		t.Errorf("write span count %d, want %d (one per 200)", got, okCount)
+	}
+	if e.spans.execute.Count() == 0 || e.spans.queue.Count() == 0 {
+		t.Errorf("execute/queue spans empty: %d/%d", e.spans.execute.Count(), e.spans.queue.Count())
+	}
+
+	// The spans surface per matrix in the JSON snapshot.
+	snap := s.Snapshot()
+	mm, ok := snap.Matrices[resp.ID]
+	if !ok {
+		t.Fatal("matrix missing from snapshot")
+	}
+	for _, name := range SpanNames() {
+		hs, ok := mm.Spans[name]
+		if !ok {
+			t.Errorf("snapshot missing span %q", name)
+			continue
+		}
+		if hs.Count == 0 {
+			t.Errorf("snapshot span %q empty", name)
+		}
+		if hs.Count > 0 && (hs.P50Ns < hs.MinNs || hs.MaxNs < hs.P99Ns) {
+			t.Errorf("snapshot span %q quantiles inconsistent: %+v", name, hs)
+		}
+	}
+	if snap.Runtime.Goroutines <= 0 {
+		t.Errorf("runtime health missing: %+v", snap.Runtime)
+	}
+	if snap.Runtime.HeapInuseBytes == 0 {
+		t.Errorf("heap in-use reads zero")
+	}
+}
+
+// syncBuffer serializes writes so the slog JSON handler can be read
+// back safely after concurrent handler calls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for _, l := range strings.Split(b.buf.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestFailedRequestsLogStructured pins satellite 1: exactly one
+// structured record per failed multiply request, carrying the request
+// id, matrix, status and error; successful requests log nothing.
+func TestFailedRequestsLogStructured(t *testing.T) {
+	var buf syncBuffer
+	s := newTestServer(t, Config{
+		Threads: 2,
+		Logger:  slog.New(slog.NewJSONHandler(&buf, nil)),
+		// Operational printf lines (e.g. the recorder's unsupported write
+		// deadline) go to Logf so the structured stream holds exactly the
+		// per-request failure records.
+		Logf: func(string, ...any) {},
+	})
+	body := faulttest.ValidMMIO(5, 30)
+	resp := upload(t, s, body, "csr")
+
+	// A successful request must not log.
+	if code, _ := multiply(t, s, resp.ID, testVec(resp.Cols), nil); code != http.StatusOK {
+		t.Fatalf("healthy multiply: status %d", code)
+	}
+	if n := len(buf.Lines()); n != 0 {
+		t.Fatalf("successful request produced %d log records: %v", n, buf.Lines())
+	}
+
+	// Three failures, three distinct causes.
+	fails := 0
+	if code, _ := multiply(t, s, "no-such-id", testVec(resp.Cols), nil); code != http.StatusNotFound {
+		t.Fatalf("unknown matrix: status %d", code)
+	}
+	fails++
+	if code, _ := multiply(t, s, resp.ID, testVec(resp.Cols+1), nil); code != http.StatusBadRequest {
+		t.Fatalf("wrong length: status %d", code)
+	}
+	fails++
+	if w := do(s, "POST", "/matrices/"+resp.ID+"/multiply", []byte("{not json"), nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", w.Code)
+	}
+	fails++
+
+	lines := buf.Lines()
+	if len(lines) != fails {
+		t.Fatalf("%d failures produced %d structured records:\n%s",
+			fails, len(lines), strings.Join(lines, "\n"))
+	}
+	seenIDs := map[float64]bool{}
+	for _, l := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("record is not JSON: %v\n%s", err, l)
+		}
+		if rec["msg"] != "multiply failed" {
+			t.Errorf("msg = %v", rec["msg"])
+		}
+		for _, key := range []string{"req_id", "matrix", "client", "status", "error", "elapsed_ns"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("record missing %q: %s", key, l)
+			}
+		}
+		if id, ok := rec["req_id"].(float64); ok {
+			if seenIDs[id] {
+				t.Errorf("duplicate req_id %v", id)
+			}
+			seenIDs[id] = true
+		}
+		if st, ok := rec["status"].(float64); !ok || st < 400 {
+			t.Errorf("status %v not an error status", rec["status"])
+		}
+	}
+
+	// Upload failures log too.
+	before := len(buf.Lines())
+	if w := do(s, "POST", "/matrices", []byte("garbage matrix"), nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d", w.Code)
+	}
+	after := buf.Lines()
+	if len(after) != before+1 {
+		t.Fatalf("garbage upload logged %d records, want 1", len(after)-before)
+	}
+	if !strings.Contains(after[len(after)-1], "upload failed") {
+		t.Errorf("upload failure record: %s", after[len(after)-1])
+	}
+}

@@ -61,6 +61,24 @@ grep -q '"chosen"' "$ARCHDIR/auto.json" || {
 	exit 1
 }
 
+echo "== spmvbench roofline smoke"
+# Roofline end to end: a budgeted STREAM probe writes ROOF_<host>.json,
+# then a measured run is anchored to it — the table must carry the
+# %roof column and name the probe as its model source.
+go run ./cmd/spmvbench -roofprobe -probe-ms 300 -threads 2 \
+	-roofdir "$ARCHDIR" > /dev/null
+go run ./cmd/spmvbench -roofline -roofdir "$ARCHDIR" \
+	-scale 0.02 -iters 2 -threads 2 -experiment table2 \
+	> "$ARCHDIR/roofline.txt"
+grep -q '%roof' "$ARCHDIR/roofline.txt" || {
+	echo "verify.sh: spmvbench -roofline printed no %roof column" >&2
+	exit 1
+}
+grep -q 'model: probe' "$ARCHDIR/roofline.txt" || {
+	echo "verify.sh: spmvbench -roofline did not use the probe archive" >&2
+	exit 1
+}
+
 echo "== spmvd selfcheck"
 # Server smoke, end to end over real TCP against a loopback daemon:
 # upload admitted and queryable, multiply matches the reference
